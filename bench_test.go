@@ -1,0 +1,264 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// scaling benchmarks for each engine. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The Table/Fig benchmarks time a full regeneration of the published
+// artifact (workload construction + analysis + measurement), so their
+// outputs are the reproduction itself; correctness of the produced
+// rows/series is asserted by the tests in internal/repro.
+package elmore_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"elmore"
+	"elmore/internal/repro"
+	"elmore/internal/topo"
+)
+
+// --- Paper artifacts: one benchmark per table and figure. ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := res.Check(); len(bad) != 0 {
+			b.Fatalf("structural violations: %v", bad)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := res.Check(); len(bad) != 0 {
+			b.Fatalf("structural violations: %v", bad)
+		}
+	}
+}
+
+func BenchmarkFig3StepAndImpulse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4SymmetricDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := repro.Fig4(); len(s) != 1 {
+			b.Fatal("series count")
+		}
+	}
+}
+
+func BenchmarkFig5DrivingPointResponse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12DelayCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Fig12(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := res.Check(); len(bad) != 0 {
+			b.Fatalf("structural violations: %v", bad)
+		}
+	}
+}
+
+func BenchmarkFig13ImpulseFamily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Fig13(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14ErrorSurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Fig14(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := res.Check(); len(bad) != 0 {
+			b.Fatalf("structural violations: %v", bad)
+		}
+	}
+}
+
+// --- Engine scaling: the O(N) claims behind the paper's "calculated
+// so easily and efficiently" motivation. ---
+
+func benchSizes() []int { return []int{100, 1000, 10000, 100000} }
+
+func BenchmarkElmoreDelays(b *testing.B) {
+	for _, n := range benchSizes() {
+		tree := topo.Random(42, topo.RandomOptions{N: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				td := elmore.ElmoreDelays(tree)
+				if td[0] <= 0 {
+					b.Fatal("bad delay")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAnalyzeBounds(b *testing.B) {
+	for _, n := range benchSizes() {
+		tree := topo.Random(42, topo.RandomOptions{N: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := elmore.Analyze(tree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMomentsOrder6(b *testing.B) {
+	for _, n := range benchSizes() {
+		tree := topo.Random(42, topo.RandomOptions{N: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := elmore.Moments(tree, 6); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExactSystemBuild(b *testing.B) {
+	for _, n := range []int{25, 50, 100, 200} {
+		tree := topo.Random(42, topo.RandomOptions{N: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := elmore.NewExactSystem(tree); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExactDelay50(b *testing.B) {
+	tree := topo.Random(42, topo.RandomOptions{N: 100})
+	sys, err := elmore.NewExactSystem(tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Delay50Step(i % tree.N()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimTransient(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		tree := topo.Chain(n, 1, 1e-15)
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := elmore.Simulate(tree, elmore.SimOptions{
+					Probes: []int{n - 1},
+					DT:     0, TEnd: 0,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		})
+	}
+}
+
+func BenchmarkAWEFitOrder3(b *testing.B) {
+	tree := topo.Random(42, topo.RandomOptions{N: 200})
+	ms, err := elmore.Moments(tree, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elmore.FitAWE(ms, i%tree.N(), 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPiReduction(b *testing.B) {
+	tree := topo.Random(42, topo.RandomOptions{N: 10000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := elmore.ReduceToPi(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetlistParse(b *testing.B) {
+	deck := elmore.FormatNetlist(topo.Random(42, topo.RandomOptions{N: 5000}), "bench")
+	b.SetBytes(int64(len(deck)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := elmore.ParseNetlistString(deck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetlistFormat(b *testing.B) {
+	tree := topo.Random(42, topo.RandomOptions{N: 5000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := elmore.FormatNetlist(tree, "bench"); !strings.HasSuffix(s, ".end\n") {
+			b.Fatal("bad deck")
+		}
+	}
+}
+
+// --- Extension experiments beyond the paper's artifacts. ---
+
+func BenchmarkExtPRHWaveformBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := repro.FigPRH("C5")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := repro.CheckPRHFigure(series); len(bad) != 0 {
+			b.Fatalf("bracket violations: %v", bad)
+		}
+	}
+}
+
+func BenchmarkExtInputShapeStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := repro.InputShapeStudy("C5", 0.3e-9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := repro.CheckInputShapes(rows); len(bad) != 0 {
+			b.Fatalf("violations: %v", bad)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestSmallStudyNoViolations(t *testing.T) {
+	out, err := runCLI(t, "-trees", "40", "-max-nodes", "10", "-rise", "step,1n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 bound violations") {
+		t.Errorf("expected zero violations:\n%s", out)
+	}
+	if !strings.Contains(out, "tightness of the Elmore upper bound") {
+		t.Errorf("missing tightness table")
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("violations reported:\n%s", out)
+	}
+}
+
+func TestRatiosAreWithinUnitInterval(t *testing.T) {
+	out, err := runCLI(t, "-trees", "30", "-max-nodes", "8", "-rise", "step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The max ratio column must be <= 1 (bound never violated).
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "step") && i > 0 && strings.Contains(lines[i-1], "p90") {
+			fields := strings.Fields(l)
+			if len(fields) != 6 {
+				t.Fatalf("row format: %q", l)
+			}
+			if fields[5] > "1.001" && !strings.HasPrefix(fields[5], "0") && !strings.HasPrefix(fields[5], "1.000") {
+				t.Errorf("max ratio exceeds 1: %q", l)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCLI(t, "-rise", "zzz"); err == nil {
+		t.Errorf("bad rise should fail")
+	}
+	if _, err := runCLI(t, "-trees", "0"); err == nil {
+		t.Errorf("zero trees should fail")
+	}
+	if _, err := runCLI(t, "stray"); err == nil {
+		t.Errorf("stray arg should fail")
+	}
+	if _, err := runCLI(t, "-rise", " "); err == nil {
+		t.Errorf("empty rise should fail")
+	}
+}

@@ -1,0 +1,161 @@
+// Command chargen characterizes a Thevenin-model driver into
+// liberty-lite delay / output-slew tables by *measurement*: for every
+// (input slew, load) grid point it builds the R-C stage, drives it with
+// a saturated ramp through the exact response engine, and records the
+// measured 50% delay and 10-90% output transition — the same flow a
+// characterization team runs in SPICE, here backed by the
+// eigen-decomposition engine.
+//
+// Usage:
+//
+//	chargen -name inv_x1 -r 300 -d0 5p
+//	        [-slews 1p,20p,80p] [-loads 1f,20f,80f] [-o cells.lib]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"elmore/internal/exact"
+	"elmore/internal/gate"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "chargen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseList(spec string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(spec, ",") {
+		v, err := rctree.ParseValue(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("values must be positive, got %v", v)
+		}
+		out = append(out, v)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			return nil, fmt.Errorf("values must be ascending")
+		}
+	}
+	return out, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("chargen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		name     = fs.String("name", "cell_x1", "cell name")
+		rStr     = fs.String("r", "300", "driver effective resistance")
+		d0Str    = fs.String("d0", "0", "intrinsic (load-independent) delay")
+		slewSpec = fs.String("slews", "1p,20p,80p,320p", "comma-separated input transition grid")
+		loadSpec = fs.String("loads", "1f,20f,80f,320f", "comma-separated load capacitance grid")
+		outPath  = fs.String("o", "", "output path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	rdrv, err := rctree.ParseValue(*rStr)
+	if err != nil {
+		return fmt.Errorf("-r: %w", err)
+	}
+	if rdrv <= 0 {
+		return fmt.Errorf("-r must be positive")
+	}
+	d0, err := rctree.ParseValue(*d0Str)
+	if err != nil {
+		return fmt.Errorf("-d0: %w", err)
+	}
+	if d0 < 0 {
+		return fmt.Errorf("-d0 must be nonnegative")
+	}
+	slews, err := parseList(*slewSpec)
+	if err != nil {
+		return fmt.Errorf("-slews: %w", err)
+	}
+	loads, err := parseList(*loadSpec)
+	if err != nil {
+		return fmt.Errorf("-loads: %w", err)
+	}
+
+	delay := &gate.Table{Slews: slews, Loads: loads}
+	oslew := &gate.Table{Slews: slews, Loads: loads}
+	for _, sl := range slews {
+		var dRow, sRow []float64
+		for _, cl := range loads {
+			d, tr, err := measure(rdrv, cl, sl)
+			if err != nil {
+				return fmt.Errorf("measure(slew=%g, load=%g): %w", sl, cl, err)
+			}
+			dRow = append(dRow, d0+d)
+			sRow = append(sRow, tr)
+		}
+		delay.Values = append(delay.Values, dRow)
+		oslew.Values = append(oslew.Values, sRow)
+	}
+	cell := &gate.Cell{Name: *name, Delay: delay, OutputSlew: oslew}
+	if err := cell.Validate(); err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	lib := &gate.Library{Cells: map[string]*gate.Cell{cell.Name: cell}}
+	_, err = io.WriteString(out, gate.FormatLibrary(lib))
+	return err
+}
+
+// measure builds the single-stage R-C circuit, drives it with a
+// saturated ramp of the given slew, and returns the measured 50% delay
+// and the equivalent 0-100% output ramp duration (10-90% time / 0.8).
+func measure(rdrv, load, slew float64) (delay, outSlew float64, err error) {
+	b := rctree.NewBuilder()
+	b.MustRoot("out", rdrv, load)
+	tree, err := b.Build()
+	if err != nil {
+		return 0, 0, err
+	}
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return 0, 0, err
+	}
+	in := signal.SaturatedRamp{Tr: slew}
+	d, err := sys.Delay(0, in, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := signal.ToPWL(in, 2)
+	if err != nil {
+		return 0, 0, err
+	}
+	t10, err := sys.CrossPWL(0, p, 0.1)
+	if err != nil {
+		return 0, 0, err
+	}
+	t90, err := sys.CrossPWL(0, p, 0.9)
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, (t90 - t10) / 0.8, nil
+}

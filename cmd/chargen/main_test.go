@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"elmore/internal/gate"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestCharacterizeAndUse(t *testing.T) {
+	out, err := runCLI(t, "-name", "drv_x1", "-r", "500", "-d0", "2p",
+		"-slews", "1p,100p", "-loads", "10f,100f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := gate.ParseLibraryString(out)
+	if err != nil {
+		t.Fatalf("generated library does not parse: %v\n%s", err, out)
+	}
+	cell, err := lib.Get("drv_x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step-like input, single pole: delay = d0 + RC ln2 (to within the
+	// 1 ps ramp's effect), output slew ~ RC ln9.
+	rc := 500 * 100e-15
+	d := cell.Delay.Lookup(1e-12, 100e-15)
+	if math.Abs(d-(2e-12+rc*math.Ln2)) > 0.05*rc {
+		t.Errorf("delay = %v, want ~%v", d, 2e-12+rc*math.Ln2)
+	}
+	s := cell.OutputSlew.Lookup(1e-12, 100e-15)
+	if math.Abs(s-rc*math.Log(9)/0.8) > 0.1*rc {
+		t.Errorf("slew = %v, want ~%v", s, rc*math.Log(9)/0.8)
+	}
+	// Monotone in load.
+	if cell.Delay.Lookup(1e-12, 10e-15) >= d {
+		t.Errorf("delay should grow with load")
+	}
+}
+
+func TestMeasuredTablesMonotone(t *testing.T) {
+	out, err := runCLI(t, "-r", "250", "-slews", "1p,50p,200p", "-loads", "5f,50f,500f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := gate.ParseLibraryString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := lib.Get("cell_x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range cell.Delay.Slews {
+		for li := 1; li < len(cell.Delay.Loads); li++ {
+			if cell.Delay.Values[si][li] <= cell.Delay.Values[si][li-1] {
+				t.Errorf("delay not monotone in load at row %d", si)
+			}
+		}
+	}
+	if !strings.Contains(out, "output_slew") {
+		t.Errorf("missing output_slew table")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-r", "0"},
+		{"-r", "zz"},
+		{"-d0", "-1p"},
+		{"-slews", "2p,1p"},
+		{"-slews", "zz"},
+		{"-loads", "-1f"},
+		{"stray"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const demoDeck = `.title demo
+Vin in 0 1
+R1 in n1 100
+C1 n1 0 1p
+R2 n1 n2 200
+C2 n2 0 2p
+.end
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestReportFromStdin(t *testing.T) {
+	out, _, err := runCLI(t, nil, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "n1", "n2", "upper(T_D)", "critical sink: n2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// T_D(n2) = 100*3p + 200*2p = 700ps.
+	if !strings.Contains(out, "700ps") {
+		t.Errorf("expected 700ps in output:\n%s", out)
+	}
+}
+
+func TestReportFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "net.sp")
+	if err := os.WriteFile(path, []byte(demoDeck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, []string{path}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n2") {
+		t.Errorf("file input not analyzed:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-csv"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "node,elmore,lower,upper") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("want 2 data rows:\n%s", out)
+	}
+}
+
+func TestExactAndRise(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-exact", "-rise", "1n"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exact") || !strings.Contains(out, "ramp(tr=1e-09)") {
+		t.Errorf("exact/rise output wrong:\n%s", out)
+	}
+}
+
+func TestNodeFilter(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-node", "n1"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "\nn2") {
+		t.Errorf("filter leaked other nodes:\n%s", out)
+	}
+	if _, _, err := runCLI(t, []string{"-node", "zz"}, demoDeck); err == nil {
+		t.Errorf("unknown node should error")
+	}
+}
+
+func TestZeroCapRegularizedForExact(t *testing.T) {
+	deck := "Vin in 0 1\nR1 in j 10\nR2 j a 10\nC1 a 0 1p\n"
+	out, errOut, err := runCLI(t, []string{"-exact"}, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "regularized") {
+		t.Errorf("expected regularization warning, got %q", errOut)
+	}
+	if !strings.Contains(out, "exact") {
+		t.Errorf("exact column missing")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := runCLI(t, nil, "not a deck"); err == nil {
+		t.Errorf("bad deck should error")
+	}
+	if _, _, err := runCLI(t, []string{"-rise", "zzz"}, demoDeck); err == nil {
+		t.Errorf("bad rise should error")
+	}
+	if _, _, err := runCLI(t, []string{"a", "b"}, demoDeck); err == nil {
+		t.Errorf("two files should error")
+	}
+	if _, _, err := runCLI(t, []string{"/nonexistent/file.sp"}, ""); err == nil {
+		t.Errorf("missing file should error")
+	}
+}
+
+func TestSimplifyFlag(t *testing.T) {
+	deck := "Vin in 0 1\nR1 in j 10\nR2 j a 10\nC1 a 0 1p\n"
+	out, errOut, err := runCLI(t, []string{"-simplify"}, deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "simplified 2 nodes -> 1") {
+		t.Errorf("missing simplify note: %q", errOut)
+	}
+	if strings.Contains(out, "\nj ") {
+		t.Errorf("junction should be gone:\n%s", out)
+	}
+}
+
+func TestCornersFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-corners", "0.15"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "guaranteed delay intervals under +-15% R/C variation") {
+		t.Errorf("corners section missing:\n%s", out)
+	}
+	if _, _, err := runCLI(t, []string{"-corners", "2"}, demoDeck); err == nil {
+		t.Errorf("corners >= 1 should fail")
+	}
+}
+
+func TestWindowFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-window", "0.9"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "guaranteed 90%-crossing windows") {
+		t.Errorf("window section missing:\n%s", out)
+	}
+	if _, _, err := runCLI(t, []string{"-window", "1.5"}, demoDeck); err == nil {
+		t.Errorf("threshold >= 1 should fail")
+	}
+}

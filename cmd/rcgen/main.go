@@ -1,0 +1,102 @@
+// Command rcgen generates RC-tree netlists: the paper's calibrated
+// circuits or parametric/random families, for feeding the other tools
+// and for benchmark workloads.
+//
+// Usage:
+//
+//	rcgen -topology fig1|line25|chain|star|balanced|random
+//	      [-n 100] [-seed 1] [-r 50] [-c 10f]
+//	      [-branches 4] [-per-branch 8] [-depth 4] [-fanout 2]
+//	      [-chaininess 0.5] [-o out.sp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"elmore/internal/netlist"
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rcgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		topology   = fs.String("topology", "random", "fig1, line25, chain, star, balanced or random")
+		n          = fs.Int("n", 100, "node count (chain, random)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		rStr       = fs.String("r", "50", "per-segment resistance (chain, star, balanced)")
+		cStr       = fs.String("c", "10f", "per-node capacitance (chain, star, balanced)")
+		branches   = fs.Int("branches", 4, "branch count (star)")
+		perBranch  = fs.Int("per-branch", 8, "nodes per branch (star)")
+		depth      = fs.Int("depth", 4, "tree depth (balanced)")
+		fanout     = fs.Int("fanout", 2, "fanout (balanced)")
+		chaininess = fs.Float64("chaininess", 0.5, "chain-extension probability (random)")
+		outPath    = fs.String("o", "", "output path (default stdout)")
+		asDOT      = fs.Bool("dot", false, "emit Graphviz dot instead of a SPICE deck")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	r, err := rctree.ParseValue(*rStr)
+	if err != nil {
+		return fmt.Errorf("-r: %w", err)
+	}
+	c, err := rctree.ParseValue(*cStr)
+	if err != nil {
+		return fmt.Errorf("-c: %w", err)
+	}
+
+	var tree *rctree.Tree
+	title := ""
+	switch *topology {
+	case "fig1":
+		tree = topo.Fig1Tree()
+		title = "calibrated Fig. 1 tree (Gupta-Tutuianu-Pileggi)"
+	case "line25":
+		tree = topo.Line25Tree()
+		title = "calibrated 25-node line (Table II / Figs 13-14)"
+	case "chain":
+		tree = topo.Chain(*n, r, c)
+		title = fmt.Sprintf("uniform %d-node RC chain", *n)
+	case "star":
+		tree = topo.Star(*branches, *perBranch, r, c)
+		title = fmt.Sprintf("star: %d branches x %d nodes", *branches, *perBranch)
+	case "balanced":
+		tree = topo.Balanced(*depth, *fanout, r, c)
+		title = fmt.Sprintf("balanced tree: depth %d, fanout %d", *depth, *fanout)
+	case "random":
+		tree = topo.Random(*seed, topo.RandomOptions{N: *n, Chaininess: *chaininess})
+		title = fmt.Sprintf("random %d-node RC tree (seed %d)", *n, *seed)
+	default:
+		return fmt.Errorf("-topology: unknown %q", *topology)
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if *asDOT {
+		_, err := fmt.Fprint(out, tree.DOT(title))
+		return err
+	}
+	return netlist.Write(out, tree, title)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"elmore/internal/netlist"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestGenerateTopologies(t *testing.T) {
+	cases := []struct {
+		args  []string
+		nodes int
+	}{
+		{[]string{"-topology", "fig1"}, 7},
+		{[]string{"-topology", "line25"}, 25},
+		{[]string{"-topology", "chain", "-n", "10"}, 10},
+		{[]string{"-topology", "star", "-branches", "3", "-per-branch", "4"}, 13},
+		{[]string{"-topology", "balanced", "-depth", "3", "-fanout", "2"}, 7},
+		{[]string{"-topology", "random", "-n", "42", "-seed", "7"}, 42},
+	}
+	for _, tc := range cases {
+		out, err := runCLI(t, tc.args...)
+		if err != nil {
+			t.Errorf("%v: %v", tc.args, err)
+			continue
+		}
+		d, err := netlist.ParseString(out)
+		if err != nil {
+			t.Errorf("%v: generated deck does not parse: %v", tc.args, err)
+			continue
+		}
+		if d.Tree.N() != tc.nodes {
+			t.Errorf("%v: N = %d, want %d", tc.args, d.Tree.N(), tc.nodes)
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a, err := runCLI(t, "-topology", "random", "-n", "20", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCLI(t, "-topology", "random", "-n", "20", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed should give identical decks")
+	}
+	c, err := runCLI(t, "-topology", "random", "-n", "20", "-seed", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestValueFlags(t *testing.T) {
+	out, err := runCLI(t, "-topology", "chain", "-n", "2", "-r", "1k", "-c", "2p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1000") || !strings.Contains(out, "2e-12") {
+		t.Errorf("values not honored:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCLI(t, "-topology", "moebius"); err == nil {
+		t.Errorf("unknown topology should fail")
+	}
+	if _, err := runCLI(t, "-r", "zz"); err == nil {
+		t.Errorf("bad -r should fail")
+	}
+	if _, err := runCLI(t, "-c", "zz"); err == nil {
+		t.Errorf("bad -c should fail")
+	}
+	if _, err := runCLI(t, "stray"); err == nil {
+		t.Errorf("stray arg should fail")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out, err := runCLI(t, "-topology", "fig1", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "\"C1\" -> \"C2\"") {
+		t.Errorf("dot output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,183 @@
+// Command rcsim is a transient simulator for RC-tree netlists. It
+// integrates the circuit with the trapezoidal rule (or backward Euler)
+// and writes the probed node waveforms as CSV.
+//
+// Usage:
+//
+//	rcsim [-input ramp:1n] [-tend 10n] [-dt 1p] [-method trap|be]
+//	      [-probe n1,n2] [-o out.csv] [netlist.sp]
+//
+// The -input spec is one of: step, ramp:<tr>, cos:<tr>, exp:<tau>,
+// with SPICE-style values (1n, 500p, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"elmore/internal/netlist"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rcsim:", err)
+		os.Exit(1)
+	}
+}
+
+// parseInput parses the -input spec.
+func parseInput(spec string) (signal.Signal, error) {
+	if spec == "" || spec == "step" {
+		return signal.Step{}, nil
+	}
+	kind, valStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("input spec %q: want step, ramp:<tr>, cos:<tr> or exp:<tau>", spec)
+	}
+	v, err := rctree.ParseValue(valStr)
+	if err != nil {
+		return nil, fmt.Errorf("input spec %q: %w", spec, err)
+	}
+	var s signal.Signal
+	switch kind {
+	case "ramp":
+		s = signal.SaturatedRamp{Tr: v}
+	case "cos":
+		s = signal.RaisedCosine{Tr: v}
+	case "exp":
+		s = signal.Exponential{Tau: v}
+	default:
+		return nil, fmt.Errorf("input spec %q: unknown kind %q", spec, kind)
+	}
+	if err := signal.Validate(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		inputSpec = fs.String("input", "step", "input signal: step, ramp:<tr>, cos:<tr>, exp:<tau>")
+		tendStr   = fs.String("tend", "", "simulation horizon (e.g. 10n); default auto")
+		dtStr     = fs.String("dt", "", "time step (e.g. 1p); default tend/4096")
+		method    = fs.String("method", "trap", "integration method: trap or be")
+		probeStr  = fs.String("probe", "", "comma-separated node names to record (default: all)")
+		outPath   = fs.String("o", "", "output CSV path (default stdout)")
+		adaptive  = fs.Float64("adaptive", 0, "if > 0, use adaptive stepping with this local error tolerance (volts/step)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("at most one netlist file")
+	}
+	deck, err := netlist.Parse(in)
+	if err != nil {
+		return err
+	}
+	for _, w := range deck.Warnings {
+		fmt.Fprintln(stderr, "warning:", w)
+	}
+	tree := deck.Tree
+
+	sig, err := parseInput(*inputSpec)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{Input: sig}
+	if *tendStr != "" {
+		if opts.TEnd, err = rctree.ParseValue(*tendStr); err != nil {
+			return fmt.Errorf("-tend: %w", err)
+		}
+	}
+	if *dtStr != "" {
+		if opts.DT, err = rctree.ParseValue(*dtStr); err != nil {
+			return fmt.Errorf("-dt: %w", err)
+		}
+	}
+	switch *method {
+	case "trap", "trapezoidal":
+		opts.Method = sim.Trapezoidal
+	case "be", "euler", "backward-euler":
+		opts.Method = sim.BackwardEuler
+	default:
+		return fmt.Errorf("-method: unknown %q", *method)
+	}
+
+	var probeNames []string
+	if *probeStr != "" {
+		for _, name := range strings.Split(*probeStr, ",") {
+			name = strings.TrimSpace(name)
+			i, ok := tree.Index(name)
+			if !ok {
+				return fmt.Errorf("-probe: no node named %q", name)
+			}
+			opts.Probes = append(opts.Probes, i)
+			probeNames = append(probeNames, name)
+		}
+	} else {
+		for _, i := range tree.PreOrder() {
+			opts.Probes = append(opts.Probes, i)
+			probeNames = append(probeNames, tree.Name(i))
+		}
+	}
+
+	var res *sim.Result
+	if *adaptive > 0 {
+		res, err = sim.RunAdaptive(tree, opts, *adaptive)
+	} else {
+		res, err = sim.Run(tree, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	// Header: time, input, then probes.
+	fmt.Fprintf(out, "time,input")
+	for _, name := range probeNames {
+		fmt.Fprintf(out, ",%s", name)
+	}
+	fmt.Fprintln(out)
+	volts := make([][]float64, len(opts.Probes))
+	for k, node := range opts.Probes {
+		if volts[k], err = res.Voltages(node); err != nil {
+			return err
+		}
+	}
+	for step, t := range res.Times {
+		fmt.Fprintf(out, "%.9g,%.6g", t, sig.Eval(t))
+		for k := range volts {
+			fmt.Fprintf(out, ",%.6g", volts[k][step])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const demoDeck = `Vin in 0 1
+R1 in n1 1k
+C1 n1 0 1p
+R2 n1 n2 1k
+C2 n2 0 1p
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestParseInput(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"step", "step"},
+		{"", "step"},
+		{"ramp:1n", "ramp(tr=1e-09)"},
+		{"cos:2n", "raised-cosine(tr=2e-09)"},
+		{"exp:500p", "exp(tau=5e-10)"},
+	}
+	for _, tc := range cases {
+		s, err := parseInput(tc.spec)
+		if err != nil {
+			t.Errorf("%q: %v", tc.spec, err)
+			continue
+		}
+		if s.String() != tc.want {
+			t.Errorf("%q -> %v, want %v", tc.spec, s, tc.want)
+		}
+	}
+	for _, bad := range []string{"ramp", "tri:1n", "ramp:xyz", "ramp:-1n"} {
+		if _, err := parseInput(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestSimulateCSV(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-tend", "20n", "-dt", "10p"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time,input,n1,n2" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 2002 {
+		t.Fatalf("rows = %d, want 2002", len(lines))
+	}
+	last := strings.Split(lines[len(lines)-1], ",")
+	v, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.99 {
+		t.Errorf("n2 final = %v, want ~1", v)
+	}
+}
+
+func TestProbeSelectionAndFile(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "wave.csv")
+	_, _, err := runCLI(t, []string{"-probe", "n2", "-tend", "10n", "-o", outPath, "-method", "be", "-input", "ramp:1n"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time,input,n2\n") {
+		t.Errorf("file header wrong: %q", string(data[:20]))
+	}
+}
+
+func TestInputColumnTracksSignal(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-tend", "2n", "-dt", "1n", "-input", "ramp:2n"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	mid := strings.Split(lines[2], ",") // t = 1n
+	if v, _ := strconv.ParseFloat(mid[1], 64); v != 0.5 {
+		t.Errorf("input at 1n = %v, want 0.5", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-probe", "zz"}, demoDeck); err == nil {
+		t.Errorf("unknown probe should fail")
+	}
+	if _, _, err := runCLI(t, []string{"-method", "rk4"}, demoDeck); err == nil {
+		t.Errorf("unknown method should fail")
+	}
+	if _, _, err := runCLI(t, []string{"-tend", "zz"}, demoDeck); err == nil {
+		t.Errorf("bad tend should fail")
+	}
+	if _, _, err := runCLI(t, []string{"-dt", "zz"}, demoDeck); err == nil {
+		t.Errorf("bad dt should fail")
+	}
+	if _, _, err := runCLI(t, nil, "garbage"); err == nil {
+		t.Errorf("bad deck should fail")
+	}
+	if _, _, err := runCLI(t, []string{"a", "b"}, demoDeck); err == nil {
+		t.Errorf("two files should fail")
+	}
+}
+
+func TestAdaptiveFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-adaptive", "1e-6", "-tend", "20n"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("too few samples: %d", len(lines))
+	}
+	last := strings.Split(lines[len(lines)-1], ",")
+	v, err := strconv.ParseFloat(last[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.99 {
+		t.Errorf("adaptive final = %v, want ~1", v)
+	}
+	// -adaptive <= 0 falls back to fixed stepping.
+	if _, _, err := runCLI(t, []string{"-adaptive", "-1", "-tend", "5n"}, demoDeck); err != nil {
+		t.Errorf("non-positive tolerance should fall back to fixed: %v", err)
+	}
+}

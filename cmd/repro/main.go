@@ -1,0 +1,249 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation and reports measured-vs-paper comparisons plus structural
+// checks (bound ordering, monotone convergence, decreasing error).
+//
+// Usage:
+//
+//	repro [-exp all|tableI|tableII|fig3|fig4|fig5|fig12|fig13|fig14]
+//	      [-outdir DIR]
+//
+// With -outdir, each experiment also writes its CSV data file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"elmore/internal/plot"
+	"elmore/internal/repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expSel = fs.String("exp", "all", "experiment: all, tableI, tableII, fig3, fig4, fig5, fig12, fig13, fig14")
+		outdir = fs.String("outdir", "", "also write CSV data files to this directory")
+		doPlot = fs.Bool("plot", false, "render figures as ASCII charts")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	writeCSV := func(name, content string) error {
+		if *outdir == "" {
+			return nil
+		}
+		return os.WriteFile(filepath.Join(*outdir, name), []byte(content), 0o644)
+	}
+	want := func(name string) bool { return *expSel == "all" || *expSel == name }
+	ran := false
+
+	plotSeries := func(title, xlabel string, series []repro.Series, logX bool) error {
+		if !*doPlot {
+			return nil
+		}
+		ps := make([]plot.Series, len(series))
+		for k, s := range series {
+			ps[k] = plot.Series{Name: s.Name, X: s.X, Y: s.Y}
+		}
+		txt, err := plot.Render(ps, plot.Options{Title: title, XLabel: xlabel, LogX: logX})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, txt)
+		return nil
+	}
+
+	reportChecks := func(label string, bad []string) {
+		if len(bad) == 0 {
+			fmt.Fprintf(stdout, "[%s] structural checks: PASS\n\n", label)
+			return
+		}
+		fmt.Fprintf(stdout, "[%s] structural checks: FAIL\n", label)
+		for _, b := range bad {
+			fmt.Fprintf(stdout, "  - %s\n", b)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	if want("tableI") {
+		ran = true
+		res, err := repro.TableI()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Render())
+		fmt.Fprintln(stdout, "\npaper's published Table I (their unpublished R/C values):")
+		for _, name := range repro.TableINodes {
+			p := repro.PaperTableI[name]
+			fmt.Fprintf(stdout, "%-5s actual=%.4g ns  T_D=%.4g ns  lower=%.4g ns  ln2*T_D=%.4g ns  tmax=%.4g ns  tmin=%.4g ns\n",
+				name, p.Actual*1e9, p.Elmore*1e9, p.Lower*1e9, p.SinglePole*1e9, p.PRHTmax*1e9, p.PRHTmin*1e9)
+		}
+		reportChecks("Table I", res.Check())
+		if err := writeCSV("table1.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("tableII") {
+		ran = true
+		res, err := repro.TableII()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Render())
+		fmt.Fprintln(stdout, "\npaper's published Table II:")
+		for _, label := range []string{"A", "B", "C"} {
+			p := repro.PaperTableII[label]
+			fmt.Fprintf(stdout, "%-5s T_D=%.4g ns delays(ns)=%.4g/%.4g/%.4g err%%=%.4g/%.4g/%.4g\n",
+				label, p.Elmore*1e9, p.Delays[0]*1e9, p.Delays[1]*1e9, p.Delays[2]*1e9,
+				p.ErrPcts[0], p.ErrPcts[1], p.ErrPcts[2])
+		}
+		reportChecks("Table II", res.Check())
+		if err := writeCSV("table2.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+	figSeries := map[string]func() ([]repro.Series, error){
+		"fig3":  repro.Fig3,
+		"fig5":  repro.Fig5,
+		"fig13": repro.Fig13,
+	}
+	for _, name := range []string{"fig3", "fig5", "fig13"} {
+		if !want(name) {
+			continue
+		}
+		ran = true
+		series, err := figSeries[name]()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "[%s] %d series:", name, len(series))
+		for _, s := range series {
+			fmt.Fprintf(stdout, " %s(%d pts)", s.Name, len(s.X))
+		}
+		fmt.Fprintln(stdout)
+		if name == "fig13" {
+			skews, err := repro.Fig13Skews()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "[fig13] skewness: A=%.3f B=%.3f C=%.3f (decreasing downstream)\n",
+				skews["A"], skews["B"], skews["C"])
+		}
+		fmt.Fprintln(stdout)
+		if err := plotSeries(name, "t (s)", series, false); err != nil {
+			return err
+		}
+		if err := writeCSV(name+".csv", repro.SeriesCSV(series)); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		ran = true
+		series := repro.Fig4()
+		fmt.Fprintf(stdout, "[fig4] symmetric density illustration: %d pts (mean = median = mode)\n\n", len(series[0].X))
+		if err := plotSeries("fig4", "t", series, false); err != nil {
+			return err
+		}
+		if err := writeCSV("fig4.csv", repro.SeriesCSV(series)); err != nil {
+			return err
+		}
+	}
+	if want("fig12") {
+		ran = true
+		res, err := repro.Fig12(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Render())
+		reportChecks("Fig. 12", res.Check())
+		var curves []repro.Series
+		for _, n := range res.Nodes {
+			curves = append(curves, repro.Series{Name: n, X: res.RiseTimes, Y: res.Delays[n]})
+		}
+		if err := plotSeries("fig12: 50% delay vs rise time (log x)", "rise time (s)", curves, true); err != nil {
+			return err
+		}
+		if err := writeCSV("fig12.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("fig14") {
+		ran = true
+		res, err := repro.Fig14(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Render())
+		reportChecks("Fig. 14", res.Check())
+		var curves []repro.Series
+		for _, tr := range res.RiseTimes {
+			xs := make([]float64, len(res.Positions))
+			for k, p := range res.Positions {
+				xs[k] = float64(p)
+			}
+			curves = append(curves, repro.Series{
+				Name: "tr=" + fmt.Sprintf("%g", tr), X: xs, Y: res.ErrPct[tr],
+			})
+		}
+		if err := plotSeries("fig14: relative error (%) vs node position", "node", curves, false); err != nil {
+			return err
+		}
+		if err := writeCSV("fig14.csv", res.CSV()); err != nil {
+			return err
+		}
+	}
+	if want("prh") {
+		ran = true
+		for _, node := range []string{"C1", "C5", "C7"} {
+			series, err := repro.FigPRH(node)
+			if err != nil {
+				return err
+			}
+			bad := repro.CheckPRHFigure(series)
+			fmt.Fprintf(stdout, "[prh] %s: exact t(v) bracketed by PRH t_min/t_max over %d levels\n", node, len(series[0].X))
+			reportChecks("PRH@"+node, bad)
+			if err := plotSeries("PRH waveform bounds @ "+node, "t (s)", series, false); err != nil {
+				return err
+			}
+			if err := writeCSV("prh_"+node+".csv", repro.SeriesCSV(series)); err != nil {
+				return err
+			}
+		}
+	}
+	if want("shapes") {
+		ran = true
+		rows, err := repro.InputShapeStudy("C5", 0.3e-9)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "[shapes] equal-sigma input edges at C5 (extension study):")
+		fmt.Fprintf(stdout, "%-24s %12s %12s %10s\n", "input", "bound", "exact", "margin%")
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "%-24s %12.4g %12.4g %10.2f\n", r.Input, r.Upper*1e9, r.Delay*1e9, r.MarginPct)
+		}
+		reportChecks("input shapes", repro.CheckInputShapes(rows))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q; want one of all, tableI, tableII, fig3, fig4, fig5, fig12, fig13, fig14, prh, shapes", *expSel)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestSingleExperiments(t *testing.T) {
+	cases := map[string][]string{
+		"tableI":  {"Table I", "structural checks: PASS"},
+		"tableII": {"Table II", "structural checks: PASS"},
+		"fig3":    {"[fig3]"},
+		"fig4":    {"[fig4]"},
+		"fig5":    {"[fig5]"},
+		"fig12":   {"Fig. 12", "structural checks: PASS"},
+		"fig13":   {"[fig13] skewness"},
+		"fig14":   {"Fig. 14", "structural checks: PASS"},
+	}
+	for exp, wants := range cases {
+		out, err := runCLI(t, "-exp", exp)
+		if err != nil {
+			t.Errorf("%s: %v", exp, err)
+			continue
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s: output missing %q", exp, w)
+			}
+		}
+	}
+}
+
+func TestAllWithOutdir(t *testing.T) {
+	dir := t.TempDir()
+	out, err := runCLI(t, "-outdir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("structural checks failed:\n%s", out)
+	}
+	for _, f := range []string{"table1.csv", "table2.csv", "fig3.csv", "fig4.csv", "fig5.csv", "fig12.csv", "fig13.csv", "fig14.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := runCLI(t, "-exp", "fig99"); err == nil {
+		t.Errorf("unknown experiment should fail")
+	}
+}
+
+func TestPlotFlag(t *testing.T) {
+	for _, exp := range []string{"fig12", "fig14", "fig3", "fig4"} {
+		out, err := runCLI(t, "-exp", exp, "-plot")
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out, "* = ") {
+			t.Errorf("%s: plot legend missing:\n%s", exp, out[:min(len(out), 400)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	out, err := runCLI(t, "-exp", "prh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PRH@C5") || !strings.Contains(out, "PASS") {
+		t.Errorf("prh output wrong:\n%s", out)
+	}
+	out, err = runCLI(t, "-exp", "shapes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exp(tau=") || !strings.Contains(out, "PASS") {
+		t.Errorf("shapes output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,109 @@
+// Command sta times a gate + interconnect path: cells from a
+// liberty-lite library, nets from SPICE-style decks, certified net
+// delay windows from the Elmore bounds, slew propagation by variance
+// addition.
+//
+// Usage:
+//
+//	sta -lib cells.lib -slew 30p CELL:NETFILE:SINK [CELL:NETFILE:SINK ...]
+//
+// Each positional argument is one stage: the driving cell name, the
+// netlist file of the driven net, and the net node feeding the next
+// stage (or the endpoint).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"elmore/internal/gate"
+	"elmore/internal/netlist"
+	"elmore/internal/rctree"
+	"elmore/internal/sta"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		libPath  = fs.String("lib", "", "liberty-lite cell library file (required)")
+		slewSpec = fs.String("slew", "30p", "transition time of the edge entering the path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *libPath == "" {
+		return fmt.Errorf("-lib is required")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("at least one CELL:NETFILE:SINK stage is required")
+	}
+	inSlew, err := rctree.ParseValue(*slewSpec)
+	if err != nil {
+		return fmt.Errorf("-slew: %w", err)
+	}
+
+	libFile, err := os.Open(*libPath)
+	if err != nil {
+		return err
+	}
+	lib, err := gate.ParseLibrary(libFile)
+	libFile.Close()
+	if err != nil {
+		return err
+	}
+
+	path := sta.Path{InputSlew: inSlew}
+	for _, spec := range fs.Args() {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("stage %q: want CELL:NETFILE:SINK", spec)
+		}
+		cell, err := lib.Get(parts[0])
+		if err != nil {
+			return err
+		}
+		netFile, err := os.Open(parts[1])
+		if err != nil {
+			return err
+		}
+		deck, err := netlist.Parse(netFile)
+		netFile.Close()
+		if err != nil {
+			return fmt.Errorf("stage %q: %w", spec, err)
+		}
+		path.Stages = append(path.Stages, sta.Stage{Cell: cell, Net: deck.Tree, Sink: parts[2]})
+	}
+
+	res, err := sta.AnalyzePath(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-12s %-8s %10s %10s %10s %10s %12s %12s\n",
+		"cell", "sink", "Ceff", "gate", "net UB", "net LB", "arrival UB", "arrival LB")
+	for _, st := range res.Stages {
+		fmt.Fprintf(stdout, "%-12s %-8s %10s %10s %10s %10s %12s %12s\n",
+			st.Cell, st.Sink,
+			rctree.FormatFarads(st.Ceff),
+			rctree.FormatSeconds(st.GateDelay),
+			rctree.FormatSeconds(st.NetElmore),
+			rctree.FormatSeconds(st.NetLower),
+			rctree.FormatSeconds(st.ArrivalUB),
+			rctree.FormatSeconds(st.ArrivalLB))
+	}
+	fmt.Fprintf(stdout, "\npath arrival window: [%s, %s]; endpoint edge %s\n",
+		rctree.FormatSeconds(res.ArrivalLB),
+		rctree.FormatSeconds(res.ArrivalUB),
+		rctree.FormatSeconds(res.Stages[len(res.Stages)-1].SinkSlew))
+	return nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const lib = `cell inv_x1 {
+  delay {
+    slews: 1p 100p
+    loads: 1f 200f
+    row: 5p 30p
+    row: 8p 34p
+  }
+  output_slew {
+    slews: 1p 100p
+    loads: 1f 200f
+    row: 6p 40p
+    row: 9p 44p
+  }
+}
+`
+
+const net = `Vin in 0 1
+R1 in a 100
+C1 a 0 20f
+R2 a z 150
+C2 z 0 30f
+`
+
+func writeFiles(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	libPath := filepath.Join(dir, "cells.lib")
+	netPath := filepath.Join(dir, "net.sp")
+	if err := os.WriteFile(libPath, []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(netPath, []byte(net), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return libPath, netPath
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestTwoStagePath(t *testing.T) {
+	libPath, netPath := writeFiles(t)
+	out, err := runCLI(t, "-lib", libPath, "-slew", "20p",
+		"inv_x1:"+netPath+":z", "inv_x1:"+netPath+":a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "path arrival window") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	if strings.Count(out, "inv_x1") != 2 {
+		t.Errorf("expected two stage rows:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	libPath, netPath := writeFiles(t)
+	if _, err := runCLI(t); err == nil {
+		t.Errorf("missing -lib should fail")
+	}
+	if _, err := runCLI(t, "-lib", libPath); err == nil {
+		t.Errorf("no stages should fail")
+	}
+	if _, err := runCLI(t, "-lib", libPath, "bad-spec"); err == nil {
+		t.Errorf("malformed stage should fail")
+	}
+	if _, err := runCLI(t, "-lib", libPath, "nocell:"+netPath+":z"); err == nil {
+		t.Errorf("unknown cell should fail")
+	}
+	if _, err := runCLI(t, "-lib", libPath, "inv_x1:/nonexistent:z"); err == nil {
+		t.Errorf("missing net file should fail")
+	}
+	if _, err := runCLI(t, "-lib", libPath, "inv_x1:"+netPath+":nope"); err == nil {
+		t.Errorf("unknown sink should fail")
+	}
+	if _, err := runCLI(t, "-lib", "/nonexistent.lib", "inv_x1:"+netPath+":z"); err == nil {
+		t.Errorf("missing library should fail")
+	}
+	if _, err := runCLI(t, "-lib", libPath, "-slew", "zz", "inv_x1:"+netPath+":z"); err == nil {
+		t.Errorf("bad slew should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package elmore_test
+
+import (
+	"fmt"
+
+	"elmore"
+)
+
+// ExampleParseNetlistString shows the SPICE-deck entry point.
+func ExampleParseNetlistString() {
+	deck, err := elmore.ParseNetlistString(`
+* a tiny net
+Vin in 0 1
+R1 in a 100
+C1 a  0 1p
+R2 a  b 200
+C2 b  0 2p
+.end
+`)
+	if err != nil {
+		panic(err)
+	}
+	td := elmore.ElmoreDelays(deck.Tree)
+	b := deck.Tree.MustIndex("b")
+	fmt.Printf("T_D(b) = %s\n", elmore.FormatSeconds(td[b]))
+	// Output: T_D(b) = 700ps
+}
+
+// ExampleExactSystem_Delay measures a ramp-input delay against the
+// Elmore bound.
+func ExampleExactSystem_Delay() {
+	b := elmore.NewBuilder()
+	n1 := b.MustRoot("n1", 100, 1e-12)
+	b.MustAttach(n1, "n2", 200, 2e-12)
+	tree, _ := b.Build()
+
+	sys, _ := elmore.NewExactSystem(tree)
+	n2 := tree.MustIndex("n2")
+	d, _ := sys.Delay(n2, elmore.Ramp(1e-9), 0)
+	td := elmore.ElmoreDelays(tree)[n2]
+	fmt.Printf("delay below bound: %v\n", d < td)
+	// Output: delay below bound: true
+}
+
+// ExampleCornerIntervals certifies delays under process variation.
+func ExampleCornerIntervals() {
+	b := elmore.NewBuilder()
+	b.MustRoot("n1", 1000, 1e-12)
+	tree, _ := b.Build()
+
+	iv, _ := elmore.CornerIntervals(tree, elmore.CornerOptions{RRel: 0.1, CRel: 0.1})
+	// Single RC: upper = 1.1*1.1*RC = 1.21 ns.
+	fmt.Printf("upper = %s\n", elmore.FormatSeconds(iv[0].Upper))
+	// Output: upper = 1.21ns
+}
+
+// ExampleReduceToPi reduces a tree to the 3-moment O'Brien-Savarino
+// load model.
+func ExampleReduceToPi() {
+	b := elmore.NewBuilder()
+	n1 := b.MustRoot("n1", 50, 1e-12)
+	b.MustAttach(n1, "n2", 300, 2e-12)
+	tree, _ := b.Build()
+
+	pi, _ := elmore.ReduceToPi(tree)
+	fmt.Printf("total C preserved: %v\n", pi.TotalC() == tree.TotalC())
+	// Output: total C preserved: true
+}

@@ -1,0 +1,3 @@
+module elmore
+
+go 1.22

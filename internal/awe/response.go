@@ -1,0 +1,82 @@
+package awe
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/signal"
+)
+
+// StepIntegral returns integral_0^t VStep(τ) dτ in closed form — the
+// unit-slope ramp response of the reduced model, mirroring the exact
+// engine's API so reduced models can drive the same measurements.
+func (a *Approx) StepIntegral(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	sum := a.DCGain() * t
+	for j := range a.Poles {
+		kOverP := a.Residues[j] / a.Poles[j]
+		sum -= kOverP / a.Poles[j] * (1 - math.Exp(-a.Poles[j]*t))
+	}
+	return sum
+}
+
+// VPWL evaluates the model's response to a monotone piecewise-linear
+// input as a superposition of shifted ramp responses.
+func (a *Approx) VPWL(p *signal.PWL, t float64) float64 {
+	pts := p.Points
+	var out float64
+	for k := 0; k+1 < len(pts); k++ {
+		slope := (pts[k+1].V - pts[k].V) / (pts[k+1].T - pts[k].T)
+		if slope == 0 {
+			continue
+		}
+		out += slope * (a.StepIntegral(t-pts[k].T) - a.StepIntegral(t-pts[k+1].T))
+	}
+	return out
+}
+
+// Delay measures the model's 50% delay for a signal: output crossing
+// minus input crossing. Steps use the closed-form step response; other
+// signals are converted to PWL with pwlSegments segments (256 if <= 0).
+func (a *Approx) Delay(sig signal.Signal, pwlSegments int) (float64, error) {
+	if _, isStep := sig.(signal.Step); isStep {
+		return a.Delay50()
+	}
+	if pwlSegments <= 0 {
+		pwlSegments = 256
+	}
+	p, err := signal.ToPWL(sig, pwlSegments)
+	if err != nil {
+		return 0, fmt.Errorf("awe: %w", err)
+	}
+	level := 0.5 * a.DCGain()
+	f := func(t float64) float64 { return a.VPWL(p, t) - level }
+	start := p.Points[0].T
+	hi := p.Points[len(p.Points)-1].T + 1/a.Poles[0]
+	found := false
+	for k := 0; k < 200; k++ {
+		if f(hi) > 0 {
+			found = true
+			break
+		}
+		hi = start + 2*(hi-start)
+	}
+	if !found {
+		return 0, fmt.Errorf("awe: PWL response never reaches 50%%")
+	}
+	lo := start
+	for k := 0; k < 200; k++ {
+		mid := 0.5 * (lo + hi)
+		if mid == lo || mid == hi {
+			break
+		}
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5*(lo+hi) - p.Cross(0.5), nil
+}

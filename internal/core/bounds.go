@@ -1,0 +1,228 @@
+// Package core implements the paper's primary contribution: delay
+// bounds for RC trees built from the first three impulse-response
+// moments.
+//
+//   - Theorem: the Elmore delay T_D = m1 is an absolute upper bound on
+//     the 50% step-response delay (mode <= median <= mean).
+//   - Corollary 1: max(mu - sigma, 0) is a lower bound.
+//   - Corollary 2: the upper bound extends to any monotone input with a
+//     unimodal derivative; the bound on the *mean* shifts by the mean
+//     of the input derivative.
+//   - Corollary 3: for symmetric-derivative inputs the actual delay
+//     approaches T_D as the rise time grows.
+//
+// The package also provides the classical comparison metrics: the
+// single-pole ln(2)·T_D estimate (paper eq. 14) and the full
+// Penfield-Rubinstein-Horowitz step-response waveform bounds
+// (paper eq. 15-16), plus the sigma-based output transition-time
+// estimate of Section III-B.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/moments"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+)
+
+// Bounds collects every closed-form delay metric the paper derives or
+// compares against, for one node, under step excitation. All times in
+// seconds.
+type Bounds struct {
+	Node string // node name
+
+	// Moment statistics of the impulse response.
+	Elmore   float64 // T_D = mean of h(t): the upper bound
+	Sigma    float64 // sqrt(mu2)
+	Mu2      float64
+	Mu3      float64
+	Skewness float64 // gamma = mu3 / mu2^(3/2) >= 0 (Lemma 2)
+
+	// Delay bounds and estimates.
+	Lower      float64 // max(mu - sigma, 0): Corollary 1 lower bound
+	SinglePole float64 // ln(2) * T_D: dominant-pole estimate (eq. 14)
+	PRHTmin    float64 // Penfield-Rubinstein lower bound at 50%
+	PRHTmax    float64 // Penfield-Rubinstein upper bound at 50%
+
+	// RiseTime is the paper's Section III-B transition-time estimate:
+	// Elmore's "radius of gyration" sigma, scaled per RiseTimeScale.
+	RiseTime float64
+}
+
+// RiseTimeScale converts sigma into a 10-90% rise-time estimate. For
+// the single-pole response the exact factor is ln(9) ≈ 2.2; the paper
+// states T_R ∝ sigma and leaves the constant open, so we use ln(9).
+const RiseTimeScale = 2.1972245773362196 // ln 9
+
+// Analysis carries per-node bounds plus the tree-level PRH terms.
+type Analysis struct {
+	Tree   *rctree.Tree
+	TP     float64 // sum_k R_kk C_k (PRH)
+	Bounds []Bounds
+	prh    *moments.PRHTerms
+	ms     *moments.Set
+}
+
+// Analyze computes all step-input bounds for every node of the tree.
+func Analyze(t *rctree.Tree) (*Analysis, error) {
+	ms, err := moments.Compute(t, 3)
+	if err != nil {
+		return nil, err
+	}
+	prh := moments.ComputePRH(t)
+	a := &Analysis{
+		Tree:   t,
+		TP:     prh.TP,
+		Bounds: make([]Bounds, t.N()),
+		prh:    prh,
+		ms:     ms,
+	}
+	for i := 0; i < t.N(); i++ {
+		td := ms.Elmore(i)
+		sigma := ms.Sigma(i)
+		b := Bounds{
+			Node:       t.Name(i),
+			Elmore:     td,
+			Sigma:      sigma,
+			Mu2:        ms.Mu2(i),
+			Mu3:        ms.Mu3(i),
+			Skewness:   ms.Skewness(i),
+			Lower:      math.Max(td-sigma, 0),
+			SinglePole: math.Ln2 * td,
+			RiseTime:   RiseTimeScale * sigma,
+		}
+		b.PRHTmin = PRHTmin(prh.TP, td, prh.TR(i), 0.5)
+		b.PRHTmax = PRHTmax(prh.TP, td, prh.TR(i), 0.5)
+		a.Bounds[i] = b
+	}
+	return a, nil
+}
+
+// At returns the bounds for a named node.
+func (a *Analysis) At(name string) (Bounds, error) {
+	i, ok := a.Tree.Index(name)
+	if !ok {
+		return Bounds{}, fmt.Errorf("core: no node named %q", name)
+	}
+	return a.Bounds[i], nil
+}
+
+// Moments exposes the underlying moment set (order 3).
+func (a *Analysis) Moments() *moments.Set { return a.ms }
+
+// PRH exposes the underlying Penfield-Rubinstein terms.
+func (a *Analysis) PRH() *moments.PRHTerms { return a.prh }
+
+// PRHTmin evaluates the Penfield-Rubinstein-Horowitz lower waveform
+// bound t_min(v) (paper eq. 15) for threshold v in [0, 1), given
+// T_P, T_D(i) and T_R(i).
+func PRHTmin(tp, td, tr, v float64) float64 {
+	switch {
+	case v < 0 || v >= 1:
+		return math.NaN()
+	case v <= 1-td/tp:
+		return 0
+	case v <= 1-tr/tp:
+		return td - tp*(1-v)
+	default:
+		return td - tr + tr*math.Log(tr/(tp*(1-v)))
+	}
+}
+
+// PRHTmax evaluates the Penfield-Rubinstein-Horowitz upper waveform
+// bound t_max(v) (paper eq. 15; Rubinstein-Penfield-Horowitz 1983).
+//
+// Note: the second branch is T_P - T_R + T_P ln[...]. (Some reprints
+// typeset it as "T_D - T_R + ...", which is discontinuous at the branch
+// point v = 1 - T_D/T_P and falls below the exact response; the form
+// here is continuous there and reduces to the exact RC ln(1/(1-v)) for
+// a single-pole circuit, where T_P = T_D = T_R.)
+func PRHTmax(tp, td, tr, v float64) float64 {
+	switch {
+	case v < 0 || v >= 1:
+		return math.NaN()
+	case v <= 1-td/tp:
+		return td/(1-v) - tr
+	default:
+		return tp - tr + tp*math.Log(td/(tp*(1-v)))
+	}
+}
+
+// InputBounds are the Corollary 2/3 bounds on the 50% delay for a
+// general (non-step) input, measured from the input's own 50% crossing.
+type InputBounds struct {
+	// Upper is the Corollary 2 bound: mean(v_out') - t_in50 =
+	// T_D + mean(v_in') - t_in50. For any symmetric-derivative input
+	// this equals T_D exactly.
+	Upper float64
+	// Lower is the Corollary 1 bound applied to the output derivative:
+	// max(mean_out - sigma_out, 0) - t_in50, clamped at -t_in50 (the
+	// output crossing itself cannot be negative).
+	Lower float64
+	// OutputSigma is the standard deviation of the output derivative:
+	// sqrt(mu2_h + mu2_in) — also the Section III-B transition-time
+	// scale of the output edge.
+	OutputSigma float64
+	// OutputSkew is the skewness of the output derivative; it drives
+	// Corollary 3 (delay -> T_D as skew -> 0).
+	OutputSkew float64
+}
+
+// ForInput computes the generalized-input delay bounds at node i for a
+// monotone input signal. It returns an error if the input's derivative
+// is not unimodal — the hypothesis of Corollary 2 — since the Elmore
+// upper bound is only proven under that condition.
+func (a *Analysis) ForInput(i int, sig signal.Signal) (InputBounds, error) {
+	if err := signal.Validate(sig); err != nil {
+		return InputBounds{}, err
+	}
+	if !sig.UnimodalDerivative() {
+		return InputBounds{}, fmt.Errorf("core: input %v has a non-unimodal derivative; Corollary 2 does not apply", sig)
+	}
+	b := a.Bounds[i]
+	inMean := sig.DerivMean()
+	in50 := sig.Cross(0.5)
+	outMean := b.Elmore + inMean
+	outMu2 := b.Mu2 + sig.DerivMu2()
+	outMu3 := b.Mu3 + sig.DerivMu3()
+	outSigma := 0.0
+	if outMu2 > 0 {
+		outSigma = math.Sqrt(outMu2)
+	}
+	skew := 0.0
+	if outMu2 > 0 {
+		skew = outMu3 / math.Pow(outMu2, 1.5)
+	}
+	lower := outMean - outSigma
+	if lower < 0 {
+		lower = 0
+	}
+	return InputBounds{
+		Upper:       outMean - in50,
+		Lower:       lower - in50,
+		OutputSigma: outSigma,
+		OutputSkew:  skew,
+	}, nil
+}
+
+// WindowAt returns a guaranteed [lo, hi] window for the time the step
+// response at node i reaches threshold v in (0, 1): the
+// Penfield-Rubinstein waveform bracket, tightened at v = 0.5 by the
+// paper's moment bounds (the mu-sigma lower bound and the Elmore upper
+// bound), which often beat the PRH bracket on one side each.
+func (a *Analysis) WindowAt(i int, v float64) (lo, hi float64, err error) {
+	if v <= 0 || v >= 1 {
+		return 0, 0, fmt.Errorf("core: threshold must be in (0,1), got %v", v)
+	}
+	b := a.Bounds[i]
+	tr := a.prh.TR(i)
+	lo = PRHTmin(a.TP, b.Elmore, tr, v)
+	hi = PRHTmax(a.TP, b.Elmore, tr, v)
+	if v == 0.5 {
+		lo = math.Max(lo, b.Lower)
+		hi = math.Min(hi, b.Elmore)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,69 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/signal"
+)
+
+// VExp returns the exact response at node i to the exponential edge
+// u(t) = 1 - exp(-t/tau), in closed form:
+//
+//	v_o(t) = u(t) - sum_j c_j (e^{-t/tau} - e^{-λ_j t}) / (τ λ_j - 1),
+//
+// with the removable singularity at τ λ_j = 1 handled by its limit
+// c_j (t/τ) e^{-t/τ}.
+func (s *System) VExp(i int, tau, t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	out := 1 - math.Exp(-t/tau)
+	eIn := math.Exp(-t / tau)
+	for j, lam := range s.poles {
+		den := tau*lam - 1
+		c := s.coef[i][j]
+		if math.Abs(den) < 1e-9 {
+			out -= c * (t / tau) * eIn
+			continue
+		}
+		out -= c * (eIn - math.Exp(-lam*t)) / den
+	}
+	return out
+}
+
+// CrossExp returns the time the exponential-input response at node i
+// crosses the level in (0, 1).
+func (s *System) CrossExp(i int, tau, level float64) (float64, error) {
+	if level <= 0 || level >= 1 {
+		return 0, fmt.Errorf("exact: crossing level must be in (0,1), got %v", level)
+	}
+	if tau <= 0 {
+		return 0, fmt.Errorf("exact: tau must be positive, got %v", tau)
+	}
+	f := func(t float64) float64 { return s.VExp(i, tau, t) - level }
+	hi := tau + s.SlowestTimeConstant()
+	ok := false
+	for k := 0; k < maxBracketDoublings; k++ {
+		if f(hi) > 0 {
+			ok = true
+			break
+		}
+		hi *= 2
+	}
+	if !ok {
+		return 0, fmt.Errorf("exact: exponential response at node %d never reaches %v", i, level)
+	}
+	return bisect(f, 0, hi), nil
+}
+
+// delayExp measures the 50%-style delay for an exponential input at an
+// arbitrary level: output crossing minus input crossing.
+func (s *System) delayExp(i int, tau, level float64) (float64, error) {
+	out, err := s.CrossExp(i, tau, level)
+	if err != nil {
+		return 0, err
+	}
+	in := signal.Exponential{Tau: tau}.Cross(level)
+	return out - in, nil
+}

@@ -1,0 +1,113 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+// Single-RC analytic check: R, C with tau != RC has the textbook
+// two-exponential response.
+func TestVExpSingleRCAnalytic(t *testing.T) {
+	const r, c = 1000.0, 1e-12
+	rc := r * c
+	s := singleRC(t, r, c)
+	tau := 2 * rc
+	for _, tt := range []float64{0.2 * rc, rc, 3 * rc, 10 * rc} {
+		// v(t) = 1 - (tau e^{-t/tau} - rc e^{-t/rc})/(tau - rc)
+		want := 1 - (tau*math.Exp(-tt/tau)-rc*math.Exp(-tt/rc))/(tau-rc)
+		if got := s.VExp(0, tau, tt); !approx(got, want, 1e-10) {
+			t.Errorf("VExp(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	if got := s.VExp(0, tau, -1); got != 0 {
+		t.Errorf("VExp before 0 = %v", got)
+	}
+}
+
+// The removable singularity tau = 1/lambda: compare against the limit
+// formula via a nearby tau.
+func TestVExpDegenerateTau(t *testing.T) {
+	const r, c = 1000.0, 1e-12
+	rc := r * c
+	s := singleRC(t, r, c)
+	tt := 1.7 * rc
+	exactDeg := s.VExp(0, rc, tt)      // hits the limit branch
+	near := s.VExp(0, rc*(1+2e-9), tt) // just outside the guard
+	if !approx(exactDeg, near, 1e-6) {
+		t.Errorf("degenerate branch %v vs nearby %v", exactDeg, near)
+	}
+	// Analytic limit: v = 1 - (1 + t/rc) e^{-t/rc}.
+	want := 1 - (1+tt/rc)*math.Exp(-tt/rc)
+	if !approx(exactDeg, want, 1e-9) {
+		t.Errorf("degenerate value %v, want %v", exactDeg, want)
+	}
+}
+
+// Closed-form exponential responses agree with the PWL approximation
+// path on the Fig. 1 circuit.
+func TestVExpMatchesPWLApprox(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 0.8e-9
+	p, err := signal.ToPWL(signal.Exponential{Tau: tau}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C5")
+	for _, tt := range []float64{0.3e-9, 1e-9, 3e-9} {
+		cf := s.VExp(i, tau, tt)
+		ap := s.VPWL(i, p, tt)
+		if !approx(cf, ap, 2e-3) {
+			t.Errorf("t=%v: closed form %v vs PWL %v", tt, cf, ap)
+		}
+	}
+}
+
+// Delay dispatch uses the closed form for Exponential inputs and still
+// respects Corollary 2's generalized bound (shifted for the asymmetric
+// input): delay <= T_D + tau - tau*ln2.
+func TestExpDelayBound(t *testing.T) {
+	f := func(seed int64, tauRaw uint8) bool {
+		tree := topo.RandomSmall(seed, 12)
+		s, err := NewSystem(tree)
+		if err != nil {
+			return false
+		}
+		tau := s.SlowestTimeConstant() * math.Pow(10, float64(tauRaw%5)-2)
+		for i := 0; i < tree.N(); i++ {
+			d, err := s.Delay(i, signal.Exponential{Tau: tau}, 0)
+			if err != nil {
+				return false
+			}
+			bound := s.Mean(i) + tau - tau*math.Ln2
+			if d > bound*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossExpErrors(t *testing.T) {
+	s := singleRC(t, 1000, 1e-12)
+	if _, err := s.CrossExp(0, 1e-9, 0); err == nil {
+		t.Errorf("level 0 should error")
+	}
+	if _, err := s.CrossExp(0, 0, 0.5); err == nil {
+		t.Errorf("tau 0 should error")
+	}
+	x, err := s.CrossExp(0, 1e-9, 0.5)
+	if err != nil || x <= 0 {
+		t.Errorf("CrossExp = %v, %v", x, err)
+	}
+}

@@ -1,0 +1,49 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// H evaluates the transfer function at node i at a complex frequency s
+// from the pole/residue form:
+//
+//	H_i(s) = sum_j coef_ij * λ_j / (s + λ_j)
+//
+// (so that H_i(0) = sum_j coef_ij = 1 and the impulse response is
+// sum_j coef_ij λ_j e^{-λ_j t}).
+func (s *System) H(i int, sc complex128) complex128 {
+	var h complex128
+	for j, lam := range s.poles {
+		h += complex(s.coef[i][j]*lam, 0) / (sc + complex(lam, 0))
+	}
+	return h
+}
+
+// Magnitude returns |H_i(jω)| — the Bode magnitude at angular
+// frequency ω (rad/s).
+func (s *System) Magnitude(i int, omega float64) float64 {
+	return cmplx.Abs(s.H(i, complex(0, omega)))
+}
+
+// Bandwidth3dB returns the -3 dB angular frequency of node i: the ω at
+// which |H(jω)| first falls to 1/sqrt(2). RC tree transfer magnitudes
+// are monotone decreasing in ω, so bisection applies.
+func (s *System) Bandwidth3dB(i int) (float64, error) {
+	target := 1 / math.Sqrt2
+	f := func(om float64) float64 { return target - s.Magnitude(i, om) }
+	hi := s.poles[0] // start at the slowest pole
+	ok := false
+	for k := 0; k < maxBracketDoublings; k++ {
+		if f(hi) > 0 {
+			ok = true
+			break
+		}
+		hi *= 2
+	}
+	if !ok {
+		return 0, fmt.Errorf("exact: node %d magnitude never drops below -3 dB", i)
+	}
+	return bisect(f, 0, hi), nil
+}

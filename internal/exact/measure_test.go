@@ -1,0 +1,224 @@
+package exact
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/moments"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+func TestVPWLTinyRampMatchesStep(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C5")
+	p, err := signal.ToPWL(signal.SaturatedRamp{Tr: 1e-15}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.2e-9, 0.5e-9, 1e-9, 2e-9} {
+		step := s.VStep(i, tt)
+		ramp := s.VPWL(i, p, tt)
+		if !approx(step, ramp, 1e-5) {
+			t.Errorf("t=%v: step %v vs tiny-ramp %v", tt, step, ramp)
+		}
+	}
+}
+
+func TestRampDelayConvergesToElmore(t *testing.T) {
+	// Corollary 3: as the rise time grows, the 50% delay approaches the
+	// Elmore delay from below, monotonically.
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"C1", "C5", "C7"} {
+		i := tree.MustIndex(name)
+		td := s.Mean(i)
+		prev := -math.MaxFloat64
+		for _, tr := range []float64{0.1e-9, 0.3e-9, 1e-9, 3e-9, 10e-9, 30e-9, 100e-9} {
+			d, err := s.Delay(i, signal.SaturatedRamp{Tr: tr}, 0)
+			if err != nil {
+				t.Fatalf("%s tr=%v: %v", name, tr, err)
+			}
+			if d > td*(1+1e-9) {
+				t.Errorf("%s tr=%v: delay %v exceeds Elmore %v", name, tr, d, td)
+			}
+			if d < prev*(1-1e-9) {
+				t.Errorf("%s tr=%v: delay %v not monotone (prev %v)", name, tr, d, prev)
+			}
+			prev = d
+		}
+		// At tr = 100ns (much larger than any time constant) the delay
+		// must be within 1% of the Elmore value.
+		if !approx(prev, td, 1e-2) {
+			t.Errorf("%s: delay at huge rise time %v, want ~%v", name, prev, td)
+		}
+	}
+}
+
+// Corollary 2: the Elmore delay bounds the 50% delay for every
+// unimodal-derivative input, not just steps — on random trees with
+// random rise times.
+func TestCorollary2RampBound(t *testing.T) {
+	f := func(seed int64, trRaw uint16) bool {
+		tree := topo.RandomSmall(seed, 15)
+		s, err := NewSystem(tree)
+		if err != nil {
+			return false
+		}
+		td := moments.ElmoreDelays(tree)
+		// Rise time spanning far below to far above the circuit scale.
+		tr := s.SlowestTimeConstant() * math.Pow(10, float64(trRaw%7)-3)
+		for i := 0; i < tree.N(); i++ {
+			d, err := s.Delay(i, signal.SaturatedRamp{Tr: tr}, 0)
+			if err != nil {
+				return false
+			}
+			if d > td[i]*(1+1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRaisedCosineDelayBounded(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C5")
+	td := s.Mean(i)
+	for _, tr := range []float64{0.5e-9, 2e-9, 8e-9} {
+		d, err := s.Delay(i, signal.RaisedCosine{Tr: tr}, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > td*(1+1e-6) || d <= 0 {
+			t.Errorf("raised-cosine tr=%v: delay %v vs Elmore %v", tr, d, td)
+		}
+	}
+}
+
+func TestDelayStepEqualsDelay50(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C7")
+	d1, err := s.Delay(i, signal.Step{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Delay50Step(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("Delay(step) = %v != Delay50Step = %v", d1, d2)
+	}
+}
+
+// Paper eq. 48: the area between input and output equals the Elmore
+// delay, independent of the input rise time.
+func TestAreaRuleEq48(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"C1", "C5", "C7"} {
+		i := tree.MustIndex(name)
+		td := s.Mean(i)
+		for _, tr := range []float64{0.2e-9, 1e-9, 5e-9} {
+			p, err := signal.ToPWL(signal.SaturatedRamp{Tr: tr}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			area := s.AreaBetween(i, p)
+			if !approx(area, td, 5e-3) {
+				t.Errorf("%s tr=%v: area %v, want T_D %v", name, tr, area, td)
+			}
+		}
+	}
+}
+
+func TestCrossPWLErrors(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := signal.ToPWL(signal.SaturatedRamp{Tr: 1e-9}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CrossPWL(0, p, 0); err == nil {
+		t.Errorf("level 0 should error")
+	}
+	if _, err := s.CrossPWL(0, p, 1.5); err == nil {
+		t.Errorf("level > 1 should error")
+	}
+}
+
+func TestDelayRejectsSteplikePWLConversion(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential converts via sampling; should succeed.
+	if _, err := s.Delay(0, signal.Exponential{Tau: 1e-9}, 128); err != nil {
+		t.Errorf("exponential input should work: %v", err)
+	}
+}
+
+func TestHorizonCoversSettling(t *testing.T) {
+	tree := topo.Line25Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Horizon(0)
+	for i := 0; i < tree.N(); i++ {
+		if v := s.VStep(i, h); v < 0.999 {
+			t.Fatalf("node %d not settled at horizon: v=%v", i, v)
+		}
+	}
+}
+
+// The delay error (T_D - delay)/delay shrinks with distance from the
+// driving point along the 25-node line (Section IV-B / Fig. 14).
+func TestErrorShrinksDownstream(t *testing.T) {
+	tree := topo.Line25Tree()
+	s, err := NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tree.MustIndex(topo.Line25NodeA)
+	b := tree.MustIndex(topo.Line25NodeB)
+	c := tree.MustIndex(topo.Line25NodeC)
+	relErr := func(i int) float64 {
+		d, err := s.Delay(i, signal.SaturatedRamp{Tr: 1e-9}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(d-s.Mean(i)) / d
+	}
+	ea, eb, ec := relErr(a), relErr(b), relErr(c)
+	if !(ea > eb && eb > ec) {
+		t.Errorf("relative error should shrink downstream: A=%v B=%v C=%v", ea, eb, ec)
+	}
+}

@@ -1,0 +1,36 @@
+package gate
+
+import "testing"
+
+// FuzzParseLibrary asserts the liberty-lite parser never panics and
+// that accepted libraries contain only valid cells that round-trip.
+func FuzzParseLibrary(f *testing.F) {
+	seeds := []string{
+		"",
+		demoLib,
+		"cell a {\n",
+		"cell a {\n delay {\n slews: 1p\n loads: 1f\n row: 1p\n }\n}\n",
+		"row: 1 2 3\n",
+		"# comment only\n",
+		"cell x {\n delay {\n slews: zz\n",
+		"}\n}\n}\n",
+		"cell a {\n delay {\n slews: 1p 2p\n loads: 1f\n row: 1p\n row: 2p\n }\n output_slew {\n slews: 1p 2p\n loads: 1f\n row: 1p\n row: 2p\n }\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := ParseLibraryString(src)
+		if err != nil {
+			return
+		}
+		for name, c := range lib.Cells {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("accepted invalid cell %q: %v", name, err)
+			}
+		}
+		if _, err := ParseLibraryString(FormatLibrary(lib)); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

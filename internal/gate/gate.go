@@ -1,0 +1,206 @@
+// Package gate models switching logic cells the way timing analyzers
+// do (and the way the paper's Section IV assumes): a cell is
+// characterized empirically by lookup tables — delay and output
+// transition time as functions of input transition time and load
+// capacitance — and presents its RC load through an effective
+// capacitance obtained by pi-reduction plus resistive-shielding
+// iteration.
+//
+// This is the substrate that turns the paper's "the signal coming out
+// of the digital gate ... is generally modeled by a saturated ramp"
+// into numbers: the gate produces the ramp, the net analyses bound its
+// propagation.
+package gate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elmore/internal/pimodel"
+)
+
+// Table is an NLDM-style 2-D characterization surface: rows are input
+// transition times, columns are load capacitances, values are seconds
+// (cell delay or output transition). Lookup is bilinear inside the
+// grid and clamped at the edges, as in conventional timers.
+type Table struct {
+	Slews  []float64   // ascending input transition times (s)
+	Loads  []float64   // ascending load capacitances (F)
+	Values [][]float64 // Values[si][li]
+}
+
+// Validate checks grid shape and monotone axes.
+func (t *Table) Validate() error {
+	if len(t.Slews) == 0 || len(t.Loads) == 0 {
+		return fmt.Errorf("gate: table needs nonempty axes")
+	}
+	if len(t.Values) != len(t.Slews) {
+		return fmt.Errorf("gate: table has %d rows, want %d", len(t.Values), len(t.Slews))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.Loads) {
+			return fmt.Errorf("gate: row %d has %d entries, want %d", i, len(row), len(t.Loads))
+		}
+	}
+	if !sort.Float64sAreSorted(t.Slews) || !sort.Float64sAreSorted(t.Loads) {
+		return fmt.Errorf("gate: table axes must be ascending")
+	}
+	for _, row := range t.Values {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("gate: table value %v invalid", v)
+			}
+		}
+	}
+	return nil
+}
+
+// segment finds the bracketing indices and interpolation fraction for x
+// on an ascending axis, clamped to the grid.
+func segment(axis []float64, x float64) (int, int, float64) {
+	if x <= axis[0] {
+		return 0, 0, 0
+	}
+	n := len(axis)
+	if x >= axis[n-1] {
+		return n - 1, n - 1, 0
+	}
+	hi := sort.SearchFloat64s(axis, x)
+	lo := hi - 1
+	f := (x - axis[lo]) / (axis[hi] - axis[lo])
+	return lo, hi, f
+}
+
+// Lookup bilinearly interpolates the surface at (inputSlew, load).
+func (t *Table) Lookup(inputSlew, load float64) float64 {
+	sl, sh, sf := segment(t.Slews, inputSlew)
+	ll, lh, lf := segment(t.Loads, load)
+	v00 := t.Values[sl][ll]
+	v01 := t.Values[sl][lh]
+	v10 := t.Values[sh][ll]
+	v11 := t.Values[sh][lh]
+	return v00*(1-sf)*(1-lf) + v01*(1-sf)*lf + v10*sf*(1-lf) + v11*sf*lf
+}
+
+// Cell is a characterized gate: a delay surface and an output-slew
+// surface sharing axes.
+type Cell struct {
+	Name       string
+	Delay      *Table // 50%-in to 50%-out delay
+	OutputSlew *Table // output transition time (0-100% ramp time)
+}
+
+// Validate checks both tables.
+func (c *Cell) Validate() error {
+	if c.Delay == nil || c.OutputSlew == nil {
+		return fmt.Errorf("gate: cell %q needs both delay and output-slew tables", c.Name)
+	}
+	if err := c.Delay.Validate(); err != nil {
+		return fmt.Errorf("gate: cell %q delay: %w", c.Name, err)
+	}
+	if err := c.OutputSlew.Validate(); err != nil {
+		return fmt.Errorf("gate: cell %q output slew: %w", c.Name, err)
+	}
+	return nil
+}
+
+// Drive is the result of a gate switching into a load: the cell delay
+// and the output ramp it launches into the net, plus the effective
+// capacitance the iteration converged to.
+type Drive struct {
+	Delay      float64 // input-50% to output-50% (s)
+	OutputSlew float64 // 0-100% ramp duration launched into the net (s)
+	Ceff       float64 // effective capacitance seen by the cell (F)
+	Iterations int
+}
+
+// shieldingFraction returns the fraction of C2's charge delivered
+// within an output ramp of duration T through the pi resistance R2:
+// for a unit ramp of duration T driving R2-C2, the far-cap voltage at
+// the end of the ramp is 1 - (tau/T)(1 - e^{-T/tau}), tau = R2 C2.
+// Slower ramps (T >> tau) see the whole C2 (fraction -> 1); fast edges
+// are shielded by R2 (fraction -> T/(2 tau) -> 0).
+func shieldingFraction(r2, c2, T float64) float64 {
+	if c2 <= 0 {
+		return 1
+	}
+	tau := r2 * c2
+	if tau <= 0 {
+		return 1
+	}
+	if T <= 0 {
+		return 0
+	}
+	x := T / tau
+	return 1 - (1-math.Exp(-x))/x
+}
+
+// DriveLoad runs the effective-capacitance iteration: the cell sees
+// Ceff = C1 + k*C2 where the shielding factor k follows from the
+// current output-slew estimate, which in turn follows from Ceff.
+// Converges in a handful of iterations for physical tables.
+func (c *Cell) DriveLoad(inputSlew float64, load pimodel.Model) (Drive, error) {
+	if err := c.Validate(); err != nil {
+		return Drive{}, err
+	}
+	if inputSlew < 0 || math.IsNaN(inputSlew) {
+		return Drive{}, fmt.Errorf("gate: invalid input slew %v", inputSlew)
+	}
+	ceff := load.TotalC()
+	var out Drive
+	for iter := 1; iter <= 50; iter++ {
+		slew := c.OutputSlew.Lookup(inputSlew, ceff)
+		k := shieldingFraction(load.R2, load.C2, slew)
+		next := load.C1 + k*load.C2
+		out = Drive{
+			Delay:      c.Delay.Lookup(inputSlew, next),
+			OutputSlew: c.OutputSlew.Lookup(inputSlew, next),
+			Ceff:       next,
+			Iterations: iter,
+		}
+		if math.Abs(next-ceff) <= 1e-6*load.TotalC()+1e-24 {
+			return out, nil
+		}
+		ceff = next
+	}
+	return out, fmt.Errorf("gate: cell %q effective-capacitance iteration did not converge", c.Name)
+}
+
+// LinearCell synthesizes a first-order characterized cell from a
+// Thevenin model: output resistance rdrv and intrinsic delay d0. Its
+// tables follow the analytic single-pole forms
+//
+//	delay(slew, C)  = d0 + ln2 * rdrv * C + slewSensitivity * slew
+//	outSlew(slew,C) = ln9 * rdrv * C + slewFloor
+//
+// gridded over the given axes. Useful for tests and for building
+// consistent multi-stage examples without a real library.
+func LinearCell(name string, rdrv, d0, slewSensitivity, slewFloor float64, slews, loads []float64) (*Cell, error) {
+	if rdrv <= 0 {
+		return nil, fmt.Errorf("gate: rdrv must be positive")
+	}
+	mk := func(f func(s, c float64) float64) *Table {
+		vals := make([][]float64, len(slews))
+		for si, s := range slews {
+			vals[si] = make([]float64, len(loads))
+			for li, cl := range loads {
+				vals[si][li] = f(s, cl)
+			}
+		}
+		return &Table{Slews: slews, Loads: loads, Values: vals}
+	}
+	cell := &Cell{
+		Name: name,
+		Delay: mk(func(s, cl float64) float64 {
+			return d0 + math.Ln2*rdrv*cl + slewSensitivity*s
+		}),
+		OutputSlew: mk(func(s, cl float64) float64 {
+			return math.Log(9)*rdrv*cl + slewFloor
+		}),
+	}
+	if err := cell.Validate(); err != nil {
+		return nil, err
+	}
+	return cell, nil
+}

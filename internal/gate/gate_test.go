@@ -1,0 +1,206 @@
+package gate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/pimodel"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func smallTable() *Table {
+	return &Table{
+		Slews: []float64{10e-12, 100e-12},
+		Loads: []float64{1e-15, 10e-15, 100e-15},
+		Values: [][]float64{
+			{5e-12, 20e-12, 150e-12},
+			{8e-12, 25e-12, 160e-12},
+		},
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	if err := smallTable().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Table{
+		{},
+		{Slews: []float64{1}, Loads: []float64{1}, Values: [][]float64{}},
+		{Slews: []float64{1}, Loads: []float64{1, 2}, Values: [][]float64{{1}}},
+		{Slews: []float64{2, 1}, Loads: []float64{1}, Values: [][]float64{{1}, {1}}},
+		{Slews: []float64{1}, Loads: []float64{1}, Values: [][]float64{{math.NaN()}}},
+		{Slews: []float64{1}, Loads: []float64{1}, Values: [][]float64{{-1}}},
+	}
+	for i, tb := range bad {
+		if err := tb.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestLookupCornersAndInterior(t *testing.T) {
+	tb := smallTable()
+	// Exact grid points.
+	if got := tb.Lookup(10e-12, 1e-15); got != 5e-12 {
+		t.Errorf("corner = %v", got)
+	}
+	if got := tb.Lookup(100e-12, 100e-15); got != 160e-12 {
+		t.Errorf("corner = %v", got)
+	}
+	// Clamping outside the grid.
+	if got := tb.Lookup(1e-12, 0.1e-15); got != 5e-12 {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := tb.Lookup(1, 1); got != 160e-12 {
+		t.Errorf("clamp high = %v", got)
+	}
+	// Midpoint bilinear.
+	got := tb.Lookup(55e-12, 5.5e-15)
+	want := (5e-12 + 20e-12 + 8e-12 + 25e-12) / 4
+	if !approx(got, want, 1e-12) {
+		t.Errorf("midpoint = %v, want %v", got, want)
+	}
+}
+
+func TestShieldingFraction(t *testing.T) {
+	// Slow ramp: no shielding.
+	if k := shieldingFraction(100, 1e-15, 1); !approx(k, 1, 1e-9) {
+		t.Errorf("slow ramp k = %v, want ~1", k)
+	}
+	// Instant edge: fully shielded.
+	if k := shieldingFraction(100, 1e-15, 0); k != 0 {
+		t.Errorf("step k = %v, want 0", k)
+	}
+	// Degenerate pi (no far cap): 1.
+	if k := shieldingFraction(0, 0, 1e-12); k != 1 {
+		t.Errorf("bare cap k = %v, want 1", k)
+	}
+	// Monotone in T.
+	prev := -1.0
+	for _, T := range []float64{1e-12, 1e-11, 1e-10, 1e-9} {
+		k := shieldingFraction(1000, 100e-15, T)
+		if k < prev {
+			t.Errorf("shielding not monotone at T=%v", T)
+		}
+		if k < 0 || k > 1 {
+			t.Errorf("k out of range: %v", k)
+		}
+		prev = k
+	}
+}
+
+func TestLinearCell(t *testing.T) {
+	slews := []float64{1e-12, 50e-12, 200e-12}
+	loads := []float64{1e-15, 50e-15, 200e-15}
+	cell, err := LinearCell("inv", 500, 3e-12, 0.1, 5e-12, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-grid agreement with the analytic form.
+	want := 3e-12 + math.Ln2*500*50e-15 + 0.1*50e-12
+	if got := cell.Delay.Lookup(50e-12, 50e-15); !approx(got, want, 1e-9) {
+		t.Errorf("delay = %v, want %v", got, want)
+	}
+	if _, err := LinearCell("bad", 0, 0, 0, 0, slews, loads); err == nil {
+		t.Errorf("rdrv=0 should fail")
+	}
+}
+
+func TestDriveLoadBareCap(t *testing.T) {
+	slews := []float64{1e-12, 100e-12}
+	loads := []float64{1e-15, 200e-15}
+	cell, err := LinearCell("inv", 400, 2e-12, 0.05, 4e-12, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bare capacitor: Ceff == C, single iteration.
+	load := pimodel.Model{C1: 80e-15}
+	d, err := cell.DriveLoad(20e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(d.Ceff, 80e-15, 1e-12) {
+		t.Errorf("Ceff = %v, want 80f", d.Ceff)
+	}
+	if d.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", d.Iterations)
+	}
+	if !approx(d.Delay, cell.Delay.Lookup(20e-12, 80e-15), 1e-12) {
+		t.Errorf("delay mismatch")
+	}
+}
+
+func TestDriveLoadShieldsFarCap(t *testing.T) {
+	slews := []float64{1e-12, 500e-12}
+	loads := []float64{1e-15, 500e-15}
+	cell, err := LinearCell("drv", 300, 2e-12, 0.05, 3e-12, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strongly shielded far cap: big R2, fast driver.
+	load := pimodel.Model{C1: 20e-15, R2: 50e3, C2: 100e-15}
+	d, err := cell.DriveLoad(10e-12, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ceff >= load.TotalC() {
+		t.Errorf("Ceff %v should be below total %v (shielding)", d.Ceff, load.TotalC())
+	}
+	if d.Ceff < load.C1 {
+		t.Errorf("Ceff %v cannot drop below the near cap %v", d.Ceff, load.C1)
+	}
+	// Weakly shielded: tiny R2 -> Ceff ~ total.
+	easy := pimodel.Model{C1: 20e-15, R2: 1, C2: 100e-15}
+	d2, err := cell.DriveLoad(10e-12, easy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(d2.Ceff, easy.TotalC(), 1e-3) {
+		t.Errorf("unshielded Ceff = %v, want ~%v", d2.Ceff, easy.TotalC())
+	}
+}
+
+func TestDriveLoadErrors(t *testing.T) {
+	cell := &Cell{Name: "x"}
+	if _, err := cell.DriveLoad(1e-12, pimodel.Model{C1: 1e-15}); err == nil {
+		t.Errorf("invalid cell should fail")
+	}
+	ok, err := LinearCell("inv", 100, 1e-12, 0, 1e-12, []float64{1e-12, 1e-10}, []float64{1e-15, 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.DriveLoad(math.NaN(), pimodel.Model{C1: 1e-15}); err == nil {
+		t.Errorf("NaN slew should fail")
+	}
+}
+
+// Properties: Ceff always lies in [C1, C1+C2]; delay and slew are
+// monotone in the load for the linear cell; iteration converges.
+func TestCeffProperty(t *testing.T) {
+	slews := []float64{1e-12, 1e-9}
+	loads := []float64{1e-16, 1e-12}
+	cell, err := LinearCell("inv", 250, 1e-12, 0.02, 2e-12, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(c1Raw, c2Raw, r2Raw uint16, slewRaw uint8) bool {
+		load := pimodel.Model{
+			C1: 1e-16 + float64(c1Raw)*1e-18,
+			R2: 1 + float64(r2Raw)*10,
+			C2: 1e-16 + float64(c2Raw)*1e-18,
+		}
+		slew := 1e-12 + float64(slewRaw)*1e-12
+		d, err := cell.DriveLoad(slew, load)
+		if err != nil {
+			return false
+		}
+		return d.Ceff >= load.C1-1e-24 && d.Ceff <= load.TotalC()+1e-24 && d.Iterations <= 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

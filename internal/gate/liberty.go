@@ -1,0 +1,223 @@
+package gate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"elmore/internal/rctree"
+)
+
+// Library is a set of characterized cells indexed by name.
+type Library struct {
+	Cells map[string]*Cell
+}
+
+// Get returns a cell by name.
+func (l *Library) Get(name string) (*Cell, error) {
+	c, ok := l.Cells[name]
+	if !ok {
+		names := make([]string, 0, len(l.Cells))
+		for n := range l.Cells {
+			names = append(names, n)
+		}
+		return nil, fmt.Errorf("gate: no cell %q in library (have: %s)", name, strings.Join(names, ", "))
+	}
+	return c, nil
+}
+
+// ParseLibrary reads the "liberty-lite" cell format: a minimal,
+// line-oriented subset of the information a Liberty file carries —
+// enough to drive the mini STA. Example:
+//
+//	# comment
+//	cell inv_x1 {
+//	  delay {
+//	    slews: 1p 20p 80p
+//	    loads: 1f 20f 80f
+//	    row: 5p 8p 15p
+//	    row: 6p 9p 16p
+//	    row: 8p 12p 20p
+//	  }
+//	  output_slew {
+//	    slews: 1p 20p 80p
+//	    loads: 1f 20f 80f
+//	    row: 4p 10p 22p
+//	    row: 5p 11p 23p
+//	    row: 6p 13p 26p
+//	  }
+//	}
+//
+// Each table has one row per slews entry with one value per loads
+// entry. SPICE-style engineering suffixes are accepted everywhere.
+func ParseLibrary(r io.Reader) (*Library, error) {
+	lib := &Library{Cells: make(map[string]*Cell)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var (
+		cur      *Cell
+		curTable *Table
+		lineNo   int
+	)
+	fail := func(format string, args ...interface{}) error {
+		return fmt.Errorf("gate: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	parseVals := func(fields []string) ([]float64, error) {
+		out := make([]float64, 0, len(fields))
+		for _, f := range fields {
+			v, err := rctree.ParseValue(f)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "cell":
+			if cur != nil {
+				return nil, fail("cell %q not closed before new cell", cur.Name)
+			}
+			if len(fields) < 2 {
+				return nil, fail("cell needs a name")
+			}
+			name := fields[1]
+			if _, dup := lib.Cells[name]; dup {
+				return nil, fail("duplicate cell %q", name)
+			}
+			cur = &Cell{Name: name}
+		case fields[0] == "delay" || fields[0] == "output_slew":
+			if cur == nil {
+				return nil, fail("%s outside a cell block", fields[0])
+			}
+			if curTable != nil {
+				return nil, fail("nested table")
+			}
+			curTable = &Table{}
+			if fields[0] == "delay" {
+				if cur.Delay != nil {
+					return nil, fail("duplicate delay table")
+				}
+				cur.Delay = curTable
+			} else {
+				if cur.OutputSlew != nil {
+					return nil, fail("duplicate output_slew table")
+				}
+				cur.OutputSlew = curTable
+			}
+		case strings.HasPrefix(line, "slews:"):
+			if curTable == nil {
+				return nil, fail("slews outside a table")
+			}
+			vals, err := parseVals(strings.Fields(strings.TrimPrefix(line, "slews:")))
+			if err != nil {
+				return nil, fail("slews: %v", err)
+			}
+			curTable.Slews = vals
+		case strings.HasPrefix(line, "loads:"):
+			if curTable == nil {
+				return nil, fail("loads outside a table")
+			}
+			vals, err := parseVals(strings.Fields(strings.TrimPrefix(line, "loads:")))
+			if err != nil {
+				return nil, fail("loads: %v", err)
+			}
+			curTable.Loads = vals
+		case strings.HasPrefix(line, "row:"):
+			if curTable == nil {
+				return nil, fail("row outside a table")
+			}
+			vals, err := parseVals(strings.Fields(strings.TrimPrefix(line, "row:")))
+			if err != nil {
+				return nil, fail("row: %v", err)
+			}
+			curTable.Values = append(curTable.Values, vals)
+		case line == "}":
+			switch {
+			case curTable != nil:
+				curTable = nil
+			case cur != nil:
+				if err := cur.Validate(); err != nil {
+					return nil, fail("%v", err)
+				}
+				lib.Cells[cur.Name] = cur
+				cur = nil
+			default:
+				return nil, fail("unmatched }")
+			}
+		case line == "{":
+			// Opening braces on their own line are tolerated.
+		default:
+			return nil, fail("unrecognized directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gate: read: %w", err)
+	}
+	if cur != nil || curTable != nil {
+		return nil, fmt.Errorf("gate: unexpected end of library (unclosed block)")
+	}
+	if len(lib.Cells) == 0 {
+		return nil, fmt.Errorf("gate: library contains no cells")
+	}
+	return lib, nil
+}
+
+// ParseLibraryString parses a liberty-lite library from a string.
+func ParseLibraryString(s string) (*Library, error) {
+	return ParseLibrary(strings.NewReader(s))
+}
+
+// FormatLibrary renders a library back into liberty-lite text (cells
+// sorted by name), round-trippable through ParseLibrary.
+func FormatLibrary(lib *Library) string {
+	var names []string
+	for n := range lib.Cells {
+		names = append(names, n)
+	}
+	// Insertion sort keeps the function dependency-free.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	var sb strings.Builder
+	writeTable := func(kind string, t *Table) {
+		fmt.Fprintf(&sb, "  %s {\n", kind)
+		sb.WriteString("    slews:")
+		for _, v := range t.Slews {
+			fmt.Fprintf(&sb, " %.17g", v)
+		}
+		sb.WriteString("\n    loads:")
+		for _, v := range t.Loads {
+			fmt.Fprintf(&sb, " %.17g", v)
+		}
+		sb.WriteString("\n")
+		for _, row := range t.Values {
+			sb.WriteString("    row:")
+			for _, v := range row {
+				fmt.Fprintf(&sb, " %.17g", v)
+			}
+			sb.WriteString("\n")
+		}
+		sb.WriteString("  }\n")
+	}
+	for _, n := range names {
+		c := lib.Cells[n]
+		fmt.Fprintf(&sb, "cell %s {\n", n)
+		writeTable("delay", c.Delay)
+		writeTable("output_slew", c.OutputSlew)
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package gate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const demoLib = `# tiny demo library
+cell inv_x1 {
+  delay {
+    slews: 1p 20p 80p
+    loads: 1f 20f 80f
+    row: 5p 8p 15p
+    row: 6p 9p 16p
+    row: 8p 12p 20p
+  }
+  output_slew {
+    slews: 1p 20p 80p
+    loads: 1f 20f 80f
+    row: 4p 10p 22p
+    row: 5p 11p 23p
+    row: 6p 13p 26p
+  }
+}
+cell buf_x2 {
+  delay {
+    slews: 1p 80p
+    loads: 1f 80f
+    row: 9p 18p
+    row: 11p 21p
+  }
+  output_slew {
+    slews: 1p 80p
+    loads: 1f 80f
+    row: 7p 14p
+    row: 9p 17p
+  }
+}
+`
+
+func TestParseLibrary(t *testing.T) {
+	lib, err := ParseLibraryString(demoLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Cells) != 2 {
+		t.Fatalf("cells = %d", len(lib.Cells))
+	}
+	inv, err := lib.Get("inv_x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "On-grid" up to the 1-ulp difference between the parser's
+	// 20*1e-12 and the literal 20e-12.
+	if got := inv.Delay.Lookup(20e-12, 20e-15); math.Abs(got-9e-12) > 1e-20 {
+		t.Errorf("on-grid delay = %v, want 9p", got)
+	}
+	if got := inv.OutputSlew.Lookup(1e-12, 80e-15); math.Abs(got-22e-12) > 1e-20 {
+		t.Errorf("on-grid slew = %v, want 22p", got)
+	}
+	if _, err := lib.Get("nand9"); err == nil {
+		t.Errorf("missing cell should error")
+	}
+}
+
+func TestParseLibraryErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"no cells", "# nothing\n"},
+		{"unclosed cell", "cell a {\n"},
+		{"cell without tables", "cell a {\n}\n"},
+		{"ragged row", "cell a {\n delay {\n slews: 1p\n loads: 1f 2f\n row: 1p\n }\n output_slew {\n slews: 1p\n loads: 1f\n row: 1p\n }\n}\n"},
+		{"row outside table", "row: 1p\n"},
+		{"slews outside table", "slews: 1p\n"},
+		{"bad value", "cell a {\n delay {\n slews: xyz\n"},
+		{"duplicate cell", demoLib + "cell inv_x1 {\n}\n"},
+		{"duplicate table", "cell a {\n delay {\n }\n delay {\n"},
+		{"unmatched brace", "}\n"},
+		{"cell inside cell", "cell a {\ncell b {\n"},
+		{"nameless cell", "cell {\n"},
+		{"garbage", "frobnicate 7\n"},
+		{"descending slews", "cell a {\n delay {\n slews: 2p 1p\n loads: 1f\n row: 1p\n row: 1p\n }\n output_slew {\n slews: 1p\n loads: 1f\n row: 1p\n }\n}\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseLibraryString(tc.src); err == nil {
+				t.Errorf("expected error")
+			}
+		})
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	lib, err := ParseLibraryString(demoLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatLibrary(lib)
+	lib2, err := ParseLibraryString(text)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, text)
+	}
+	if len(lib2.Cells) != len(lib.Cells) {
+		t.Fatalf("cell count changed")
+	}
+	for name, c := range lib.Cells {
+		c2, err := lib2.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, s := range c.Delay.Slews {
+			for li, l := range c.Delay.Loads {
+				if c.Delay.Values[si][li] != c2.Delay.Values[si][li] {
+					t.Errorf("%s delay[%v][%v] changed", name, s, l)
+				}
+			}
+		}
+	}
+	// Deterministic cell ordering in the output.
+	if !strings.Contains(text, "cell buf_x2") || strings.Index(text, "buf_x2") > strings.Index(text, "inv_x1") {
+		t.Errorf("cells should be sorted:\n%s", text)
+	}
+}

@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky is the lower-triangular factor of a symmetric positive
+// definite matrix: A = L * L^T.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of a symmetric
+// positive definite matrix. Only the lower triangle of a is read. It
+// returns an error if a is not positive definite to working precision.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("linalg: matrix not positive definite (pivot %d = %g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve solves A*x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: Cholesky.Solve length mismatch %d != %d", len(b), n))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// L y = b
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += c.l.At(i, j) * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.At(i, i)
+	}
+	// L^T x = y
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += c.l.At(j, i) * x[j]
+		}
+		x[i] = (x[i] - s) / c.l.At(i, i)
+	}
+	return x
+}
+
+// L returns the lower-triangular factor (owned by the factorization).
+func (c *Cholesky) L() *Matrix { return c.l }
+
+// Tridiag solves a tridiagonal system with the Thomas algorithm:
+//
+//	sub[i]*x[i-1] + diag[i]*x[i] + sup[i]*x[i+1] = b[i]
+//
+// sub[0] and sup[n-1] are ignored. It returns an error on a zero pivot
+// (the algorithm is stable for the diagonally dominant systems produced
+// by RC-line discretizations).
+func Tridiag(sub, diag, sup, b []float64) ([]float64, error) {
+	n := len(diag)
+	if len(sub) != n || len(sup) != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: Tridiag length mismatch")
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("linalg: Tridiag zero pivot at row 0")
+	}
+	cp[0] = sup[0] / diag[0]
+	dp[0] = b[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i]*cp[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("linalg: Tridiag zero pivot at row %d", i)
+		}
+		cp[i] = sup[i] / den
+		dp[i] = (b[i] - sub[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

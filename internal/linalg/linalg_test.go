@@ -1,0 +1,388 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	m.Add(1, 2, 2)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 7 {
+		t.Fatalf("Set/Add/At broken: %v", m.Data)
+	}
+	cp := m.Clone()
+	cp.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Errorf("Clone aliases original")
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 7 {
+		t.Errorf("T wrong: %v", tr)
+	}
+}
+
+func TestFromRowsAndMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	x := a.MulVec([]float64{1, 1})
+	if x[0] != 3 || x[1] != 7 {
+		t.Errorf("MulVec = %v", x)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{1, 1}, {1, 1}})
+	s := a.AddMatrix(b)
+	d := a.SubMatrix(b)
+	if s.At(1, 1) != 5 || d.At(1, 1) != 3 {
+		t.Errorf("Add/Sub wrong")
+	}
+	a.Scale(2)
+	if a.At(0, 1) != 4 {
+		t.Errorf("Scale wrong")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Errorf("Dot = %v", Dot(a, b))
+	}
+	if !approx(Norm2(a), math.Sqrt(14), eps) {
+		t.Errorf("Norm2 = %v", Norm2(a))
+	}
+	if NormInf([]float64{-5, 2}) != 5 {
+		t.Errorf("NormInf wrong")
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[2] != 7 {
+		t.Errorf("AXPY = %v", y)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	x, err := SolveLU(a, []float64{5, -2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if !approx(x[i], want[i], eps) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f.Det(), -14, eps) {
+		t.Errorf("Det = %v, want -14", f.Det())
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err == nil {
+		t.Errorf("singular matrix should fail to factor")
+	}
+	if _, err := FactorLU(NewMatrix(2, 3)); err == nil {
+		t.Errorf("non-square matrix should fail to factor")
+	}
+}
+
+func TestLURandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(30)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal boost keeps the matrix comfortably nonsingular.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		x, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if !approx(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approx(id.At(i, j), want, eps) {
+				t.Errorf("A*inv(A)[%d,%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.Mul(b.T())
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 0.5)
+	}
+	return a
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(25)
+		a := randomSPD(rng, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(xTrue)
+		ch, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := ch.Solve(b)
+		for i := range x {
+			if !approx(x[i], xTrue[i], 1e-7) {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+		// L L^T == A
+		l := ch.L()
+		llt := l.Mul(l.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !approx(llt.At(i, j), a.At(i, j), 1e-8) {
+					t.Fatalf("trial %d: LL^T mismatch at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); err == nil {
+		t.Errorf("indefinite matrix should fail Cholesky")
+	}
+}
+
+func TestTridiag(t *testing.T) {
+	// 4x4 system: -1 on off-diagonals, 2 on diagonal (discrete Laplacian).
+	n := 4
+	sub := []float64{0, -1, -1, -1}
+	diag := []float64{2, 2, 2, 2}
+	sup := []float64{-1, -1, -1, 0}
+	xTrue := []float64{1, 2, 3, 4}
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b[i] = diag[i] * xTrue[i]
+		if i > 0 {
+			b[i] += sub[i] * xTrue[i-1]
+		}
+		if i < n-1 {
+			b[i] += sup[i] * xTrue[i+1]
+		}
+	}
+	x, err := Tridiag(sub, diag, sup, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !approx(x[i], xTrue[i], eps) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestTridiagErrors(t *testing.T) {
+	if _, err := Tridiag([]float64{0}, []float64{0}, []float64{0}, []float64{1}); err == nil {
+		t.Errorf("zero pivot should fail")
+	}
+	if _, err := Tridiag([]float64{0}, []float64{1, 2}, []float64{0}, []float64{1}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+}
+
+func TestEigSymKnown(t *testing.T) {
+	// Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 1, eps) || !approx(vals[1], 3, eps) {
+		t.Fatalf("vals = %v, want [1 3]", vals)
+	}
+	// Check A v = λ v for each column.
+	for j := 0; j < 2; j++ {
+		v := []float64{vecs.At(0, j), vecs.At(1, j)}
+		av := a.MulVec(v)
+		for i := range av {
+			if !approx(av[i], vals[j]*v[i], eps) {
+				t.Errorf("col %d: Av != λv", j)
+			}
+		}
+	}
+}
+
+func TestEigSymRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randomSPD(rng, n)
+		vals, vecs, err := EigSym(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Ascending order, all positive for SPD.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("trial %d: eigenvalues not sorted: %v", trial, vals)
+			}
+		}
+		if vals[0] <= 0 {
+			t.Fatalf("trial %d: SPD matrix has nonpositive eigenvalue %v", trial, vals[0])
+		}
+		// Reconstruct: V diag V^T == A.
+		lam := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, vals[i])
+		}
+		rec := vecs.Mul(lam).Mul(vecs.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !approx(rec.At(i, j), a.At(i, j), 1e-8) {
+					t.Fatalf("trial %d: reconstruction mismatch at (%d,%d): %v vs %v",
+						trial, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+		// Orthonormal columns.
+		vtv := vecs.T().Mul(vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !approx(vtv.At(i, j), want, 1e-9) {
+					t.Fatalf("trial %d: V not orthonormal", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestEigSymRejects(t *testing.T) {
+	if _, _, err := EigSym(NewMatrix(2, 3)); err == nil {
+		t.Errorf("non-square should fail")
+	}
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigSym(a); err == nil {
+		t.Errorf("asymmetric should fail")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !Identity(3).IsSymmetric(1e-12) {
+		t.Errorf("identity should be symmetric")
+	}
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if a.IsSymmetric(1e-12) {
+		t.Errorf("asymmetric matrix reported symmetric")
+	}
+	if !NewMatrix(2, 2).IsSymmetric(1e-12) {
+		t.Errorf("zero matrix should be symmetric")
+	}
+}
+
+// Property: solving A x = A x0 recovers x0 for random well-conditioned
+// diagonally dominant systems.
+func TestLUQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*2 - 1
+		}
+		for i := 0; i < n; i++ {
+			a.Set(i, i, float64(n)+1)
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64()*2 - 1
+		}
+		b := a.MulVec(x0)
+		x, err := SolveLU(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !approx(x[i], x0[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package moments
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+func TestCapThroughSeriesR(t *testing.T) {
+	// Y of C through series R: y1 = C, y2 = -R C^2, y3 = R^2 C^3.
+	const r, c = 250.0, 3e-12
+	y := CapAdmittance(c).SeriesR(r)
+	if !approx(y.Y1, c, 1e-12) {
+		t.Errorf("y1 = %v, want %v", y.Y1, c)
+	}
+	if !approx(y.Y2, -r*c*c, 1e-12) {
+		t.Errorf("y2 = %v, want %v", y.Y2, -r*c*c)
+	}
+	if !approx(y.Y3, r*r*c*c*c, 1e-12) {
+		t.Errorf("y3 = %v, want %v", y.Y3, r*r*c*c*c)
+	}
+}
+
+func TestParallel(t *testing.T) {
+	a := Admittance{1, 2, 3}
+	b := Admittance{10, 20, 30}
+	got := a.Parallel(b)
+	if got != (Admittance{11, 22, 33}) {
+		t.Errorf("Parallel = %+v", got)
+	}
+}
+
+// Input admittance moments must agree with the transfer-function route:
+// for a single-root tree, Y_in(s) = (1 - H_root(s)) / R_root, so
+// y_q = -m_q(root)/R_root for q >= 1.
+func TestInputAdmittanceVersusMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 40)
+		roots := tree.Roots()
+		if len(roots) != 1 {
+			return true // generator builds single-root trees; skip others
+		}
+		root := roots[0]
+		s, err := Compute(tree, 3)
+		if err != nil {
+			return false
+		}
+		y := InputAdmittance(tree)
+		r := tree.R(root)
+		return approx(y.Y1, -s.M(1, root)/r, 1e-9) &&
+			approx(y.Y2, -s.M(2, root)/r, 1e-9) &&
+			approx(y.Y3, -s.M(3, root)/r, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// y1 of any downstream admittance equals the downstream capacitance.
+func TestY1IsDownstreamCap(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 50)
+		down := tree.DownstreamC()
+		ys := DownstreamAdmittances(tree)
+		for i := 0; i < tree.N(); i++ {
+			if !approx(ys[i].Y1, down[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputAdmittanceMultiRoot(t *testing.T) {
+	b := rctree.NewBuilder()
+	b.MustRoot("a", 100, 1e-12)
+	b.MustRoot("b", 200, 2e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := InputAdmittance(tree)
+	want := CapAdmittance(1e-12).SeriesR(100).Parallel(CapAdmittance(2e-12).SeriesR(200))
+	if !approx(y.Y1, want.Y1, 1e-12) || !approx(y.Y2, want.Y2, 1e-12) || !approx(y.Y3, want.Y3, 1e-12) {
+		t.Errorf("multi-root admittance = %+v, want %+v", y, want)
+	}
+}
+
+// Admittance moment signs for any RC tree: y1 > 0, y2 < 0, y3 > 0
+// (alternating, from the interlacing negative poles/zeros of RC
+// driving-point admittances).
+func TestAdmittanceSignPattern(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 50)
+		y := InputAdmittance(tree)
+		return y.Y1 > 0 && y.Y2 < 0 && y.Y3 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRHTermsOracles(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 40)
+		p := ComputePRH(tree)
+		if !approx(p.TP, TPDirect(tree), 1e-10) {
+			return false
+		}
+		for i := 0; i < tree.N(); i++ {
+			if !approx(p.TR(i), TRDirect(tree, i), 1e-10) {
+				return false
+			}
+			if !approx(p.PathResistance(i), tree.PathResistance(i), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PRH invariants used by the bound formulas: T_R(i) <= T_D(i) <= T_P,
+// and at any node T_R > 0.
+func TestPRHOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 50)
+		p := ComputePRH(tree)
+		for i := 0; i < tree.N(); i++ {
+			tr := p.TR(i)
+			if tr <= 0 {
+				return false
+			}
+			if tr > p.TD[i]*(1+1e-12) {
+				return false
+			}
+			if p.TD[i] > p.TP*(1+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRHFig1Values(t *testing.T) {
+	// For the calibrated Fig. 1 circuit, T_R at the driving point equals
+	// T_D there (every R_k1 is the root resistance), which is what makes
+	// PRH t_max collapse to T_D at the driving point (paper Table I).
+	tree := topo.Fig1Tree()
+	p := ComputePRH(tree)
+	c1 := tree.MustIndex("C1")
+	if !approx(p.TR(c1), p.TD[c1], 1e-12) {
+		t.Errorf("T_R(C1) = %v, want T_D(C1) = %v", p.TR(c1), p.TD[c1])
+	}
+	if p.TP <= p.TD[c1] {
+		t.Errorf("T_P = %v should exceed T_D(C1) = %v", p.TP, p.TD[c1])
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120}
+	for n, w := range want {
+		if got := factorial(n); got != w {
+			t.Errorf("factorial(%d) = %v, want %v", n, got, w)
+		}
+	}
+	_ = math.Pi // keep math import if cases change
+}

@@ -1,0 +1,61 @@
+package moments
+
+import "fmt"
+
+// CentralMoment returns the q-th central moment mu_q of the impulse
+// response at node i, for any q up to the computed order, via the
+// binomial expansion of the raw distribution moments:
+//
+//	mu_q = sum_{k=0..q} C(q,k) (-mean)^{q-k} M_k.
+//
+// mu_0 = 1 and mu_1 = 0 by construction; mu_2 and mu_3 agree with the
+// specialized Mu2/Mu3 accessors.
+func (s *Set) CentralMoment(q, i int) float64 {
+	if q < 0 || q > s.order {
+		panic(fmt.Sprintf("moments: central moment order %d out of range [0,%d]", q, s.order))
+	}
+	mean := s.DistMoment(1, i)
+	var mu float64
+	binom := 1.0 // C(q, k), built incrementally
+	for k := 0; k <= q; k++ {
+		mu += binom * pow(-mean, q-k) * s.DistMoment(k, i)
+		binom = binom * float64(q-k) / float64(k+1)
+	}
+	return mu
+}
+
+// Cumulant returns the q-th cumulant kappa_q of the impulse response at
+// node i, for q in [1, min(order, 4)]:
+//
+//	kappa_1 = mean (the Elmore delay)
+//	kappa_2 = mu_2
+//	kappa_3 = mu_3
+//	kappa_4 = mu_4 - 3 mu_2^2
+//
+// Cumulants of independent distributions add under convolution — the
+// general fact behind the paper's Appendix B (which proves it for
+// orders 2 and 3, where cumulants and central moments coincide). For
+// RC trees this means every kappa_q accumulates along the signal path.
+func (s *Set) Cumulant(q, i int) float64 {
+	switch q {
+	case 1:
+		return s.DistMoment(1, i)
+	case 2:
+		return s.CentralMoment(2, i)
+	case 3:
+		return s.CentralMoment(3, i)
+	case 4:
+		mu2 := s.CentralMoment(2, i)
+		return s.CentralMoment(4, i) - 3*mu2*mu2
+	default:
+		panic(fmt.Sprintf("moments: cumulant order %d unsupported (1..4)", q))
+	}
+}
+
+func pow(x float64, n int) float64 {
+	p := 1.0
+	for k := 0; k < n; k++ {
+		p *= x
+	}
+	return p
+}

@@ -1,0 +1,190 @@
+package moments
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+func TestCentralMomentsSingleRC(t *testing.T) {
+	// Exponential density with scale rc: mu_q = q! rc^q sum_{k} (-1)^k/k!
+	// (the "subfactorial" form); concretely mu2 = rc^2, mu3 = 2 rc^3,
+	// mu4 = 9 rc^4.
+	const r, c = 700.0, 3e-12
+	rc := r * c
+	b := rctree.NewBuilder()
+	b.MustRoot("n1", r, c)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compute(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[int]float64{
+		0: 1,
+		1: 0,
+		2: rc * rc,
+		3: 2 * rc * rc * rc,
+		4: 9 * rc * rc * rc * rc,
+	}
+	for q, want := range cases {
+		if got := s.CentralMoment(q, 0); !approx(got, want, 1e-10) {
+			t.Errorf("mu_%d = %v, want %v", q, got, want)
+		}
+	}
+	// Cumulants of the exponential density: kappa_q = (q-1)! rc^q.
+	wantK := map[int]float64{1: rc, 2: rc * rc, 3: 2 * rc * rc * rc, 4: 6 * rc * rc * rc * rc}
+	for q, want := range wantK {
+		if got := s.Cumulant(q, 0); !approx(got, want, 1e-9) {
+			t.Errorf("kappa_%d = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestCentralMomentMatchesSpecialized(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 30)
+		s, err := Compute(tree, 3)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tree.N(); i++ {
+			if !approx(s.CentralMoment(2, i), s.Mu2(i), 1e-9) {
+				return false
+			}
+			if !approx(s.CentralMoment(3, i), s.Mu3(i), 1e-9) {
+				return false
+			}
+			if s.CentralMoment(0, i) != 1 {
+				return false
+			}
+			if math.Abs(s.CentralMoment(1, i)) > 1e-12*math.Abs(s.Elmore(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cumulant additivity along a path: extending a chain by one segment
+// adds the segment-seen-alone contribution... more precisely, for any
+// node k+1 the transfer function factorizes as H_k * H_{k,k+1}
+// (paper eq. 25), so kappa_q(k+1) = kappa_q(k) + kappa_q(local). We
+// verify the factorization consequence numerically: cumulants are
+// nondecreasing downstream for q = 1..4.
+func TestCumulantsGrowDownstream(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 30)
+		s, err := Compute(tree, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tree.N(); i++ {
+			p := tree.Parent(i)
+			if p == rctree.Source {
+				continue
+			}
+			for q := 1; q <= 4; q++ {
+				if s.Cumulant(q, i) < s.Cumulant(q, p)*(1-1e-10) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exact cumulant additivity over a cascade: a chain cut at node k has
+// kappa_q(leaf) = kappa_q(k) + kappa_q(downstream-tree driven at k),
+// because the leaf transfer function is the product of the two stages.
+func TestCumulantAdditivityCascade(t *testing.T) {
+	f := func(seed int64) bool {
+		// Build chain A (upstream) and chain B (downstream) and the
+		// concatenation; B alone must supply the cumulant difference.
+		// Only valid when the cut carries the whole load: insert a
+		// large decoupling-free structure — here a pure chain, where
+		// eq. 25's factorization is exact only if stage A is unloaded
+		// by stage B. That holds when B's input impedance is infinite
+		// at DC... in general it does NOT hold for finite RC loading,
+		// so instead we verify the paper's actual statement: the
+		// difference of cumulants between k+1 and k equals the
+		// cumulants of h_{k,k+1}, the response at k+1 to an impulse AT
+		// k of the tree hanging at k (paper's h_{k,k+1}).
+		tree := topo.RandomSmall(seed, 20)
+		s, err := Compute(tree, 3)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tree.N(); i++ {
+			p := tree.Parent(i)
+			if p == rctree.Source {
+				continue
+			}
+			// Subtree rooted at i's parent-side resistor, driven at p.
+			sub, err := tree.Subtree(i)
+			if err != nil {
+				return false
+			}
+			subMs, err := Compute(sub, 3)
+			if err != nil {
+				return false
+			}
+			j, ok := sub.Index(tree.Name(i))
+			if !ok {
+				return false
+			}
+			for q := 1; q <= 3; q++ {
+				want := s.Cumulant(q, i) - s.Cumulant(q, p)
+				got := subMs.Cumulant(q, j)
+				// Tolerance scales with the minuends: when the local
+				// contribution is tiny, the subtraction above loses
+				// precision even though the identity is exact.
+				scale := math.Abs(s.Cumulant(q, i)) + math.Abs(s.Cumulant(q, p)) + 1e-300
+				if math.Abs(got-want) > 1e-9*scale {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCumulantPanics(t *testing.T) {
+	tree := topo.Fig1Tree()
+	s, err := Compute(tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Cumulant(%d) should panic", bad)
+				}
+			}()
+			s.Cumulant(bad, 0)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("CentralMoment(5) should panic at order 4")
+			}
+		}()
+		s.CentralMoment(5, 0)
+	}()
+}

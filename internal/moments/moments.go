@@ -1,0 +1,174 @@
+// Package moments computes transfer-function moments of RC trees with
+// O(N)-per-order path-tracing traversals, in the style of RICE
+// (Ratzlaff & Pillage 1994). These moments are the raw material for the
+// Elmore delay, the Gupta-Tutuianu-Pileggi delay bounds, the
+// Penfield-Rubinstein-Horowitz waveform bounds, and AWE approximations.
+//
+// Sign convention (paper eq. 9): the transfer function at node i is
+// expanded as H_i(s) = sum_q m_q(i) s^q, so that
+//
+//	m_q(i) = (-1)^q / q! * integral t^q h_i(t) dt.
+//
+// Consequently the Elmore delay is T_D(i) = -m_1(i), and the
+// distribution moments are M_q = (-1)^q q! m_q.
+package moments
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/rctree"
+)
+
+// Set holds moments m_0..m_Order for every node of a tree.
+type Set struct {
+	tree  *rctree.Tree
+	order int
+	m     [][]float64 // m[q][i]
+}
+
+// Compute returns the transfer-function moments m_0..m_order at every
+// node of the tree. order must be >= 1. Cost is O(order * N).
+func Compute(t *rctree.Tree, order int) (*Set, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("moments: order must be >= 1, got %d", order)
+	}
+	n := t.N()
+	s := &Set{tree: t, order: order, m: make([][]float64, order+1)}
+	for q := range s.m {
+		s.m[q] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		s.m[0][i] = 1 // m_0 = DC gain = 1 at every node of an RC tree
+	}
+
+	// Recurrence (from KCL in the Laplace domain):
+	//   m_q(i) = - sum_k R_ki * C_k * m_{q-1}(k)
+	// computed per order with one upward pass (subtree sums of the
+	// "moment weights" w_k = C_k m_{q-1}(k)) and one downward pass
+	// (accumulate R_i * subtreeSum along each path).
+	down := make([]float64, n)
+	acc := make([]float64, n)
+	for q := 1; q <= order; q++ {
+		prev := s.m[q-1]
+		for _, i := range t.PostOrder() {
+			down[i] = t.C(i) * prev[i]
+			for _, ch := range t.Children(i) {
+				down[i] += down[ch]
+			}
+		}
+		for _, i := range t.PreOrder() {
+			parentAcc := 0.0
+			if p := t.Parent(i); p != rctree.Source {
+				parentAcc = acc[p]
+			}
+			acc[i] = parentAcc + t.R(i)*down[i]
+			s.m[q][i] = -acc[i]
+		}
+	}
+	return s, nil
+}
+
+// Tree returns the tree the moments were computed for.
+func (s *Set) Tree() *rctree.Tree { return s.tree }
+
+// Order returns the highest computed moment order.
+func (s *Set) Order() int { return s.order }
+
+// M returns the coefficient moment m_q at node i.
+func (s *Set) M(q, i int) float64 {
+	if q < 0 || q > s.order {
+		panic(fmt.Sprintf("moments: order %d out of range [0,%d]", q, s.order))
+	}
+	return s.m[q][i]
+}
+
+// Elmore returns the Elmore delay T_D(i) = -m_1(i) (seconds).
+func (s *Set) Elmore(i int) float64 { return -s.m[1][i] }
+
+// DistMoment returns the raw distribution moment
+// M_q(i) = integral t^q h_i(t) dt = (-1)^q q! m_q(i).
+func (s *Set) DistMoment(q, i int) float64 {
+	v := s.M(q, i)
+	sign := 1.0
+	if q%2 == 1 {
+		sign = -1
+	}
+	return sign * factorial(q) * v
+}
+
+// Mu2 returns the second central moment (variance) of the impulse
+// response at node i: mu2 = 2 m2 - m1^2. Requires order >= 2.
+func (s *Set) Mu2(i int) float64 {
+	m1 := s.M(1, i)
+	m2 := s.M(2, i)
+	return 2*m2 - m1*m1
+}
+
+// Mu3 returns the third central moment of the impulse response at node
+// i: mu3 = -6 m3 + 6 m1 m2 - 2 m1^3. Requires order >= 3.
+func (s *Set) Mu3(i int) float64 {
+	m1 := s.M(1, i)
+	m2 := s.M(2, i)
+	m3 := s.M(3, i)
+	return -6*m3 + 6*m1*m2 - 2*m1*m1*m1
+}
+
+// Sigma returns the standard deviation sqrt(mu2) of the impulse
+// response at node i. Lemma 2 guarantees mu2 >= 0 for RC trees; tiny
+// negative values from roundoff are clamped to zero.
+func (s *Set) Sigma(i int) float64 {
+	mu2 := s.Mu2(i)
+	if mu2 < 0 {
+		return 0
+	}
+	return math.Sqrt(mu2)
+}
+
+// Skewness returns the coefficient of skewness
+// gamma = mu3 / mu2^(3/2) (paper Definition 5). Lemma 2 proves
+// gamma >= 0 at every node of an RC tree. For a node with zero
+// variance the skewness is defined as zero.
+func (s *Set) Skewness(i int) float64 {
+	mu2 := s.Mu2(i)
+	if mu2 <= 0 {
+		return 0
+	}
+	return s.Mu3(i) / math.Pow(mu2, 1.5)
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for k := 2; k <= n; k++ {
+		f *= float64(k)
+	}
+	return f
+}
+
+// ElmoreDelays computes the Elmore delay at every node with the classic
+// two-traversal algorithm (downstream capacitances up, delay
+// accumulation down), without allocating a full moment Set.
+func ElmoreDelays(t *rctree.Tree) []float64 {
+	n := t.N()
+	down := t.DownstreamC()
+	td := make([]float64, n)
+	for _, i := range t.PreOrder() {
+		parent := 0.0
+		if p := t.Parent(i); p != rctree.Source {
+			parent = td[p]
+		}
+		td[i] = parent + t.R(i)*down[i]
+	}
+	return td
+}
+
+// ElmoreDelayDirect computes T_D(i) = sum_k R_ki C_k by the O(N^2)
+// definition. It exists as an independent oracle for tests; use
+// ElmoreDelays in production code.
+func ElmoreDelayDirect(t *rctree.Tree, i int) float64 {
+	var td float64
+	for k := 0; k < t.N(); k++ {
+		td += t.SharedPathResistance(i, k) * t.C(k)
+	}
+	return td
+}

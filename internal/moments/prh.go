@@ -1,0 +1,88 @@
+package moments
+
+import (
+	"elmore/internal/rctree"
+)
+
+// PRHTerms carries the three per-tree / per-node quantities that enter
+// the Penfield-Rubinstein-Horowitz step-response bounds (paper eq. 16):
+//
+//	T_P     = sum_k R_kk C_k          (one per tree)
+//	T_D(i)  = sum_k R_ki C_k          (the Elmore delay)
+//	T_R(i)  = sum_k R_ki^2 C_k / R_ii
+//
+// All are computed exactly. T_P and T_D come from O(N) traversals;
+// T_R(i) costs O(depth(i)) per node after O(N) preprocessing, so
+// computing it for all nodes is O(N * depth) — effectively linear for
+// the bushy trees used in timing analysis.
+type PRHTerms struct {
+	tree *rctree.Tree
+	TP   float64   // sum_k R_kk C_k
+	TD   []float64 // Elmore delays, indexed by node
+	rkk  []float64 // path resistance R_kk per node
+	down []float64 // downstream capacitance per node
+}
+
+// ComputePRH computes the PRH bound terms for a tree.
+func ComputePRH(t *rctree.Tree) *PRHTerms {
+	n := t.N()
+	p := &PRHTerms{
+		tree: t,
+		TD:   ElmoreDelays(t),
+		rkk:  make([]float64, n),
+		down: t.DownstreamC(),
+	}
+	for _, i := range t.PreOrder() {
+		parent := 0.0
+		if pa := t.Parent(i); pa != rctree.Source {
+			parent = p.rkk[pa]
+		}
+		p.rkk[i] = parent + t.R(i)
+		p.TP += p.rkk[i] * t.C(i)
+	}
+	return p
+}
+
+// PathResistance returns R_ii for node i (cached).
+func (p *PRHTerms) PathResistance(i int) float64 { return p.rkk[i] }
+
+// TR returns T_R(i) = sum_k R_ki^2 C_k / R_ii.
+//
+// For each node j on the source-to-i path, every capacitor k whose
+// deepest common ancestor with i is j contributes R_ki = R_jj. Those
+// capacitors are exactly subtree(j) minus subtree(next path node), plus
+// — for j the path's root — everything outside the root's subtree
+// contributes zero (their shared path resistance with i is zero, since
+// sibling root subtrees share no resistors).
+func (p *PRHTerms) TR(i int) float64 {
+	t := p.tree
+	var sum float64
+	prevDown := 0.0 // downstream cap of the previous (deeper) path node
+	for j := i; j != rctree.Source; j = t.Parent(j) {
+		attachedC := p.down[j] - prevDown
+		sum += p.rkk[j] * p.rkk[j] * attachedC
+		prevDown = p.down[j]
+	}
+	return sum / p.rkk[i]
+}
+
+// TRDirect computes T_R(i) by the O(N) definition as an independent
+// oracle for tests.
+func TRDirect(t *rctree.Tree, i int) float64 {
+	var sum float64
+	for k := 0; k < t.N(); k++ {
+		rki := t.SharedPathResistance(i, k)
+		sum += rki * rki * t.C(k)
+	}
+	return sum / t.PathResistance(i)
+}
+
+// TPDirect computes T_P by the O(N * depth) definition as an
+// independent oracle for tests.
+func TPDirect(t *rctree.Tree) float64 {
+	var sum float64
+	for k := 0; k < t.N(); k++ {
+		sum += t.PathResistance(k) * t.C(k)
+	}
+	return sum
+}

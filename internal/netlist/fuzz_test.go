@@ -1,0 +1,44 @@
+package netlist
+
+import "testing"
+
+// FuzzParse asserts the deck parser never panics and that any deck it
+// accepts yields a structurally valid RC tree. Run the seeds as part of
+// the normal test suite; `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"Vin in 0 1\nR1 in a 100\nC1 a 0 1p\n",
+		basicDeck,
+		"* only a comment",
+		"V1 a 0 1\nR1 a b 1\nR2 b c 1\nR3 c a 1\nC1 b 0 1p\n", // loop
+		"V1 a 0 1\nR1 a b -1\n",
+		"+ dangling continuation",
+		"V1 a 0 1\nR1 a b 1e309\nC1 b 0 1p\n", // overflow value
+		"V1 a 0 1\nR1 a b 1k\nC1 b 0 1p\n.title x\n.end\n",
+		"V1 a 0 1\nC1 a 0 1p\nR1 a b 1\nC2 b 0 1p\nL1 a b 1n\n",
+		"V1 0 0 1\n",
+		"R1\n",
+		"V1 a 0 1\nR1 a a 1\n",
+		"V1 a 0 1\nr1 A b 1\nc1 B 0 1p\n", // case-sensitive node names
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, deck string) {
+		d, err := ParseString(deck)
+		if err != nil {
+			return // rejected decks just need a graceful error
+		}
+		if d.Tree == nil {
+			t.Fatalf("accepted deck with nil tree")
+		}
+		if err := d.Tree.Validate(); err != nil {
+			t.Fatalf("accepted deck produced invalid tree: %v", err)
+		}
+		// Accepted decks must round-trip.
+		if _, err := ParseString(Format(d.Tree, "fuzz")); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

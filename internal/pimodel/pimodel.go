@@ -1,0 +1,113 @@
+// Package pimodel implements the O'Brien-Savarino reduced-order pi
+// model (ICCAD 1989; paper eq. 26): a three-element C1 — R2 — C2
+// circuit that exactly matches the first three moments of an RC tree's
+// driving-point admittance. The paper's Lemma 2 proof rests on this
+// reduction; it is also the standard way to present an RC load to a
+// gate model.
+package pimodel
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/moments"
+	"elmore/internal/rctree"
+)
+
+// Model is the pi load: C1 from the tap node to ground, then R2 to a
+// second capacitor C2.
+//
+//	tap ──┬────R2────┬
+//	      C1         C2
+//	      ⏚          ⏚
+type Model struct {
+	C1, R2, C2 float64
+}
+
+// FromAdmittance synthesizes the pi model matching the first three
+// admittance moments (paper eq. 26):
+//
+//	R2 = -y3^2 / y2^3,  C2 = y2^2 / y3,  C1 = y1 - C2.
+//
+// A purely capacitive admittance (y2 = y3 = 0) degenerates to a single
+// capacitor C1 = y1. Admittances that are not realizable as an RC load
+// (wrong moment signs) return an error.
+func FromAdmittance(y moments.Admittance) (Model, error) {
+	if y.Y1 <= 0 {
+		return Model{}, fmt.Errorf("pimodel: first admittance moment %g must be positive", y.Y1)
+	}
+	if y.Y2 == 0 && y.Y3 == 0 {
+		return Model{C1: y.Y1}, nil
+	}
+	if y.Y2 >= 0 || y.Y3 <= 0 {
+		return Model{}, fmt.Errorf("pimodel: admittance moments (y2=%g, y3=%g) are not RC-realizable", y.Y2, y.Y3)
+	}
+	c2 := y.Y2 * y.Y2 / y.Y3
+	r2 := -y.Y3 * y.Y3 / (y.Y2 * y.Y2 * y.Y2)
+	c1 := y.Y1 - c2
+	if c2 < 0 || r2 < 0 || math.IsInf(r2, 0) || math.IsNaN(r2) {
+		return Model{}, fmt.Errorf("pimodel: synthesis produced non-physical elements (C2=%g, R2=%g)", c2, r2)
+	}
+	if c1 < -1e-12*y.Y1 {
+		return Model{}, fmt.Errorf("pimodel: negative near-end capacitance C1=%g", c1)
+	}
+	if c1 < 0 {
+		c1 = 0
+	}
+	return Model{C1: c1, R2: r2, C2: c2}, nil
+}
+
+// ForInput reduces the whole tree as seen from the voltage source.
+func ForInput(t *rctree.Tree) (Model, error) {
+	return FromAdmittance(moments.InputAdmittance(t))
+}
+
+// ForNode reduces the subtree hanging downstream of node i (including
+// C(i) itself), as in the paper's Figs. 8-9.
+func ForNode(t *rctree.Tree, i int) (Model, error) {
+	ys := moments.DownstreamAdmittances(t)
+	return FromAdmittance(ys[i])
+}
+
+// Admittance returns the first three admittance moments of the model —
+// by construction equal to those used for synthesis.
+func (m Model) Admittance() moments.Admittance {
+	y := moments.CapAdmittance(m.C1)
+	if m.C2 > 0 && m.R2 > 0 {
+		y = y.Parallel(moments.CapAdmittance(m.C2).SeriesR(m.R2))
+	} else {
+		y = y.Parallel(moments.Admittance{Y1: m.C2})
+	}
+	return y
+}
+
+// TotalC returns the total capacitance of the load, C1 + C2 — equal to
+// the tree's total downstream capacitance.
+func (m Model) TotalC() float64 { return m.C1 + m.C2 }
+
+// Tree materializes the pi model as a 2-node RC tree driven through
+// driver resistance rdrv, so it can be fed to any analysis in this
+// repository (moments, exact responses, simulation). Node names are
+// "pi1" (near end) and "pi2" (far end). Degenerate models (C2 = 0)
+// produce a single-node tree.
+func (m Model) Tree(rdrv float64) (*rctree.Tree, error) {
+	if rdrv <= 0 {
+		return nil, fmt.Errorf("pimodel: driver resistance must be positive, got %g", rdrv)
+	}
+	b := rctree.NewBuilder()
+	near, err := b.Root("pi1", rdrv, m.C1)
+	if err != nil {
+		return nil, err
+	}
+	if m.C2 > 0 && m.R2 > 0 {
+		if _, err := b.Attach(near, "pi2", m.R2, m.C2); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+func (m Model) String() string {
+	return fmt.Sprintf("pi(C1=%s, R2=%s, C2=%s)",
+		rctree.FormatFarads(m.C1), rctree.FormatOhms(m.R2), rctree.FormatFarads(m.C2))
+}

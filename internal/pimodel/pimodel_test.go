@@ -1,0 +1,164 @@
+package pimodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/moments"
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func TestSingleRCRoundTrip(t *testing.T) {
+	// The admittance of C through R reduces to exactly C1=0, R2=R, C2=C.
+	const r, c = 330.0, 2.2e-12
+	y := moments.CapAdmittance(c).SeriesR(r)
+	m, err := FromAdmittance(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(m.R2, r, 1e-9) || !approx(m.C2, c, 1e-9) || m.C1 > 1e-20 {
+		t.Errorf("model = %+v, want C1=0 R2=%v C2=%v", m, r, c)
+	}
+}
+
+func TestPureCapDegenerate(t *testing.T) {
+	m, err := FromAdmittance(moments.CapAdmittance(5e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.C1 != 5e-12 || m.R2 != 0 || m.C2 != 0 {
+		t.Errorf("model = %+v, want bare 5pF", m)
+	}
+	if !approx(m.TotalC(), 5e-12, 1e-12) {
+		t.Errorf("TotalC = %v", m.TotalC())
+	}
+}
+
+func TestFromAdmittanceErrors(t *testing.T) {
+	cases := []moments.Admittance{
+		{Y1: 0},                             // no capacitance
+		{Y1: -1e-12},                        // negative
+		{Y1: 1e-12, Y2: 1e-24},              // wrong sign y2
+		{Y1: 1e-12, Y2: -1e-24, Y3: -1e-36}, // wrong sign y3
+	}
+	for i, y := range cases {
+		if _, err := FromAdmittance(y); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, y)
+		}
+	}
+}
+
+// The synthesized pi model matches the tree's first three admittance
+// moments exactly — the defining property (paper eq. 26).
+func TestMomentMatchingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 40)
+		y := moments.InputAdmittance(tree)
+		m, err := ForInput(tree)
+		if err != nil {
+			return false
+		}
+		got := m.Admittance()
+		return approx(got.Y1, y.Y1, 1e-9) &&
+			approx(got.Y2, y.Y2, 1e-9) &&
+			approx(got.Y3, y.Y3, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Physicality on random trees: all pi elements nonnegative, and total
+// capacitance preserved.
+func TestRealizabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 40)
+		m, err := ForInput(tree)
+		if err != nil {
+			return false
+		}
+		if m.C1 < 0 || m.C2 < 0 || m.R2 < 0 {
+			return false
+		}
+		return approx(m.TotalC(), tree.TotalC(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForNode(t *testing.T) {
+	tree := topo.Fig1Tree()
+	i := tree.MustIndex("C6")
+	m, err := ForNode(tree, i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Downstream of C6: C6 (0.5pF) plus C7 (0.5pF) through 200 ohm.
+	want := moments.CapAdmittance(0.5e-12).Parallel(moments.CapAdmittance(0.5e-12).SeriesR(200))
+	got := m.Admittance()
+	if !approx(got.Y1, want.Y1, 1e-9) || !approx(got.Y2, want.Y2, 1e-9) || !approx(got.Y3, want.Y3, 1e-9) {
+		t.Errorf("ForNode moments %+v, want %+v", got, want)
+	}
+}
+
+// The pi model, analyzed as a circuit, has the same Elmore-relevant
+// first moment at its far node family: the Elmore delay of the reduced
+// load driven through rdrv equals rdrv * Ctotal + R2*C2 at the far end.
+func TestTreeMaterialization(t *testing.T) {
+	tree := topo.Fig1Tree()
+	m, err := ForInput(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rdrv = 75.0
+	pt, err := m.Tree(rdrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := moments.ElmoreDelays(pt)
+	near := pt.MustIndex("pi1")
+	if !approx(td[near], rdrv*m.TotalC(), 1e-9) {
+		t.Errorf("near-end Elmore = %v, want %v", td[near], rdrv*m.TotalC())
+	}
+	far := pt.MustIndex("pi2")
+	if !approx(td[far], rdrv*m.TotalC()+m.R2*m.C2, 1e-9) {
+		t.Errorf("far-end Elmore = %v, want %v", td[far], rdrv*m.TotalC()+m.R2*m.C2)
+	}
+	if _, err := m.Tree(0); err == nil {
+		t.Errorf("zero driver resistance should error")
+	}
+}
+
+func TestDegenerateTree(t *testing.T) {
+	b := rctree.NewBuilder()
+	b.MustRoot("n1", 100, 1e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ForNode(tree, 0) // downstream of the only node: bare cap
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := m.Tree(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.N() != 1 {
+		t.Errorf("degenerate pi should materialize as 1 node, got %d", pt.N())
+	}
+}
+
+func TestString(t *testing.T) {
+	m := Model{C1: 1e-12, R2: 100, C2: 2e-12}
+	if s := m.String(); s == "" {
+		t.Errorf("empty String")
+	}
+}

@@ -1,0 +1,152 @@
+// Package plot renders (x, y) series as plain-text charts, so the
+// reproduced paper figures are viewable directly in a terminal without
+// any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	Width  int    // columns of the plot area (default 72)
+	Height int    // rows of the plot area (default 20)
+	Title  string // printed above the canvas
+	XLabel string
+	YLabel string
+	LogX   bool // logarithmic x axis
+}
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto a character canvas with axes, ranges
+// and a legend. Series beyond the marker set reuse markers cyclically.
+func Render(series []Series, opts Options) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w := opts.Width
+	if w <= 0 {
+		w = 72
+	}
+	h := opts.Height
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q length mismatch", s.Name)
+		}
+		for k := range s.X {
+			x, y := s.X[k], s.Y[k]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if opts.LogX && x <= 0 {
+				continue
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if !(xmax > xmin) && !(xmax == xmin) {
+		return "", fmt.Errorf("plot: no finite data")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	xpos := func(x float64) int {
+		var f float64
+		if opts.LogX {
+			f = (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+		} else {
+			f = (x - xmin) / (xmax - xmin)
+		}
+		col := int(math.Round(f * float64(w-1)))
+		if col < 0 {
+			col = 0
+		}
+		if col >= w {
+			col = w - 1
+		}
+		return col
+	}
+	ypos := func(y float64) int {
+		f := (y - ymin) / (ymax - ymin)
+		row := int(math.Round(f * float64(h-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= h {
+			row = h - 1
+		}
+		return h - 1 - row // row 0 is the top of the canvas
+	}
+
+	canvas := make([][]byte, h)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for k := range s.X {
+			x, y := s.X[k], s.Y[k]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if opts.LogX && x <= 0 {
+				continue
+			}
+			canvas[ypos(y)][xpos(x)] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.Title)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&sb, "%s\n", opts.YLabel)
+	}
+	for r, row := range canvas {
+		edge := "|"
+		if r == 0 {
+			edge = fmt.Sprintf("%.3g |", ymax)
+		} else if r == h-1 {
+			edge = fmt.Sprintf("%.3g |", ymin)
+		}
+		fmt.Fprintf(&sb, "%12s%s\n", edge, string(row))
+	}
+	fmt.Fprintf(&sb, "%12s%s\n", "+", strings.Repeat("-", w))
+	axis := fmt.Sprintf("%.3g", xmin)
+	pad := w - len(axis) - len(fmt.Sprintf("%.3g", xmax))
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&sb, "%12s%s%s%.3g", "", axis, strings.Repeat(" ", pad), xmax)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&sb, "  (%s)", opts.XLabel)
+	}
+	sb.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&sb, "%12s%c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,117 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(float64) float64) Series {
+	s := Series{Name: "f"}
+	for k := 0; k <= n; k++ {
+		x := float64(k) / float64(n)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, f(x))
+	}
+	return s
+}
+
+func TestRenderBasic(t *testing.T) {
+	s := line(100, func(x float64) float64 { return x * x })
+	out, err := Render([]Series{s}, Options{Title: "parabola", Width: 40, Height: 10, XLabel: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parabola") || !strings.Contains(out, "* = f") {
+		t.Errorf("missing title or legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + 10 canvas rows + axis + ticks + legend
+	if len(lines) < 14 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+	if !strings.Contains(out, "(x)") {
+		t.Errorf("missing x label")
+	}
+	// A parabola's marks appear in both the bottom-left and top-right.
+	if !strings.Contains(lines[1], "*") && !strings.Contains(lines[2], "*") {
+		t.Errorf("top rows empty:\n%s", out)
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	a := line(50, func(x float64) float64 { return x })
+	a.Name = "up"
+	b := line(50, func(x float64) float64 { return 1 - x })
+	b.Name = "down"
+	out, err := Render([]Series{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* = up") || !strings.Contains(out, "+ = down") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "+") {
+		t.Errorf("second marker missing")
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	s := Series{Name: "decade"}
+	for _, x := range []float64{1, 10, 100, 1000} {
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, math.Log10(x))
+	}
+	out, err := Render([]Series{s}, Options{LogX: true, Width: 31, Height: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In log-x the four points are evenly spaced: marks at columns 0,
+	// 10, 20, 30 of some rows. Count total marks = 4.
+	if got := strings.Count(out, "*"); got != 4+1 { // 4 points + legend
+		t.Errorf("marks = %d:\n%s", got, out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Errorf("no series should fail")
+	}
+	bad := Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}
+	if _, err := Render([]Series{bad}, Options{}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+	nan := Series{Name: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}
+	if _, err := Render([]Series{nan}, Options{}); err == nil {
+		t.Errorf("all-NaN should fail")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}
+	out, err := Render([]Series{s}, Options{Width: 20, Height: 5})
+	if err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Errorf("no marks:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := Series{Name: "dot", X: []float64{3}, Y: []float64{7}}
+	if _, err := Render([]Series{s}, Options{}); err != nil {
+		t.Fatalf("single point should render: %v", err)
+	}
+}
+
+func TestLogXSkipsNonPositive(t *testing.T) {
+	s := Series{Name: "mixed", X: []float64{-1, 0, 1, 10}, Y: []float64{1, 2, 3, 4}}
+	out, err := Render([]Series{s}, Options{LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "*"); got != 2+1 { // two positive-x points + legend
+		t.Errorf("marks = %d, want 3:\n%s", got, out)
+	}
+}

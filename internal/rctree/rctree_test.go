@@ -1,0 +1,354 @@
+package rctree
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// buildChain constructs a chain of n nodes with uniform r, c.
+func buildChain(t *testing.T, n int, r, c float64) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	prev := b.MustRoot("n1", r, c)
+	for i := 2; i <= n; i++ {
+		prev = b.MustAttach(prev, "", r, c)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+// buildY constructs the small Y-tree used across the package tests:
+//
+//	source -R1- a(C) -R2- b(C) -R3- c(C)
+//	                 \-R4- d(C)
+func buildY(t *testing.T) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	a := b.MustRoot("a", 100, 1e-12)
+	bb := b.MustAttach(a, "b", 200, 2e-12)
+	b.MustAttach(bb, "c", 300, 3e-12)
+	b.MustAttach(a, "d", 400, 4e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tree
+}
+
+func TestBuilderBasics(t *testing.T) {
+	tree := buildY(t)
+	if got := tree.N(); got != 4 {
+		t.Fatalf("N = %d, want 4", got)
+	}
+	a := tree.MustIndex("a")
+	if tree.Parent(a) != Source {
+		t.Errorf("parent(a) = %d, want Source", tree.Parent(a))
+	}
+	c := tree.MustIndex("c")
+	if tree.Parent(c) != tree.MustIndex("b") {
+		t.Errorf("parent(c) wrong")
+	}
+	if tree.Depth(c) != 3 {
+		t.Errorf("depth(c) = %d, want 3", tree.Depth(c))
+	}
+	if got := len(tree.Children(a)); got != 2 {
+		t.Errorf("children(a) = %d, want 2", got)
+	}
+	if _, ok := tree.Index("zz"); ok {
+		t.Errorf("Index(zz) should not exist")
+	}
+}
+
+func TestBuilderAutoNames(t *testing.T) {
+	b := NewBuilder()
+	r := b.MustRoot("", 1, 1e-12)
+	b.MustAttach(r, "", 1, 1e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tree.Name(0) != "n1" || tree.Name(1) != "n2" {
+		t.Errorf("auto names = %q, %q; want n1, n2", tree.Name(0), tree.Name(1))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(b *Builder)
+	}{
+		{"duplicate name", func(b *Builder) {
+			b.Root("x", 1, 1e-12)
+			b.Root("x", 1, 1e-12)
+		}},
+		{"zero resistance", func(b *Builder) { b.Root("x", 0, 1e-12) }},
+		{"negative resistance", func(b *Builder) { b.Root("x", -5, 1e-12) }},
+		{"NaN resistance", func(b *Builder) { b.Root("x", math.NaN(), 1e-12) }},
+		{"inf resistance", func(b *Builder) { b.Root("x", math.Inf(1), 1e-12) }},
+		{"negative capacitance", func(b *Builder) { b.Root("x", 1, -1e-12) }},
+		{"NaN capacitance", func(b *Builder) { b.Root("x", 1, math.NaN()) }},
+		{"bad parent index", func(b *Builder) { b.Attach(5, "x", 1, 1e-12) }},
+		{"empty", func(b *Builder) {}},
+		{"all zero caps", func(b *Builder) { b.Root("x", 1, 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder()
+			tc.f(b)
+			if _, err := b.Build(); err == nil {
+				t.Errorf("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestBuilderFirstErrorSticks(t *testing.T) {
+	b := NewBuilder()
+	b.Root("x", -1, 1e-12) // first error
+	b.Root("x", 1, 1e-12)  // would be a duplicate-name error
+	if err := b.Err(); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("Err() = %v, want the first (resistance) error", err)
+	}
+}
+
+func TestPathResistance(t *testing.T) {
+	tree := buildY(t)
+	cases := []struct {
+		node string
+		want float64
+	}{
+		{"a", 100}, {"b", 300}, {"c", 600}, {"d", 500},
+	}
+	for _, tc := range cases {
+		if got := tree.PathResistance(tree.MustIndex(tc.node)); got != tc.want {
+			t.Errorf("PathResistance(%s) = %v, want %v", tc.node, got, tc.want)
+		}
+	}
+}
+
+func TestSharedPathResistance(t *testing.T) {
+	tree := buildY(t)
+	a, b2, c, d := tree.MustIndex("a"), tree.MustIndex("b"), tree.MustIndex("c"), tree.MustIndex("d")
+	cases := []struct {
+		i, k int
+		want float64
+	}{
+		{a, a, 100},
+		{c, c, 600},
+		{c, b2, 300},
+		{b2, c, 300},
+		{c, d, 100}, // only share R1
+		{d, c, 100},
+		{a, c, 100},
+		{b2, d, 100},
+	}
+	for _, tc := range cases {
+		if got := tree.SharedPathResistance(tc.i, tc.k); got != tc.want {
+			t.Errorf("SharedPathResistance(%s,%s) = %v, want %v",
+				tree.Name(tc.i), tree.Name(tc.k), got, tc.want)
+		}
+	}
+}
+
+func TestSharedPathResistanceDisjointRoots(t *testing.T) {
+	b := NewBuilder()
+	r1 := b.MustRoot("a", 10, 1e-12)
+	r2 := b.MustRoot("b", 20, 1e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := tree.SharedPathResistance(r1, r2); got != 0 {
+		t.Errorf("disjoint roots share %v, want 0", got)
+	}
+	if got := len(tree.Roots()); got != 2 {
+		t.Errorf("Roots = %d, want 2", got)
+	}
+}
+
+func TestDownstreamC(t *testing.T) {
+	tree := buildY(t)
+	down := tree.DownstreamC()
+	get := func(n string) float64 { return down[tree.MustIndex(n)] }
+	if got, want := get("a"), 10e-12; math.Abs(got-want) > 1e-24 {
+		t.Errorf("down(a) = %v, want %v", got, want)
+	}
+	if got, want := get("b"), 5e-12; math.Abs(got-want) > 1e-24 {
+		t.Errorf("down(b) = %v, want %v", got, want)
+	}
+	if got, want := get("c"), 3e-12; math.Abs(got-want) > 1e-24 {
+		t.Errorf("down(c) = %v, want %v", got, want)
+	}
+	if got, want := get("d"), 4e-12; math.Abs(got-want) > 1e-24 {
+		t.Errorf("down(d) = %v, want %v", got, want)
+	}
+}
+
+func TestOrders(t *testing.T) {
+	tree := buildY(t)
+	post := tree.PostOrder()
+	pre := tree.PreOrder()
+	if len(post) != tree.N() || len(pre) != tree.N() {
+		t.Fatalf("order lengths: post=%d pre=%d", len(post), len(pre))
+	}
+	seen := make(map[int]bool)
+	for _, i := range post {
+		for _, ch := range tree.Children(i) {
+			if !seen[ch] {
+				t.Errorf("post-order: node %d before child %d", i, ch)
+			}
+		}
+		seen[i] = true
+	}
+	seen = make(map[int]bool)
+	for _, i := range pre {
+		if p := tree.Parent(i); p != Source && !seen[p] {
+			t.Errorf("pre-order: node %d before parent %d", i, p)
+		}
+		seen[i] = true
+	}
+}
+
+func TestOrdersDeepChain(t *testing.T) {
+	// A 200k-deep chain must not overflow the stack during order
+	// computation (it is iterative).
+	n := 200000
+	tree := buildChain(t, n, 1, 1e-15)
+	if got := len(tree.PostOrder()); got != n {
+		t.Fatalf("post order len = %d, want %d", got, n)
+	}
+	if tree.Depth(n-1) != n {
+		t.Fatalf("depth = %d, want %d", tree.Depth(n-1), n)
+	}
+}
+
+func TestLeavesAndTotals(t *testing.T) {
+	tree := buildY(t)
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Fatalf("leaves = %v, want 2 leaves", leaves)
+	}
+	if got, want := tree.TotalC(), 10e-12; math.Abs(got-want) > 1e-24 {
+		t.Errorf("TotalC = %v, want %v", got, want)
+	}
+	if got, want := tree.TotalR(), 1000.0; got != want {
+		t.Errorf("TotalR = %v, want %v", got, want)
+	}
+}
+
+func TestSetRSetC(t *testing.T) {
+	tree := buildY(t)
+	a := tree.MustIndex("a")
+	if err := tree.SetR(a, 123); err != nil || tree.R(a) != 123 {
+		t.Errorf("SetR: err=%v R=%v", err, tree.R(a))
+	}
+	if err := tree.SetC(a, 5e-12); err != nil || tree.C(a) != 5e-12 {
+		t.Errorf("SetC: err=%v C=%v", err, tree.C(a))
+	}
+	if err := tree.SetR(a, -1); err == nil {
+		t.Errorf("SetR(-1) should fail")
+	}
+	if err := tree.SetC(a, -1); err == nil {
+		t.Errorf("SetC(-1) should fail")
+	}
+	if err := tree.SetC(a, 0); err != nil {
+		t.Errorf("SetC(0) should be allowed: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tree := buildY(t)
+	cp := tree.Clone()
+	a := tree.MustIndex("a")
+	if err := cp.SetR(a, 999); err != nil {
+		t.Fatal(err)
+	}
+	if tree.R(a) == 999 {
+		t.Errorf("Clone shares R storage with original")
+	}
+	if cp.N() != tree.N() || cp.Name(a) != tree.Name(a) {
+		t.Errorf("Clone mismatch")
+	}
+}
+
+func TestValidateCatchesInPlaceDegeneracy(t *testing.T) {
+	tree := buildY(t)
+	for i := 0; i < tree.N(); i++ {
+		if err := tree.SetC(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Validate(); err == nil {
+		t.Errorf("Validate should reject an all-zero-capacitance tree")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tree := buildY(t)
+	sub, err := tree.Subtree(tree.MustIndex("b"))
+	if err != nil {
+		t.Fatalf("Subtree: %v", err)
+	}
+	if sub.N() != 2 {
+		t.Fatalf("subtree N = %d, want 2", sub.N())
+	}
+	bi := sub.MustIndex("b")
+	if sub.Parent(bi) != Source || sub.R(bi) != 200 {
+		t.Errorf("subtree root wrong: parent=%d R=%v", sub.Parent(bi), sub.R(bi))
+	}
+	ci := sub.MustIndex("c")
+	if sub.Parent(ci) != bi {
+		t.Errorf("subtree child link wrong")
+	}
+}
+
+func TestPathToSource(t *testing.T) {
+	tree := buildY(t)
+	path := tree.PathToSource(tree.MustIndex("c"))
+	want := []string{"c", "b", "a"}
+	if len(path) != len(want) {
+		t.Fatalf("path len = %d, want %d", len(path), len(want))
+	}
+	for i, id := range path {
+		if tree.Name(id) != want[i] {
+			t.Errorf("path[%d] = %s, want %s", i, tree.Name(id), want[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tree := buildY(t)
+	s := tree.String()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if !strings.Contains(s, name+":") {
+			t.Errorf("String missing node %q:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(s, "100ohm") || !strings.Contains(s, "1pF") {
+		t.Errorf("String missing formatted values:\n%s", s)
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	tree := buildY(t)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustIndex should panic on unknown name")
+		}
+	}()
+	tree.MustIndex("nope")
+}
+
+func TestSortedNames(t *testing.T) {
+	tree := buildY(t)
+	names := tree.SortedNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

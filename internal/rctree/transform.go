@@ -1,0 +1,136 @@
+package rctree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Simplify returns an electrically equivalent tree with every
+// zero-capacitance single-child junction merged into its child (series
+// resistances add). Extraction tools emit many such junctions (vias,
+// segment boundaries); removing them shrinks every downstream analysis
+// without changing any node voltage. Node names of surviving nodes are
+// preserved. Zero-capacitance leaves are also dropped — no current ever
+// flows into them, so they carry the same voltage as their parent.
+func (t *Tree) Simplify() (*Tree, error) {
+	// keep[i] reports whether node i survives; extraR[i] accumulates the
+	// series resistance of merged ancestors, added to i's own R.
+	n := t.N()
+	drop := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if t.C(i) == 0 && len(t.Children(i)) <= 1 {
+			drop[i] = true
+		}
+	}
+	// Count survivors; a tree that would vanish entirely is degenerate.
+	survivors := 0
+	for i := 0; i < n; i++ {
+		if !drop[i] {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		return nil, fmt.Errorf("rctree: Simplify would remove every node (no capacitance anywhere)")
+	}
+
+	b := NewBuilder()
+	newID := make([]int, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	// Pre-order: parents processed first. For each surviving node, walk
+	// up through dropped ancestors, summing their resistances, until a
+	// surviving ancestor (or the source) is found.
+	for _, i := range t.PreOrder() {
+		if drop[i] {
+			continue
+		}
+		r := t.R(i)
+		p := t.Parent(i)
+		for p != Source && drop[p] {
+			r += t.R(p)
+			p = t.Parent(p)
+		}
+		var id int
+		var err error
+		if p == Source {
+			id, err = b.Root(t.Name(i), r, t.C(i))
+		} else {
+			id, err = b.Attach(newID[p], t.Name(i), r, t.C(i))
+		}
+		if err != nil {
+			return nil, err
+		}
+		newID[i] = id
+	}
+	return b.Build()
+}
+
+// Scaled returns a clone with every resistance multiplied by rFactor
+// and every capacitance by cFactor — the uniform process-corner
+// transform. Factors must be positive and finite.
+func (t *Tree) Scaled(rFactor, cFactor float64) (*Tree, error) {
+	if err := checkR(rFactor); err != nil {
+		return nil, fmt.Errorf("rctree: Scaled rFactor: %w", err)
+	}
+	if err := checkR(cFactor); err != nil {
+		return nil, fmt.Errorf("rctree: Scaled cFactor: %w", err)
+	}
+	cp := t.Clone()
+	for i := 0; i < cp.N(); i++ {
+		if err := cp.SetR(i, cp.R(i)*rFactor); err != nil {
+			return nil, err
+		}
+		if err := cp.SetC(i, cp.C(i)*cFactor); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}
+
+// MaxDepth returns the largest resistor count on any source-to-node
+// path.
+func (t *Tree) MaxDepth() int {
+	max := 0
+	for i := range t.nodes {
+		if d := t.nodes[i].depth; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxFanout returns the largest child count of any node (root fanout
+// from the source counts too).
+func (t *Tree) MaxFanout() int {
+	max := len(t.Roots())
+	for i := range t.nodes {
+		if f := len(t.nodes[i].children); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// DOT renders the tree in Graphviz dot format: the source as a box,
+// nodes labelled with their capacitance, edges with their resistance.
+// Useful for eyeballing extracted topologies.
+func (t *Tree) DOT(name string) string {
+	var sb strings.Builder
+	if name == "" {
+		name = "rctree"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  source [shape=box label=\"source\"];\n", name)
+	for _, i := range t.PreOrder() {
+		fmt.Fprintf(&sb, "  %q [label=\"%s\\n%s\"];\n", t.Name(i), t.Name(i), FormatFarads(t.C(i)))
+	}
+	for _, i := range t.PreOrder() {
+		from := "source"
+		if p := t.Parent(i); p != Source {
+			from = t.Name(p)
+		}
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"%s\"];\n", from, t.Name(i), FormatOhms(t.R(i)))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,232 @@
+package rctree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// elmoreAt computes T_D by the O(N^2) definition; kept local so the
+// transform tests don't depend on higher layers.
+func elmoreAt(t *Tree, i int) float64 {
+	var td float64
+	for k := 0; k < t.N(); k++ {
+		td += t.SharedPathResistance(i, k) * t.C(k)
+	}
+	return td
+}
+
+func TestSimplifyMergesJunctions(t *testing.T) {
+	// source -10- j1(0) -20- j2(0) -30- a(1p) -40- j3(0, leaf)
+	//                             \-50- b(2p)
+	b := NewBuilder()
+	j1 := b.MustRoot("j1", 10, 0)
+	j2 := b.MustAttach(j1, "j2", 20, 0)
+	a := b.MustAttach(j2, "a", 30, 1e-12)
+	b.MustAttach(j2, "b", 50, 2e-12)
+	b.MustAttach(a, "j3", 40, 0)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j2 has two children -> must be kept even with zero cap; j1 is a
+	// single-child junction -> merged; j3 is a zero-cap leaf -> dropped.
+	simp, err := tree.Simplify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simp.N() != 3 {
+		t.Fatalf("N = %d, want 3 (j2, a, b):\n%s", simp.N(), simp)
+	}
+	if _, ok := simp.Index("j1"); ok {
+		t.Errorf("j1 should be merged away")
+	}
+	if _, ok := simp.Index("j3"); ok {
+		t.Errorf("j3 should be dropped")
+	}
+	j2n := simp.MustIndex("j2")
+	if simp.R(j2n) != 30 { // 10 + 20
+		t.Errorf("merged R = %v, want 30", simp.R(j2n))
+	}
+	// Elmore delays at surviving nodes unchanged.
+	for _, name := range []string{"a", "b"} {
+		want := elmoreAt(tree, tree.MustIndex(name))
+		got := elmoreAt(simp, simp.MustIndex(name))
+		if math.Abs(got-want) > 1e-22 {
+			t.Errorf("T_D(%s) changed: %v -> %v", name, want, got)
+		}
+	}
+}
+
+func TestSimplifyNoopOnCleanTree(t *testing.T) {
+	tree := buildY(t)
+	simp, err := tree.Simplify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simp.N() != tree.N() {
+		t.Errorf("clean tree should be unchanged: %d -> %d", tree.N(), simp.N())
+	}
+}
+
+func TestSimplifyChainOfJunctions(t *testing.T) {
+	// A long run of zero-cap junctions collapses into one resistor.
+	b := NewBuilder()
+	prev := b.MustRoot("j1", 1, 0)
+	for i := 2; i <= 10; i++ {
+		prev = b.MustAttach(prev, "", 1, 0)
+	}
+	b.MustAttach(prev, "load", 1, 1e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp, err := tree.Simplify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simp.N() != 1 {
+		t.Fatalf("N = %d, want 1", simp.N())
+	}
+	load := simp.MustIndex("load")
+	if simp.R(load) != 11 {
+		t.Errorf("collapsed R = %v, want 11", simp.R(load))
+	}
+}
+
+func TestSimplifyRejectsAllZero(t *testing.T) {
+	// Build a valid tree, zero its caps in place, then simplify.
+	tree := buildY(t)
+	for i := 0; i < tree.N(); i++ {
+		if err := tree.SetC(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tree.Simplify(); err == nil {
+		t.Errorf("all-zero-cap tree should fail to simplify")
+	}
+}
+
+// Property: Simplify preserves the Elmore delay at every surviving node
+// and never increases the node count.
+func TestSimplifyPreservesElmoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := randomWithJunctions(seed)
+		simp, err := tree.Simplify()
+		if err != nil {
+			return false
+		}
+		if simp.N() > tree.N() {
+			return false
+		}
+		for i := 0; i < simp.N(); i++ {
+			orig, ok := tree.Index(simp.Name(i))
+			if !ok {
+				return false
+			}
+			if math.Abs(elmoreAt(simp, i)-elmoreAt(tree, orig)) > 1e-18 {
+				return false
+			}
+		}
+		return simp.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomWithJunctions builds a small random tree where ~40% of nodes
+// carry zero capacitance.
+func randomWithJunctions(seed int64) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(25)
+	b := NewBuilder()
+	ids := make([]int, 0, n)
+	caps := 0
+	for i := 0; i < n; i++ {
+		c := 1e-15 * float64(1+rng.Intn(100))
+		if rng.Intn(10) < 4 && i < n-1 {
+			c = 0
+		} else {
+			caps++
+		}
+		if caps == 0 && i == n-1 {
+			c = 1e-15 // guarantee at least one capacitor
+		}
+		r := 1 + float64(rng.Intn(1000))
+		if len(ids) == 0 {
+			ids = append(ids, mustRoot(b, r, c))
+		} else {
+			ids = append(ids, mustAttach(b, ids[rng.Intn(len(ids))], r, c))
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func mustRoot(b *Builder, r, c float64) int          { return b.MustRoot("", r, c) }
+func mustAttach(b *Builder, p int, r, c float64) int { return b.MustAttach(p, "", r, c) }
+
+func TestScaled(t *testing.T) {
+	tree := buildY(t)
+	s, err := tree.Scaled(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tree.N(); i++ {
+		if s.R(i) != 2*tree.R(i) || s.C(i) != 3*tree.C(i) {
+			t.Fatalf("scaling wrong at node %d", i)
+		}
+	}
+	// Elmore scales by the product of the factors.
+	for i := 0; i < tree.N(); i++ {
+		if math.Abs(elmoreAt(s, i)-6*elmoreAt(tree, i)) > 1e-18 {
+			t.Errorf("T_D should scale by 6 at node %d", i)
+		}
+	}
+	if _, err := tree.Scaled(0, 1); err == nil {
+		t.Errorf("zero factor should fail")
+	}
+	if _, err := tree.Scaled(1, math.NaN()); err == nil {
+		t.Errorf("NaN factor should fail")
+	}
+}
+
+func TestDepthAndFanoutStats(t *testing.T) {
+	tree := buildY(t)
+	if tree.MaxDepth() != 3 {
+		t.Errorf("MaxDepth = %d, want 3", tree.MaxDepth())
+	}
+	if tree.MaxFanout() != 2 {
+		t.Errorf("MaxFanout = %d, want 2", tree.MaxFanout())
+	}
+	b := NewBuilder()
+	b.MustRoot("a", 1, 1e-15)
+	b.MustRoot("b", 1, 1e-15)
+	b.MustRoot("c", 1, 1e-15)
+	multi, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.MaxFanout() != 3 {
+		t.Errorf("root fanout should count: %d", multi.MaxFanout())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	tree := buildY(t)
+	dot := tree.DOT("demo")
+	for _, want := range []string{"digraph \"demo\"", "source [shape=box", "\"a\" -> \"b\"", "100ohm", "1pF", "}"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.Contains(tree.DOT(""), "digraph \"rctree\"") {
+		t.Errorf("default name missing")
+	}
+}

@@ -1,0 +1,149 @@
+package rctree
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Engineering-notation helpers shared by the String method, the netlist
+// reader/writer, and report formatting in the CLIs.
+
+type siPrefix struct {
+	scale  float64
+	symbol string
+}
+
+var siPrefixes = []siPrefix{
+	{1e12, "T"},
+	{1e9, "G"},
+	{1e6, "M"},
+	{1e3, "k"},
+	{1, ""},
+	{1e-3, "m"},
+	{1e-6, "u"},
+	{1e-9, "n"},
+	{1e-12, "p"},
+	{1e-15, "f"},
+	{1e-18, "a"},
+}
+
+// FormatSI renders v with an SI prefix and the given unit symbol, for
+// example FormatSI(1.2e-9, "s") == "1.2ns".
+func FormatSI(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%v%s", v, unit)
+	}
+	av := math.Abs(v)
+	for _, p := range siPrefixes {
+		if av >= p.scale {
+			return trimFloat(v/p.scale) + p.symbol + unit
+		}
+	}
+	p := siPrefixes[len(siPrefixes)-1]
+	return trimFloat(v/p.scale) + p.symbol + unit
+}
+
+func trimFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 4, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// FormatOhms renders a resistance, e.g. "81.25" ohms -> "81.25ohm".
+func FormatOhms(r float64) string { return FormatSI(r, "ohm") }
+
+// FormatFarads renders a capacitance, e.g. 1e-12 -> "1pF".
+func FormatFarads(c float64) string { return FormatSI(c, "F") }
+
+// FormatSeconds renders a time, e.g. 5.5e-10 -> "550ps".
+func FormatSeconds(t float64) string { return FormatSI(t, "s") }
+
+// ParseValue parses a SPICE-style number with an optional engineering
+// suffix: f, p, n, u, m, k, meg (or x), g, t — case-insensitive. Any
+// trailing unit letters after the suffix are ignored (so "10pF", "10p"
+// and "10e-12" all parse to 1e-11), matching common SPICE practice.
+func ParseValue(s string) (float64, error) {
+	orig := s
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("rctree: empty numeric value")
+	}
+	// Longest numeric prefix.
+	end := 0
+	seenDigit := false
+	for end < len(s) {
+		ch := s[end]
+		switch {
+		case ch >= '0' && ch <= '9':
+			seenDigit = true
+			end++
+		case ch == '+' || ch == '-' || ch == '.':
+			end++
+		case ch == 'e' && seenDigit && end+1 < len(s) && isExpStart(s[end+1:]):
+			end++
+		default:
+			goto done
+		}
+	}
+done:
+	if !seenDigit {
+		return 0, fmt.Errorf("rctree: %q is not a number", orig)
+	}
+	base, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("rctree: parse %q: %w", orig, err)
+	}
+	suffix := s[end:]
+	scale := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg") || strings.HasPrefix(suffix, "x"):
+		scale = 1e6
+	case suffix[0] == 't':
+		scale = 1e12
+	case suffix[0] == 'g':
+		scale = 1e9
+	case suffix[0] == 'k':
+		scale = 1e3
+	case suffix[0] == 'm':
+		scale = 1e-3
+	case suffix[0] == 'u':
+		scale = 1e-6
+	case suffix[0] == 'n':
+		scale = 1e-9
+	case suffix[0] == 'p':
+		scale = 1e-12
+	case suffix[0] == 'f':
+		scale = 1e-15
+	case suffix[0] == 'a':
+		scale = 1e-18
+	default:
+		// Unknown letters (e.g. a bare unit like "ohm") are ignored,
+		// as in SPICE.
+	}
+	return base * scale, nil
+}
+
+// isExpStart reports whether rest begins like the tail of a float
+// exponent: a digit or a sign followed by a digit.
+func isExpStart(rest string) bool {
+	if rest == "" {
+		return false
+	}
+	if rest[0] >= '0' && rest[0] <= '9' {
+		return true
+	}
+	if (rest[0] == '+' || rest[0] == '-') && len(rest) > 1 && rest[1] >= '0' && rest[1] <= '9' {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigPRHBracket(t *testing.T) {
+	for _, node := range []string{"C1", "C5", "C7"} {
+		series, err := FigPRH(node)
+		if err != nil {
+			t.Fatalf("%s: %v", node, err)
+		}
+		if bad := CheckPRHFigure(series); len(bad) != 0 {
+			t.Fatalf("%s: bracket violations: %v", node, bad)
+		}
+		// The bracket is tight at the driving point for low levels
+		// (the paper's t_max = T_D effect) and widens at high v.
+		minS, maxS := series[0], series[2]
+		last := len(minS.X) - 1
+		if !(maxS.X[last] > minS.X[last]) {
+			t.Errorf("%s: bracket should have width at v->1", node)
+		}
+	}
+	if _, err := FigPRH("nope"); err == nil {
+		t.Errorf("unknown node should error")
+	}
+}
+
+func TestInputShapeStudy(t *testing.T) {
+	rows, err := InputShapeStudy("C5", 0.3e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if bad := CheckInputShapes(rows); len(bad) != 0 {
+		t.Fatalf("bound violations: %v", bad)
+	}
+	// Symmetric-derivative inputs share the T_D bound; the skewed
+	// exponential gets a strictly larger one.
+	if math.Abs(rows[0].Upper-rows[1].Upper) > 1e-12*rows[0].Upper {
+		t.Errorf("ramp and raised-cosine bounds should coincide at T_D: %v vs %v",
+			rows[0].Upper, rows[1].Upper)
+	}
+	if rows[2].Upper <= rows[0].Upper {
+		t.Errorf("exponential bound %v should exceed T_D %v (skewed input shift)",
+			rows[2].Upper, rows[0].Upper)
+	}
+	// All margins positive and finite.
+	for _, r := range rows {
+		if r.MarginPct < 0 || math.IsInf(r.MarginPct, 0) || math.IsNaN(r.MarginPct) {
+			t.Errorf("%s: margin %v", r.Input, r.MarginPct)
+		}
+	}
+	if _, err := InputShapeStudy("nope", 1e-9); err == nil {
+		t.Errorf("unknown node should error")
+	}
+}

@@ -1,0 +1,267 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/exact"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+	"elmore/internal/waveform"
+)
+
+// Series is one named (x, y) curve of a reproduced figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+func seriesFromWaveform(name string, w *waveform.Waveform) Series {
+	return Series{Name: name, X: w.T, Y: w.V}
+}
+
+// FigSamples is the per-curve sample count used by the figure
+// generators.
+const FigSamples = 400
+
+// responseFigure samples the step response and the impulse response
+// (scaled by `scale`, as the paper does to share one axis) at one node.
+func responseFigure(treeName, nodeName string, scale float64) ([]Series, error) {
+	var tree = topo.Fig1Tree()
+	if treeName == "line25" {
+		tree = topo.Line25Tree()
+	}
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	i := tree.MustIndex(nodeName)
+	horizon := sys.Horizon(0) / 2
+	step, err := sys.StepWaveform(i, horizon, FigSamples)
+	if err != nil {
+		return nil, err
+	}
+	imp, err := sys.ImpulseWaveform(i, horizon, FigSamples)
+	if err != nil {
+		return nil, err
+	}
+	for k := range imp.V {
+		imp.V[k] *= scale
+	}
+	return []Series{
+		seriesFromWaveform(fmt.Sprintf("step@%s", nodeName), step),
+		seriesFromWaveform(fmt.Sprintf("impulse@%s (x%g)", nodeName, scale), imp),
+	}, nil
+}
+
+// Fig3 reproduces Fig. 3: the unit step response and the (scaled)
+// impulse response at C5 of the Fig. 1 tree — moderately skewed.
+func Fig3() ([]Series, error) { return responseFigure("fig1", "C5", 1e-9) }
+
+// Fig5 reproduces Fig. 5: the same pair at C1, the driving point —
+// heavily skewed, which is why ln2*T_D is pessimistic there.
+func Fig5() ([]Series, error) { return responseFigure("fig1", "C1", 1e-9/4) }
+
+// Fig4 reproduces the paper's Fig. 4 illustration: a symmetric unimodal
+// density (a truncated Gaussian) for which mean = median = mode, the
+// situation in which Elmore's mean-for-median substitution is exact.
+func Fig4() []Series {
+	const (
+		mu    = 5.0
+		sigma = 1.0
+		n     = FigSamples
+	)
+	x := make([]float64, n+1)
+	y := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		x[k] = mu - 4*sigma + 8*sigma*float64(k)/float64(n)
+		d := (x[k] - mu) / sigma
+		y[k] = math.Exp(-d*d/2) / (sigma * math.Sqrt(2*math.Pi))
+	}
+	return []Series{{Name: "symmetric h(t)", X: x, Y: y}}
+}
+
+// Fig12Result carries the delay-vs-rise-time curves (paper Fig. 12) for
+// each observed node of the Fig. 1 tree, plus the Elmore asymptote.
+type Fig12Result struct {
+	RiseTimes []float64
+	Nodes     []string
+	Delays    map[string][]float64 // node -> delay per rise time
+	Elmore    map[string]float64   // node -> T_D asymptote
+}
+
+// DefaultFig12RiseTimes spans three decades around the circuit's time
+// constants.
+var DefaultFig12RiseTimes = logspace(0.05e-9, 20e-9, 25)
+
+// Fig12 reproduces Fig. 12: the 50% delay under saturated-ramp inputs
+// as a function of rise time, at C1, C5 and C7, approaching T_D from
+// below.
+func Fig12(riseTimes []float64) (*Fig12Result, error) {
+	if len(riseTimes) == 0 {
+		riseTimes = DefaultFig12RiseTimes
+	}
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{
+		RiseTimes: riseTimes,
+		Nodes:     []string{"C1", "C5", "C7"},
+		Delays:    make(map[string][]float64),
+		Elmore:    make(map[string]float64),
+	}
+	for _, name := range res.Nodes {
+		i := tree.MustIndex(name)
+		res.Elmore[name] = sys.Mean(i)
+		ds := make([]float64, len(riseTimes))
+		for k, tr := range riseTimes {
+			d, err := sys.Delay(i, signal.SaturatedRamp{Tr: tr}, 0)
+			if err != nil {
+				return nil, fmt.Errorf("repro: fig12 %s tr=%g: %w", name, tr, err)
+			}
+			ds[k] = d
+		}
+		res.Delays[name] = ds
+	}
+	return res, nil
+}
+
+// Check verifies Fig. 12's claims: each curve is nondecreasing, stays
+// below its T_D asymptote, and closes to within 2% of T_D at the
+// largest rise time.
+func (r *Fig12Result) Check() []string {
+	var bad []string
+	for _, name := range r.Nodes {
+		ds := r.Delays[name]
+		td := r.Elmore[name]
+		for k, d := range ds {
+			if d > td*(1+1e-9) {
+				bad = append(bad, fmt.Sprintf("%s tr=%g: delay %g above T_D %g", name, r.RiseTimes[k], d, td))
+			}
+			if k > 0 && d < ds[k-1]*(1-1e-9) {
+				bad = append(bad, fmt.Sprintf("%s: delay curve not monotone at tr=%g", name, r.RiseTimes[k]))
+			}
+		}
+		if last := ds[len(ds)-1]; last < 0.9*td {
+			bad = append(bad, fmt.Sprintf("%s: delay %g has not approached T_D %g at tr=%g", name, last, td, r.RiseTimes[len(ds)-1]))
+		}
+	}
+	return bad
+}
+
+// Fig13 reproduces Fig. 13: the impulse responses at nodes A (driving
+// point), B (middle) and C (leaf) of the 25-node line. The responses
+// become visibly more symmetric downstream.
+func Fig13() ([]Series, error) {
+	tree := topo.Line25Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	horizon := sys.Horizon(0) / 2
+	var out []Series
+	for _, nd := range []struct{ label, name string }{
+		{"A", topo.Line25NodeA}, {"B", topo.Line25NodeB}, {"C", topo.Line25NodeC},
+	} {
+		w, err := sys.ImpulseWaveform(tree.MustIndex(nd.name), horizon, FigSamples)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seriesFromWaveform("h@"+nd.label, w))
+	}
+	return out, nil
+}
+
+// Fig13Skews returns the exact skewness at A, B, C — the quantity whose
+// decrease the figure illustrates.
+func Fig13Skews() (map[string]float64, error) {
+	tree := topo.Line25Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, nd := range []struct{ label, name string }{
+		{"A", topo.Line25NodeA}, {"B", topo.Line25NodeB}, {"C", topo.Line25NodeC},
+	} {
+		i := tree.MustIndex(nd.name)
+		mu2 := sys.Mu2(i)
+		out[nd.label] = sys.Mu3(i) / math.Pow(mu2, 1.5)
+	}
+	return out, nil
+}
+
+// Fig14Result carries relative Elmore error vs node position curves
+// (paper Fig. 14) for several input rise times on the 25-node line.
+type Fig14Result struct {
+	RiseTimes []float64
+	Positions []int                 // node position along the line, 1-based
+	ErrPct    map[float64][]float64 // rise time -> |T_D - delay|/delay * 100 per node
+}
+
+// Fig14 reproduces Fig. 14. Empty riseTimes uses the paper's 1, 5,
+// 10 ns.
+func Fig14(riseTimes []float64) (*Fig14Result, error) {
+	if len(riseTimes) == 0 {
+		riseTimes = TableIIRiseTimes
+	}
+	tree := topo.Line25Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{RiseTimes: riseTimes, ErrPct: make(map[float64][]float64)}
+	for i := 0; i < tree.N(); i++ {
+		res.Positions = append(res.Positions, i+1)
+	}
+	for _, tr := range riseTimes {
+		errs := make([]float64, tree.N())
+		for i := 0; i < tree.N(); i++ {
+			d, err := sys.Delay(i, signal.SaturatedRamp{Tr: tr}, 0)
+			if err != nil {
+				return nil, fmt.Errorf("repro: fig14 node %d tr=%g: %w", i, tr, err)
+			}
+			errs[i] = math.Abs(sys.Mean(i)-d) / d * 100
+		}
+		res.ErrPct[tr] = errs
+	}
+	return res, nil
+}
+
+// Check verifies Fig. 14's claims: at every node the error decreases
+// with rise time, and along the line each curve decreases from the
+// driving point to the leaf (allowing tiny numerical wiggle).
+func (r *Fig14Result) Check() []string {
+	var bad []string
+	for k := 1; k < len(r.RiseTimes); k++ {
+		slow := r.ErrPct[r.RiseTimes[k]]
+		fast := r.ErrPct[r.RiseTimes[k-1]]
+		for i := range slow {
+			if slow[i] > fast[i]*(1+1e-9) {
+				bad = append(bad, fmt.Sprintf("node %d: error grew with rise time", i+1))
+			}
+		}
+	}
+	for _, tr := range r.RiseTimes {
+		errs := r.ErrPct[tr]
+		for i := 1; i < len(errs); i++ {
+			if errs[i] > errs[i-1]*(1+1e-6) {
+				bad = append(bad, fmt.Sprintf("tr=%g: error grew from node %d to %d", tr, i, i+1))
+			}
+		}
+	}
+	return bad
+}
+
+// logspace returns n log-spaced points between lo and hi inclusive.
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		f := float64(k) / float64(n-1)
+		out[k] = math.Exp(math.Log(lo) + f*(math.Log(hi)-math.Log(lo)))
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"elmore/internal/rctree"
+)
+
+// ns formats a time in nanoseconds with 4 significant digits, matching
+// the paper's table style.
+func ns(t float64) string {
+	return fmt.Sprintf("%.4g ns", t*1e9)
+}
+
+// Render returns Table I as fixed-width text, in the paper's column
+// order.
+func (r *TableIResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: delay bounds for the calibrated Fig. 1 circuit\n")
+	fmt.Fprintf(&sb, "%-5s %12s %12s %12s %14s %12s %12s\n",
+		"Node", "Actual", "Elmore T_D", "T_D-sigma", "T_D*ln2", "PRH t_max", "PRH t_min")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-5s %12s %12s %12s %14s %12s %12s\n",
+			row.Node, ns(row.Actual), ns(row.Elmore), ns(row.Lower),
+			ns(row.SinglePole), ns(row.PRHTmax), ns(row.PRHTmin))
+	}
+	return sb.String()
+}
+
+// CSV returns Table I as comma-separated values (times in seconds).
+func (r *TableIResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("node,actual,elmore,lower,single_pole,prh_tmax,prh_tmin\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+			row.Node, row.Actual, row.Elmore, row.Lower, row.SinglePole, row.PRHTmax, row.PRHTmin)
+	}
+	return sb.String()
+}
+
+// Render returns Table II as fixed-width text.
+func (r *TableIIResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table II: ramp-input delays and relative error on the 25-node line\n")
+	fmt.Fprintf(&sb, "%-5s %12s", "Node", "Elmore")
+	for _, tr := range r.RiseTimes {
+		fmt.Fprintf(&sb, " | %10s %8s", "d@"+rctree.FormatSeconds(tr), "%err")
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-5s %12s", row.Node, ns(row.Elmore))
+		for _, e := range row.Entries {
+			fmt.Fprintf(&sb, " | %10s %7.3g%%", ns(e.Delay), e.RelErrPct)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV returns Table II as comma-separated values.
+func (r *TableIIResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("node,elmore,rise_time,delay,rel_err_pct\n")
+	for _, row := range r.Rows {
+		for _, e := range row.Entries {
+			fmt.Fprintf(&sb, "%s,%.6g,%.6g,%.6g,%.6g\n",
+				row.Node, row.Elmore, e.RiseTime, e.Delay, e.RelErrPct)
+		}
+	}
+	return sb.String()
+}
+
+// SeriesCSV renders a list of curves sharing no grid as long-format
+// CSV: series,x,y.
+func SeriesCSV(series []Series) string {
+	var sb strings.Builder
+	sb.WriteString("series,x,y\n")
+	for _, s := range series {
+		for k := range s.X {
+			fmt.Fprintf(&sb, "%s,%.9g,%.9g\n", s.Name, s.X[k], s.Y[k])
+		}
+	}
+	return sb.String()
+}
+
+// Render returns the Fig. 12 curves as fixed-width text.
+func (r *Fig12Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 12: 50%% delay vs input rise time (-> T_D from below)\n")
+	fmt.Fprintf(&sb, "%14s", "rise time")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&sb, " %14s", n)
+	}
+	sb.WriteByte('\n')
+	for k, tr := range r.RiseTimes {
+		fmt.Fprintf(&sb, "%14s", rctree.FormatSeconds(tr))
+		for _, n := range r.Nodes {
+			fmt.Fprintf(&sb, " %14s", ns(r.Delays[n][k]))
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%14s", "T_D asymptote")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&sb, " %14s", ns(r.Elmore[n]))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// CSV renders the Fig. 12 curves as comma-separated values.
+func (r *Fig12Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("rise_time")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&sb, ",%s", n)
+	}
+	sb.WriteByte('\n')
+	for k, tr := range r.RiseTimes {
+		fmt.Fprintf(&sb, "%.6g", tr)
+		for _, n := range r.Nodes {
+			fmt.Fprintf(&sb, ",%.6g", r.Delays[n][k])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Render returns the Fig. 14 error surface as fixed-width text.
+func (r *Fig14Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 14: relative Elmore error (%%) vs node position\n")
+	fmt.Fprintf(&sb, "%6s", "node")
+	for _, tr := range r.RiseTimes {
+		fmt.Fprintf(&sb, " %12s", "tr="+rctree.FormatSeconds(tr))
+	}
+	sb.WriteByte('\n')
+	for idx, pos := range r.Positions {
+		fmt.Fprintf(&sb, "%6d", pos)
+		for _, tr := range r.RiseTimes {
+			fmt.Fprintf(&sb, " %12.4g", r.ErrPct[tr][idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders the Fig. 14 error surface as comma-separated values.
+func (r *Fig14Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("position")
+	for _, tr := range r.RiseTimes {
+		fmt.Fprintf(&sb, ",tr_%g", tr)
+	}
+	sb.WriteByte('\n')
+	for idx, pos := range r.Positions {
+		fmt.Fprintf(&sb, "%d", pos)
+		for _, tr := range r.RiseTimes {
+			fmt.Fprintf(&sb, ",%.6g", r.ErrPct[tr][idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

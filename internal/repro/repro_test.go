@@ -1,0 +1,191 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIShape(t *testing.T) {
+	res, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if bad := res.Check(); len(bad) != 0 {
+		t.Fatalf("structural violations: %v", bad)
+	}
+	// Calibrated Elmore column matches the paper exactly.
+	for _, row := range res.Rows {
+		paper := PaperTableI[row.Node]
+		if math.Abs(row.Elmore-paper.Elmore) > 1e-12 {
+			t.Errorf("%s: Elmore %v, paper %v", row.Node, row.Elmore, paper.Elmore)
+		}
+		// The actual delay lands in the same regime as the paper's
+		// (within a factor ~2: the paper's exact R/C values are not
+		// published).
+		if row.Actual < paper.Actual/2 || row.Actual > paper.Actual*2 {
+			t.Errorf("%s: actual %v far from paper's %v", row.Node, row.Actual, paper.Actual)
+		}
+	}
+	txt := res.Render()
+	for _, want := range []string{"Table I", "C1", "C5", "C7", "PRH t_max"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "node,actual,elmore") || strings.Count(csv, "\n") != 4 {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	res, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || len(res.Rows[0].Entries) != 3 {
+		t.Fatalf("shape wrong")
+	}
+	if bad := res.Check(); len(bad) != 0 {
+		t.Fatalf("structural violations: %v", bad)
+	}
+	// Calibration: Elmore at A and C match the paper exactly; B is
+	// within 5% (the paper's exact tree is unpublished).
+	a, c := res.Rows[0], res.Rows[2]
+	if math.Abs(a.Elmore-0.02e-9) > 1e-13 || math.Abs(c.Elmore-1.56e-9) > 1e-12 {
+		t.Errorf("calibration off: A=%v C=%v", a.Elmore, c.Elmore)
+	}
+	b := res.Rows[1]
+	if math.Abs(b.Elmore-1.13e-9) > 0.05*1.13e-9 {
+		t.Errorf("B Elmore %v too far from paper's 1.13ns", b.Elmore)
+	}
+	// Error magnitudes in the paper's regime (same order at each cell).
+	for _, row := range res.Rows {
+		paper := PaperTableII[row.Node]
+		for k, e := range row.Entries {
+			p := paper.ErrPcts[k]
+			if e.RelErrPct < p/4 || e.RelErrPct > p*4 {
+				t.Errorf("%s tr=%g: err %.3g%% vs paper %.3g%% (off >4x)",
+					row.Node, e.RiseTime, e.RelErrPct, p)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Table II") {
+		t.Errorf("Render malformed")
+	}
+	if !strings.HasPrefix(res.CSV(), "node,elmore,rise_time") {
+		t.Errorf("CSV malformed")
+	}
+}
+
+func TestFig3And5(t *testing.T) {
+	for _, f := range []func() ([]Series, error){Fig3, Fig5} {
+		series, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series) != 2 {
+			t.Fatalf("series = %d", len(series))
+		}
+		step := series[0]
+		if step.Y[0] != 0 || step.Y[len(step.Y)-1] < 0.9 {
+			t.Errorf("step series shape wrong: %v .. %v", step.Y[0], step.Y[len(step.Y)-1])
+		}
+		imp := series[1]
+		max := 0.0
+		for _, y := range imp.Y {
+			if y < -1e-9 {
+				t.Errorf("impulse went negative")
+			}
+			if y > max {
+				max = y
+			}
+		}
+		if max <= 0 {
+			t.Errorf("impulse series empty")
+		}
+	}
+	csv := SeriesCSV(Fig4())
+	if !strings.HasPrefix(csv, "series,x,y") {
+		t.Errorf("SeriesCSV malformed")
+	}
+}
+
+func TestFig4Symmetric(t *testing.T) {
+	s := Fig4()[0]
+	n := len(s.Y)
+	for k := 0; k < n/2; k++ {
+		if math.Abs(s.Y[k]-s.Y[n-1-k]) > 1e-12 {
+			t.Fatalf("Fig4 density not symmetric at %d", k)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	res, err := Fig12(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := res.Check(); len(bad) != 0 {
+		t.Fatalf("violations: %v", bad)
+	}
+	if !strings.Contains(res.Render(), "T_D asymptote") {
+		t.Errorf("Render malformed")
+	}
+	if !strings.HasPrefix(res.CSV(), "rise_time,C1,C5,C7") {
+		t.Errorf("CSV malformed:\n%s", res.CSV()[:40])
+	}
+}
+
+func TestFig13SkewDecreases(t *testing.T) {
+	series, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	skews, err := Fig13Skews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(skews["A"] > skews["B"] && skews["B"] > skews["C"]) {
+		t.Errorf("skew should decrease downstream: %v", skews)
+	}
+	if skews["C"] < 0 {
+		t.Errorf("skew must stay nonnegative: %v", skews)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	res, err := Fig14(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != 25 {
+		t.Fatalf("positions = %d", len(res.Positions))
+	}
+	if bad := res.Check(); len(bad) != 0 {
+		t.Fatalf("violations: %v", bad)
+	}
+	if !strings.Contains(res.Render(), "Fig. 14") {
+		t.Errorf("Render malformed")
+	}
+	if !strings.HasPrefix(res.CSV(), "position,tr_") {
+		t.Errorf("CSV malformed")
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	xs := logspace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-9*want[i] {
+			t.Errorf("logspace = %v", xs)
+		}
+	}
+}

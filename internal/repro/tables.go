@@ -1,0 +1,213 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation on the calibrated circuits from package topo:
+//
+//	Table I  — delay bounds at C1, C5, C7 of the Fig. 1 tree
+//	Table II — ramp-input delays and relative errors at A, B, C of the
+//	           25-node line for rise times 1, 5, 10 ns
+//	Fig. 3/5 — step + impulse responses at C5 / C1
+//	Fig. 4   — symmetric-density illustration (mean = median = mode)
+//	Fig. 12  — 50% delay vs input rise time, asymptotic to T_D
+//	Fig. 13  — impulse responses at A, B, C (skew decreasing downstream)
+//	Fig. 14  — relative error vs node position for several rise times
+//
+// Each generator returns plain data plus text/CSV renderers, so the
+// same code backs the CLI (cmd/repro), the benchmarks (bench_test.go)
+// and EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/core"
+	"elmore/internal/exact"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+// TableIRow is one row of Table I: all delay bounds at one node (units:
+// seconds).
+type TableIRow struct {
+	Node       string
+	Actual     float64 // exact 50% step delay (col 2)
+	Elmore     float64 // T_D (col 3)
+	Lower      float64 // max(T_D - sigma, 0) (col 4)
+	SinglePole float64 // ln2 * T_D (col 5)
+	PRHTmax    float64 // Penfield-Rubinstein upper bound (col 6)
+	PRHTmin    float64 // Penfield-Rubinstein lower bound (col 7)
+}
+
+// TableIResult is the reproduced Table I.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// PaperTableI holds the published Table I values (seconds) for
+// comparison in EXPERIMENTS.md. Column order matches TableIRow.
+var PaperTableI = map[string]TableIRow{
+	"C1": {Node: "C1", Actual: 0.196e-9, Elmore: 0.55e-9, Lower: 0, SinglePole: 0.383e-9, PRHTmax: 0.55e-9, PRHTmin: 0},
+	"C5": {Node: "C5", Actual: 0.919e-9, Elmore: 1.2e-9, Lower: 0.2e-9, SinglePole: 0.83e-9, PRHTmax: 1.32e-9, PRHTmin: 0.51e-9},
+	"C7": {Node: "C7", Actual: 0.45e-9, Elmore: 0.75e-9, Lower: 0, SinglePole: 0.524e-9, PRHTmax: 1.02e-9, PRHTmin: 0.054e-9},
+}
+
+// TableINodes lists the observed nodes in paper order.
+var TableINodes = []string{"C1", "C5", "C7"}
+
+// TableI reproduces Table I on the calibrated Fig. 1 circuit.
+func TableI() (*TableIResult, error) {
+	tree := topo.Fig1Tree()
+	an, err := core.Analyze(tree)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIResult{}
+	for _, name := range TableINodes {
+		i := tree.MustIndex(name)
+		actual, err := sys.Delay50Step(i)
+		if err != nil {
+			return nil, fmt.Errorf("repro: table I node %s: %w", name, err)
+		}
+		b := an.Bounds[i]
+		res.Rows = append(res.Rows, TableIRow{
+			Node:       name,
+			Actual:     actual,
+			Elmore:     b.Elmore,
+			Lower:      b.Lower,
+			SinglePole: b.SinglePole,
+			PRHTmax:    b.PRHTmax,
+			PRHTmin:    b.PRHTmin,
+		})
+	}
+	return res, nil
+}
+
+// Check verifies the structural claims the paper makes about Table I:
+// bound ordering at every node, t_max = T_D at the driving point,
+// t_max > T_D at the loads. It returns a list of violations (empty
+// means the reproduction has the paper's shape).
+func (r *TableIResult) Check() []string {
+	var bad []string
+	const tol = 1 + 1e-9
+	for _, row := range r.Rows {
+		if row.Actual > row.Elmore*tol {
+			bad = append(bad, fmt.Sprintf("%s: actual %g exceeds Elmore bound %g", row.Node, row.Actual, row.Elmore))
+		}
+		if row.Lower > row.Actual*tol {
+			bad = append(bad, fmt.Sprintf("%s: lower bound %g exceeds actual %g", row.Node, row.Lower, row.Actual))
+		}
+		if row.PRHTmin > row.Actual*tol || row.Actual > row.PRHTmax*tol {
+			bad = append(bad, fmt.Sprintf("%s: actual %g outside PRH [%g, %g]", row.Node, row.Actual, row.PRHTmin, row.PRHTmax))
+		}
+	}
+	first := r.Rows[0]
+	if math.Abs(first.PRHTmax-first.Elmore) > 1e-12*first.Elmore {
+		bad = append(bad, fmt.Sprintf("driving point: t_max %g != T_D %g", first.PRHTmax, first.Elmore))
+	}
+	for _, row := range r.Rows[1:] {
+		if row.PRHTmax <= row.Elmore {
+			bad = append(bad, fmt.Sprintf("%s: t_max %g should exceed T_D %g", row.Node, row.PRHTmax, row.Elmore))
+		}
+	}
+	return bad
+}
+
+// TableIIEntry is one (rise time, delay) measurement.
+type TableIIEntry struct {
+	RiseTime  float64
+	Delay     float64 // measured 50% delay (output 50% - input 50%)
+	RelErrPct float64 // |delay - T_D| / delay * 100
+}
+
+// TableIIRow is one node of Table II.
+type TableIIRow struct {
+	Node    string
+	Elmore  float64
+	Entries []TableIIEntry
+}
+
+// TableIIResult is the reproduced Table II.
+type TableIIResult struct {
+	RiseTimes []float64
+	Rows      []TableIIRow
+}
+
+// PaperTableII holds the published Table II values: per node, the
+// Elmore delay and (delay, %error) for rise times 1, 5, 10 ns.
+var PaperTableII = map[string]struct {
+	Elmore  float64
+	Delays  [3]float64
+	ErrPcts [3]float64
+}{
+	"A": {Elmore: 0.02e-9, Delays: [3]float64{0.01e-9, 18.0e-12, 19.0e-12}, ErrPcts: [3]float64{104, 11.9, 1.54}},
+	"B": {Elmore: 1.13e-9, Delays: [3]float64{0.72e-9, 1.06e-9, 1.116e-9}, ErrPcts: [3]float64{54.7, 6.5, 0.86}},
+	"C": {Elmore: 1.56e-9, Delays: [3]float64{1.2e-9, 1.48e-9, 1.547e-9}, ErrPcts: [3]float64{29.6, 4.8, 0.64}},
+}
+
+// TableIIRiseTimes are the paper's rise times.
+var TableIIRiseTimes = []float64{1e-9, 5e-9, 10e-9}
+
+// TableII reproduces Table II on the calibrated 25-node line. Passing
+// no rise times uses the paper's 1, 5, 10 ns.
+func TableII(riseTimes ...float64) (*TableIIResult, error) {
+	if len(riseTimes) == 0 {
+		riseTimes = TableIIRiseTimes
+	}
+	tree := topo.Line25Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIResult{RiseTimes: riseTimes}
+	nodes := []struct{ label, name string }{
+		{"A", topo.Line25NodeA},
+		{"B", topo.Line25NodeB},
+		{"C", topo.Line25NodeC},
+	}
+	for _, nd := range nodes {
+		i := tree.MustIndex(nd.name)
+		row := TableIIRow{Node: nd.label, Elmore: sys.Mean(i)}
+		for _, tr := range riseTimes {
+			d, err := sys.Delay(i, signal.SaturatedRamp{Tr: tr}, 0)
+			if err != nil {
+				return nil, fmt.Errorf("repro: table II node %s tr=%g: %w", nd.label, tr, err)
+			}
+			row.Entries = append(row.Entries, TableIIEntry{
+				RiseTime:  tr,
+				Delay:     d,
+				RelErrPct: math.Abs(d-row.Elmore) / d * 100,
+			})
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Check verifies Table II's structural claims: every measured delay is
+// below T_D; the relative error decreases with rise time at every node
+// and decreases downstream (A > B > C) at every rise time.
+func (r *TableIIResult) Check() []string {
+	var bad []string
+	for _, row := range r.Rows {
+		for k, e := range row.Entries {
+			if e.Delay > row.Elmore*(1+1e-9) {
+				bad = append(bad, fmt.Sprintf("%s tr=%g: delay %g exceeds T_D %g", row.Node, e.RiseTime, e.Delay, row.Elmore))
+			}
+			if k > 0 && e.RelErrPct > row.Entries[k-1].RelErrPct {
+				bad = append(bad, fmt.Sprintf("%s: error not decreasing with rise time", row.Node))
+			}
+		}
+	}
+	for k := range r.RiseTimes {
+		for rowIdx := 1; rowIdx < len(r.Rows); rowIdx++ {
+			if r.Rows[rowIdx].Entries[k].RelErrPct > r.Rows[rowIdx-1].Entries[k].RelErrPct {
+				bad = append(bad, fmt.Sprintf("tr=%g: error not decreasing downstream (%s vs %s)",
+					r.RiseTimes[k], r.Rows[rowIdx].Node, r.Rows[rowIdx-1].Node))
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,338 @@
+// Package route turns net geometry into RC trees — the use case the
+// paper's introduction cites for the Elmore metric: "it is used during
+// logic synthesis to estimate wiring delays for approximate Steiner or
+// spanning tree routes [and] during performance driven placement and
+// routing because it is the only delay metric which is easily measured
+// in terms of net widths and lengths".
+//
+// A Net is a driver pin plus sink pins in a Manhattan routing plane.
+// Two classic estimation topologies are provided: the rectilinear
+// minimum spanning tree (Prim under L1 distance, edges realized as
+// L-shapes) and the single-trunk comb. Either topology converts to an
+// RC tree by pi-lumping each wire segment with per-unit-length
+// parasitics, after which every analysis in this repository applies.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"elmore/internal/rctree"
+)
+
+// Pin is a named connection point. X and Y are in layout units
+// (typically microns); C is the pin's load capacitance (farads), used
+// for sinks.
+type Pin struct {
+	Name string
+	X, Y float64
+	C    float64
+}
+
+// Net is a driver and its sinks. DriverR is the driving cell's
+// effective output resistance (ohms); it becomes the root resistance of
+// the RC tree.
+type Net struct {
+	Driver  Pin
+	DriverR float64
+	Sinks   []Pin
+}
+
+// Validate checks the net is well-formed: positive driver resistance,
+// at least one sink, unique names, finite coordinates, nonnegative pin
+// capacitance.
+func (n Net) Validate() error {
+	if n.DriverR <= 0 || math.IsNaN(n.DriverR) || math.IsInf(n.DriverR, 0) {
+		return fmt.Errorf("route: driver resistance must be positive and finite, got %v", n.DriverR)
+	}
+	if len(n.Sinks) == 0 {
+		return fmt.Errorf("route: net needs at least one sink")
+	}
+	seen := map[string]bool{}
+	for _, p := range append([]Pin{n.Driver}, n.Sinks...) {
+		if p.Name == "" {
+			return fmt.Errorf("route: every pin needs a name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("route: duplicate pin name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+			return fmt.Errorf("route: pin %q has non-finite coordinates", p.Name)
+		}
+		if p.C < 0 || math.IsNaN(p.C) {
+			return fmt.Errorf("route: pin %q has invalid capacitance %v", p.Name, p.C)
+		}
+	}
+	return nil
+}
+
+// HPWL returns the half-perimeter wirelength of the net's bounding box
+// — the classic lower bound on rectilinear Steiner wirelength.
+func (n Net) HPWL() float64 {
+	minX, maxX := n.Driver.X, n.Driver.X
+	minY, maxY := n.Driver.Y, n.Driver.Y
+	for _, p := range n.Sinks {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return (maxX - minX) + (maxY - minY)
+}
+
+// point is a routed tree vertex.
+type point struct {
+	name string
+	x, y float64
+	c    float64 // pin load (0 for Steiner/corner points)
+}
+
+// edge connects point child to point parent (toward the driver).
+type edge struct {
+	parent, child int
+	length        float64
+}
+
+// Topology is a routed net: a geometric tree of wire segments rooted at
+// the driver.
+type Topology struct {
+	points []point
+	edges  []edge // child-sorted topological order: parent appears as point before child edge processed
+}
+
+// Wirelength returns total routed wire length.
+func (t *Topology) Wirelength() float64 {
+	var sum float64
+	for _, e := range t.edges {
+		sum += e.length
+	}
+	return sum
+}
+
+// Points returns the number of routed vertices (pins + corners).
+func (t *Topology) Points() int { return len(t.points) }
+
+func manhattan(a, b point) float64 {
+	return math.Abs(a.x-b.x) + math.Abs(a.y-b.y)
+}
+
+// MST routes the net as a rectilinear minimum spanning tree (Prim's
+// algorithm under Manhattan distance, rooted at the driver). Each tree
+// edge is realized as an L-shape (horizontal then vertical) with a
+// corner vertex, so the resulting RC tree has physical wire lengths.
+func MST(n Net) (*Topology, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	pts := []point{{n.Driver.Name, n.Driver.X, n.Driver.Y, 0}}
+	for _, s := range n.Sinks {
+		pts = append(pts, point{s.Name, s.X, s.Y, s.C})
+	}
+	inTree := make([]bool, len(pts))
+	parent := make([]int, len(pts))
+	dist := make([]float64, len(pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = 0
+	}
+	inTree[0] = true
+	for i := 1; i < len(pts); i++ {
+		dist[i] = manhattan(pts[i], pts[0])
+	}
+	topo := &Topology{points: pts}
+	for count := 1; count < len(pts); count++ {
+		best := -1
+		for i := range pts {
+			if !inTree[i] && (best < 0 || dist[i] < dist[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		topo.addL(parent[best], best)
+		for i := range pts {
+			if !inTree[i] {
+				if d := manhattan(pts[i], pts[best]); d < dist[i] {
+					dist[i] = d
+					parent[i] = best
+				}
+			}
+		}
+	}
+	return topo, nil
+}
+
+// addL connects child to parent with an L-shaped route, inserting a
+// corner vertex when both coordinates differ.
+func (t *Topology) addL(parent, child int) {
+	p, c := t.points[parent], t.points[child]
+	dx := math.Abs(p.x - c.x)
+	dy := math.Abs(p.y - c.y)
+	switch {
+	case dx == 0 && dy == 0:
+		// Coincident points: a zero-length edge would break the RC
+		// conversion; connect through a minimal stub handled at
+		// conversion time.
+		t.edges = append(t.edges, edge{parent, child, 0})
+	case dx == 0 || dy == 0:
+		t.edges = append(t.edges, edge{parent, child, dx + dy})
+	default:
+		corner := point{fmt.Sprintf("%s_corner", c.name), c.x, p.y, 0}
+		t.points = append(t.points, corner)
+		ci := len(t.points) - 1
+		t.edges = append(t.edges, edge{parent, ci, dx})
+		t.edges = append(t.edges, edge{ci, child, dy})
+	}
+}
+
+// Trunk routes the net as a single-trunk comb: a vertical trunk at the
+// driver's x spanning the sinks' y range, with horizontal branches to
+// each sink — the other classic pre-route estimation topology.
+func Trunk(n Net) (*Topology, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	pts := []point{{n.Driver.Name, n.Driver.X, n.Driver.Y, 0}}
+	topo := &Topology{points: pts}
+
+	// Tap points on the trunk, one per distinct sink y (plus the driver
+	// y), sorted so the trunk is a chain outward from the driver.
+	ys := map[float64]bool{}
+	for _, s := range n.Sinks {
+		ys[s.Y] = true
+	}
+	var above, below []float64
+	for y := range ys {
+		if y >= n.Driver.Y {
+			above = append(above, y)
+		} else {
+			below = append(below, y)
+		}
+	}
+	sort.Float64s(above)
+	sort.Sort(sort.Reverse(sort.Float64Slice(below)))
+	tapAt := map[float64]int{n.Driver.Y: 0}
+	build := func(ylist []float64) {
+		prev := 0
+		prevY := n.Driver.Y
+		for _, y := range ylist {
+			if y == n.Driver.Y {
+				tapAt[y] = 0
+				continue
+			}
+			topo.points = append(topo.points, point{fmt.Sprintf("trunk_y%g", y), n.Driver.X, y, 0})
+			idx := len(topo.points) - 1
+			topo.edges = append(topo.edges, edge{prev, idx, math.Abs(y - prevY)})
+			tapAt[y] = idx
+			prev = idx
+			prevY = y
+		}
+	}
+	build(above)
+	build(below)
+
+	for _, s := range n.Sinks {
+		topo.points = append(topo.points, point{s.Name, s.X, s.Y, s.C})
+		si := len(topo.points) - 1
+		topo.edges = append(topo.edges, edge{tapAt[s.Y], si, math.Abs(s.X - n.Driver.X)})
+	}
+	return topo, nil
+}
+
+// Parasitics converts geometry to electrical values.
+type Parasitics struct {
+	// ROhmPerUnit and CFaradPerUnit are wire resistance/capacitance per
+	// layout unit of length.
+	ROhmPerUnit   float64
+	CFaradPerUnit float64
+	// MaxSegment is the longest wire run lumped into a single pi
+	// section; longer edges are subdivided. <= 0 means one section per
+	// edge.
+	MaxSegment float64
+}
+
+func (p Parasitics) validate() error {
+	if p.ROhmPerUnit <= 0 || p.CFaradPerUnit <= 0 {
+		return fmt.Errorf("route: per-unit parasitics must be positive (r=%v, c=%v)", p.ROhmPerUnit, p.CFaradPerUnit)
+	}
+	return nil
+}
+
+// RCTree lumps the routed topology into an RC tree: each wire edge
+// becomes ceil(len/MaxSegment) pi sections (half the section's wire
+// capacitance at each end), pin loads are added at sink vertices, and
+// the driver's output resistance drives the root. Vertex names are
+// preserved.
+func (t *Topology) RCTree(driverR float64, p Parasitics) (*rctree.Tree, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if driverR <= 0 {
+		return nil, fmt.Errorf("route: driver resistance must be positive, got %v", driverR)
+	}
+	// minStub realizes zero-length connections (coincident pins) with a
+	// negligible resistance instead of an illegal zero.
+	const minStub = 1e-6
+
+	b := rctree.NewBuilder()
+	id := make([]int, len(t.points))
+	for i := range id {
+		id[i] = -1
+	}
+	// The driver vertex itself becomes the tree root node, connected to
+	// the source through driverR, carrying its accumulated half-caps.
+	id[0] = b.MustRoot(t.points[0].name, driverR, 0)
+
+	// Edges were appended parent-first (MST adds each vertex after its
+	// parent; Trunk builds trunk then branches), so a single pass works.
+	for _, e := range t.edges {
+		if id[e.parent] < 0 {
+			return nil, fmt.Errorf("route: internal error: edge parent %d not yet built", e.parent)
+		}
+		length := e.length
+		if length == 0 {
+			child := t.points[e.child]
+			nid, err := b.Attach(id[e.parent], child.name, minStub, child.c)
+			if err != nil {
+				return nil, err
+			}
+			id[e.child] = nid
+			continue
+		}
+		sections := 1
+		if p.MaxSegment > 0 {
+			sections = int(math.Ceil(length / p.MaxSegment))
+		}
+		segLen := length / float64(sections)
+		segR := p.ROhmPerUnit * segLen
+		segC := p.CFaradPerUnit * segLen
+		prev := id[e.parent]
+		// Pi lumping: the half-capacitance of the first section belongs
+		// to the (already built) parent vertex.
+		if err := b.AddCap(prev, segC/2); err != nil {
+			return nil, err
+		}
+		for s := 1; s <= sections; s++ {
+			isLast := s == sections
+			var name string
+			nodeC := segC // pi: half from this section's far end + half from next section's near end
+			if isLast {
+				child := t.points[e.child]
+				name = child.name
+				nodeC = segC/2 + child.c
+			} else {
+				name = fmt.Sprintf("%s_w%d", t.points[e.child].name, s)
+			}
+			nid, err := b.Attach(prev, name, segR, nodeC)
+			if err != nil {
+				return nil, err
+			}
+			prev = nid
+			if isLast {
+				id[e.child] = nid
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,288 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/moments"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func twoPinNet(length float64, loadC float64) Net {
+	return Net{
+		Driver:  Pin{Name: "drv", X: 0, Y: 0},
+		DriverR: 100,
+		Sinks:   []Pin{{Name: "sink", X: length, Y: 0, C: loadC}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := twoPinNet(10, 1e-15)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Net{
+		{Driver: Pin{Name: "d"}, DriverR: 0, Sinks: []Pin{{Name: "s", X: 1}}},
+		{Driver: Pin{Name: "d"}, DriverR: 10},
+		{Driver: Pin{Name: "d"}, DriverR: 10, Sinks: []Pin{{Name: "d", X: 1}}},
+		{Driver: Pin{Name: ""}, DriverR: 10, Sinks: []Pin{{Name: "s", X: 1}}},
+		{Driver: Pin{Name: "d"}, DriverR: 10, Sinks: []Pin{{Name: "s", X: math.NaN()}}},
+		{Driver: Pin{Name: "d"}, DriverR: 10, Sinks: []Pin{{Name: "s", X: 1, C: -1}}},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	n := Net{
+		Driver:  Pin{Name: "d", X: 0, Y: 0},
+		DriverR: 10,
+		Sinks:   []Pin{{Name: "a", X: 3, Y: 4}, {Name: "b", X: -1, Y: 2}},
+	}
+	if got := n.HPWL(); got != 8 { // x span 4 + y span 4
+		t.Errorf("HPWL = %v, want 8", got)
+	}
+}
+
+func TestMSTTwoPin(t *testing.T) {
+	topo, err := MST(twoPinNet(100, 2e-15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Wirelength() != 100 {
+		t.Errorf("wirelength = %v", topo.Wirelength())
+	}
+	if topo.Points() != 2 {
+		t.Errorf("points = %d", topo.Points())
+	}
+}
+
+func TestMSTLShape(t *testing.T) {
+	n := Net{
+		Driver:  Pin{Name: "d", X: 0, Y: 0},
+		DriverR: 50,
+		Sinks:   []Pin{{Name: "s", X: 30, Y: 40, C: 1e-15}},
+	}
+	topo, err := MST(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Wirelength() != 70 {
+		t.Errorf("wirelength = %v, want 70 (L-shape)", topo.Wirelength())
+	}
+	if topo.Points() != 3 { // driver, corner, sink
+		t.Errorf("points = %d, want 3", topo.Points())
+	}
+}
+
+// The two-pin pi-lumped line reproduces the closed-form Elmore delay
+// T_D = Rd*(Cw + CL) + Rw*(Cw/2 + CL) *independent of the lump count*
+// — the well-known property of pi segmentation.
+func TestTwoPinElmoreClosedForm(t *testing.T) {
+	const (
+		length = 200.0
+		rUnit  = 0.5     // ohm/um
+		cUnit  = 0.2e-15 // F/um
+		loadC  = 10e-15
+		rd     = 120.0
+	)
+	rw := rUnit * length
+	cw := cUnit * length
+	want := rd*(cw+loadC) + rw*(cw/2+loadC)
+	for _, maxSeg := range []float64{0, 200, 50, 7, 1} {
+		topo, err := MST(twoPinNet(length, loadC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := topo.RCTree(rd, Parasitics{ROhmPerUnit: rUnit, CFaradPerUnit: cUnit, MaxSegment: maxSeg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		td := moments.ElmoreDelays(tree)
+		sink := tree.MustIndex("sink")
+		if !approx(td[sink], want, 1e-12) {
+			t.Errorf("maxSeg=%v: T_D = %v, want %v", maxSeg, td[sink], want)
+		}
+		if !approx(tree.TotalC(), cw+loadC, 1e-12) {
+			t.Errorf("maxSeg=%v: total C = %v, want %v", maxSeg, tree.TotalC(), cw+loadC)
+		}
+	}
+}
+
+func TestTrunkComb(t *testing.T) {
+	n := Net{
+		Driver:  Pin{Name: "d", X: 10, Y: 0},
+		DriverR: 80,
+		Sinks: []Pin{
+			{Name: "s1", X: 0, Y: 20, C: 1e-15},
+			{Name: "s2", X: 25, Y: 20, C: 1e-15}, // same y: shares the tap
+			{Name: "s3", X: 10, Y: -15, C: 1e-15},
+		},
+	}
+	topo, err := Trunk(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trunk: 20 (up) + 15 (down); branches: 10 + 15 + 0.
+	if got := topo.Wirelength(); got != 60 {
+		t.Errorf("wirelength = %v, want 60", got)
+	}
+	tree, err := topo.RCTree(n.DriverR, Parasitics{ROhmPerUnit: 1, CFaradPerUnit: 1e-16, MaxSegment: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range n.Sinks {
+		if _, ok := tree.Index(s.Name); !ok {
+			t.Errorf("sink %s missing from RC tree", s.Name)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoincidentPins(t *testing.T) {
+	n := Net{
+		Driver:  Pin{Name: "d", X: 0, Y: 0},
+		DriverR: 10,
+		Sinks:   []Pin{{Name: "s", X: 0, Y: 0, C: 1e-15}},
+	}
+	topo, err := MST(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := topo.RCTree(10, Parasitics{ROhmPerUnit: 1, CFaradPerUnit: 1e-16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tree.Index("s"); !ok {
+		t.Errorf("coincident sink missing")
+	}
+}
+
+func TestRCTreeErrors(t *testing.T) {
+	topo, err := MST(twoPinNet(10, 1e-15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.RCTree(0, Parasitics{ROhmPerUnit: 1, CFaradPerUnit: 1e-16}); err == nil {
+		t.Errorf("zero driver R should fail")
+	}
+	if _, err := topo.RCTree(10, Parasitics{}); err == nil {
+		t.Errorf("zero parasitics should fail")
+	}
+}
+
+func randomNet(rng *rand.Rand, sinks int) Net {
+	n := Net{
+		Driver:  Pin{Name: "drv", X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		DriverR: 50 + rng.Float64()*200,
+	}
+	for i := 0; i < sinks; i++ {
+		n.Sinks = append(n.Sinks, Pin{
+			Name: "s" + string(rune('a'+i)),
+			X:    rng.Float64() * 100,
+			Y:    rng.Float64() * 100,
+			C:    1e-15 * (1 + rng.Float64()*9),
+		})
+	}
+	return n
+}
+
+// Properties on random nets: both routers connect every sink; MST and
+// trunk wirelength are >= HPWL (both contain a path across the
+// bounding box); the RC conversion preserves total capacitance
+// (wire + pins) for both.
+func TestRoutersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNet(rng, 1+rng.Intn(8))
+		par := Parasitics{ROhmPerUnit: 0.4, CFaradPerUnit: 2e-16, MaxSegment: 10}
+		for _, router := range []func(Net) (*Topology, error){MST, Trunk} {
+			topo, err := router(n)
+			if err != nil {
+				return false
+			}
+			tree, err := topo.RCTree(n.DriverR, par)
+			if err != nil {
+				return false
+			}
+			if err := tree.Validate(); err != nil {
+				return false
+			}
+			pinC := 0.0
+			for _, s := range n.Sinks {
+				if _, ok := tree.Index(s.Name); !ok {
+					return false
+				}
+				pinC += s.C
+			}
+			wantC := pinC + topo.Wirelength()*par.CFaradPerUnit
+			if !approx(tree.TotalC(), wantC, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MST wirelength never exceeds trunk wirelength by more than the known
+// worst-case factor, and both are at least the largest driver-to-sink
+// Manhattan distance.
+func TestWirelengthSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomNet(rng, 2+rng.Intn(6))
+		mst, err := MST(n)
+		if err != nil {
+			return false
+		}
+		trunk, err := Trunk(n)
+		if err != nil {
+			return false
+		}
+		maxDist := 0.0
+		for _, s := range n.Sinks {
+			d := math.Abs(s.X-n.Driver.X) + math.Abs(s.Y-n.Driver.Y)
+			maxDist = math.Max(maxDist, d)
+		}
+		return mst.Wirelength() >= maxDist-1e-9 && trunk.Wirelength() >= maxDist-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sharing matters: for sinks stacked on one column, the trunk reuses
+// the vertical run while the MST (with L-shapes, no sharing analysis)
+// is no shorter.
+func TestTrunkSharesColumn(t *testing.T) {
+	n := Net{
+		Driver:  Pin{Name: "d", X: 0, Y: 0},
+		DriverR: 10,
+		Sinks: []Pin{
+			{Name: "s1", X: 5, Y: 10, C: 1e-15},
+			{Name: "s2", X: 5, Y: 20, C: 1e-15},
+			{Name: "s3", X: 5, Y: 30, C: 1e-15},
+		},
+	}
+	trunk, err := Trunk(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trunk: 30 vertical + 3x5 horizontal = 45.
+	if got := trunk.Wirelength(); got != 45 {
+		t.Errorf("trunk wirelength = %v, want 45", got)
+	}
+}

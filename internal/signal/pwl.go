@@ -1,0 +1,217 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a (time, value) breakpoint of a piecewise-linear signal.
+type Point struct {
+	T, V float64
+}
+
+// PWL is a monotone piecewise-linear transition from 0 to 1. The first
+// breakpoint must have V = 0 and the last V = 1; times must strictly
+// increase and values must not decrease. Any monotone input edge can be
+// approximated by a PWL, and the exact response engine handles PWL
+// inputs in closed form (a superposition of shifted ramps).
+type PWL struct {
+	Points []Point
+}
+
+// NewPWL validates the breakpoints and returns the signal.
+func NewPWL(points []Point) (*PWL, error) {
+	p := &PWL{Points: append([]Point(nil), points...)}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks the PWL invariants.
+func (p *PWL) Validate() error {
+	pts := p.Points
+	if len(pts) < 2 {
+		return fmt.Errorf("signal: PWL needs at least 2 points, got %d", len(pts))
+	}
+	if pts[0].V != 0 {
+		return fmt.Errorf("signal: PWL must start at V=0, got %v", pts[0].V)
+	}
+	if pts[len(pts)-1].V != 1 {
+		return fmt.Errorf("signal: PWL must end at V=1, got %v", pts[len(pts)-1].V)
+	}
+	for i := 1; i < len(pts); i++ {
+		if !(pts[i].T > pts[i-1].T) {
+			return fmt.Errorf("signal: PWL times must strictly increase (points %d, %d)", i-1, i)
+		}
+		if pts[i].V < pts[i-1].V {
+			return fmt.Errorf("signal: PWL values must not decrease (points %d, %d)", i-1, i)
+		}
+	}
+	for i, pt := range pts {
+		if math.IsNaN(pt.T) || math.IsInf(pt.T, 0) || math.IsNaN(pt.V) || math.IsInf(pt.V, 0) {
+			return fmt.Errorf("signal: PWL point %d is not finite", i)
+		}
+	}
+	return nil
+}
+
+// Eval implements Signal.
+func (p *PWL) Eval(t float64) float64 {
+	pts := p.Points
+	if t <= pts[0].T {
+		return pts[0].V
+	}
+	if t >= pts[len(pts)-1].T {
+		return pts[len(pts)-1].V
+	}
+	// Binary search for the segment containing t.
+	lo, hi := 0, len(pts)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if pts[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := pts[lo], pts[hi]
+	return a.V + (b.V-a.V)*(t-a.T)/(b.T-a.T)
+}
+
+// RiseTime implements Signal: the span from the first to the last
+// breakpoint.
+func (p *PWL) RiseTime() float64 {
+	return p.Points[len(p.Points)-1].T - p.Points[0].T
+}
+
+// Cross implements Signal.
+func (p *PWL) Cross(level float64) float64 {
+	pts := p.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V >= level {
+			a, b := pts[i-1], pts[i]
+			if b.V == a.V {
+				return a.T
+			}
+			return a.T + (b.T-a.T)*(level-a.V)/(b.V-a.V)
+		}
+	}
+	return pts[len(pts)-1].T
+}
+
+// slopes returns the density of v'(t): per-segment slope values.
+func (p *PWL) slopes() []float64 {
+	pts := p.Points
+	out := make([]float64, len(pts)-1)
+	for i := range out {
+		out[i] = (pts[i+1].V - pts[i].V) / (pts[i+1].T - pts[i].T)
+	}
+	return out
+}
+
+// rawMoment returns integral t^q v'(t) dt, exactly, from the piecewise
+// constant derivative density.
+func (p *PWL) rawMoment(q int) float64 {
+	pts := p.Points
+	var sum float64
+	for i := 0; i+1 < len(pts); i++ {
+		slope := (pts[i+1].V - pts[i].V) / (pts[i+1].T - pts[i].T)
+		if slope == 0 {
+			continue
+		}
+		qq := float64(q + 1)
+		sum += slope * (math.Pow(pts[i+1].T, qq) - math.Pow(pts[i].T, qq)) / qq
+	}
+	return sum
+}
+
+// DerivMean implements Signal.
+func (p *PWL) DerivMean() float64 { return p.rawMoment(1) }
+
+// DerivMu2 implements Signal.
+func (p *PWL) DerivMu2() float64 {
+	m := p.DerivMean()
+	return p.rawMoment(2) - m*m
+}
+
+// DerivMu3 implements Signal.
+func (p *PWL) DerivMu3() float64 {
+	m := p.DerivMean()
+	return p.rawMoment(3) - 3*m*p.rawMoment(2) + 2*m*m*m
+}
+
+// SymmetricDerivative implements Signal with a numerical test:
+// |mu3| must vanish relative to mu2^(3/2).
+func (p *PWL) SymmetricDerivative() bool {
+	mu2 := p.DerivMu2()
+	if mu2 <= 0 {
+		return true
+	}
+	return math.Abs(p.DerivMu3()) <= 1e-9*math.Pow(mu2, 1.5)
+}
+
+// UnimodalDerivative implements Signal: the slope sequence must rise to
+// a single peak and then fall (non-strictly).
+func (p *PWL) UnimodalDerivative() bool {
+	s := p.slopes()
+	i := 0
+	for i+1 < len(s) && s[i+1] >= s[i]-1e-15*math.Abs(s[i]) {
+		i++
+	}
+	for i+1 < len(s) {
+		if s[i+1] > s[i]+1e-12*math.Abs(s[i]) {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func (p *PWL) String() string {
+	return fmt.Sprintf("pwl(%d points, tr=%g)", len(p.Points), p.RiseTime())
+}
+
+// ToPWL converts any monotone Signal into a PWL approximation with n
+// segments, suitable for the exact response engine. Signals that are
+// already piecewise linear convert exactly (regardless of n); a Step
+// cannot be represented and returns an error — drive the engine with
+// its native step response instead.
+func ToPWL(s Signal, n int) (*PWL, error) {
+	switch v := s.(type) {
+	case *PWL:
+		return v, nil
+	case Step:
+		return nil, fmt.Errorf("signal: a step has no PWL representation; use the step response directly")
+	case SaturatedRamp:
+		return NewPWL([]Point{{0, 0}, {v.Tr, 1}})
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("signal: ToPWL needs n >= 2 segments, got %d", n)
+	}
+	// Generic path: sample between the 0+ and late-crossing times.
+	// Inverse (level-space) sampling keeps resolution where the signal
+	// moves.
+	const lastLevel = 0.9995
+	tEnd := s.Cross(lastLevel)
+	if !(tEnd > 0) {
+		return nil, fmt.Errorf("signal: %v has no positive crossing times", s)
+	}
+	pts := make([]Point, 0, n+2)
+	pts = append(pts, Point{0, 0})
+	for k := 1; k <= n; k++ {
+		level := lastLevel * float64(k) / float64(n)
+		t := s.Cross(level)
+		if t <= pts[len(pts)-1].T {
+			continue
+		}
+		pts = append(pts, Point{t, level})
+	}
+	// Close the transition: finish the remaining 1-lastLevel with the
+	// final segment's slope extended to V=1.
+	last := pts[len(pts)-1]
+	prev := pts[len(pts)-2]
+	slope := (last.V - prev.V) / (last.T - prev.T)
+	pts = append(pts, Point{last.T + (1-last.V)/slope, 1})
+	return NewPWL(pts)
+}

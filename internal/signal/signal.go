@@ -1,0 +1,234 @@
+// Package signal provides the input excitations studied by the paper:
+// the ideal step, the saturated ramp (the canonical gate-output model),
+// a smooth raised-cosine ramp, the RC-exponential edge, and general
+// monotone piecewise-linear transitions.
+//
+// Each signal is a normalized 0 -> 1 voltage transition starting at
+// t = 0. Beyond evaluation, every signal reports the distribution
+// statistics of its time derivative — the quantities that drive
+// Corollaries 2 and 3 of the paper: a unimodal derivative makes the
+// Elmore delay an upper bound for that input, and the variance of the
+// derivative controls how fast the actual delay approaches the bound.
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signal is a normalized monotone input transition v(t): v(t<=0) = 0 and
+// v(t) -> 1. The derivative v'(t), viewed as a probability density,
+// carries the input's moment contributions.
+type Signal interface {
+	// Eval returns v(t).
+	Eval(t float64) float64
+	// RiseTime returns the nominal transition duration (0 for a step;
+	// the 0-100% ramp time for ramps; a characteristic time otherwise).
+	RiseTime() float64
+	// Cross returns the time at which v crosses the given level in
+	// (0, 1). For the step this is 0.
+	Cross(level float64) float64
+	// DerivMean, DerivMu2, DerivMu3 return the mean and the second and
+	// third central moments of v'(t) treated as a density.
+	DerivMean() float64
+	DerivMu2() float64
+	DerivMu3() float64
+	// SymmetricDerivative reports whether v'(t) is symmetric about its
+	// mean (mu3 = 0), the hypothesis of Corollary 3.
+	SymmetricDerivative() bool
+	// UnimodalDerivative reports whether v'(t) is unimodal, the
+	// hypothesis of Corollary 2.
+	UnimodalDerivative() bool
+	// String names the signal for reports.
+	String() string
+}
+
+// Step is the ideal unit step at t = 0.
+type Step struct{}
+
+// Eval implements Signal.
+func (Step) Eval(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return 1
+}
+
+// RiseTime implements Signal; a step has zero rise time.
+func (Step) RiseTime() float64 { return 0 }
+
+// Cross implements Signal; every level is crossed at t = 0.
+func (Step) Cross(level float64) float64 { return 0 }
+
+// DerivMean implements Signal; the derivative is a delta at 0.
+func (Step) DerivMean() float64 { return 0 }
+
+// DerivMu2 implements Signal.
+func (Step) DerivMu2() float64 { return 0 }
+
+// DerivMu3 implements Signal.
+func (Step) DerivMu3() float64 { return 0 }
+
+// SymmetricDerivative implements Signal: a delta is symmetric.
+func (Step) SymmetricDerivative() bool { return true }
+
+// UnimodalDerivative implements Signal: a delta is (degenerately)
+// unimodal.
+func (Step) UnimodalDerivative() bool { return true }
+
+func (Step) String() string { return "step" }
+
+// SaturatedRamp rises linearly from 0 at t=0 to 1 at t=Tr and saturates.
+// Its derivative is the uniform density on [0, Tr]: unimodal and
+// symmetric, with variance Tr^2/12 — the paper's canonical generalized
+// input.
+type SaturatedRamp struct {
+	Tr float64 // 0-100% rise time, > 0
+}
+
+// Eval implements Signal.
+func (r SaturatedRamp) Eval(t float64) float64 {
+	switch {
+	case t <= 0:
+		return 0
+	case t >= r.Tr:
+		return 1
+	default:
+		return t / r.Tr
+	}
+}
+
+// RiseTime implements Signal.
+func (r SaturatedRamp) RiseTime() float64 { return r.Tr }
+
+// Cross implements Signal.
+func (r SaturatedRamp) Cross(level float64) float64 { return level * r.Tr }
+
+// DerivMean implements Signal: uniform density mean Tr/2.
+func (r SaturatedRamp) DerivMean() float64 { return r.Tr / 2 }
+
+// DerivMu2 implements Signal: uniform density variance Tr^2/12.
+func (r SaturatedRamp) DerivMu2() float64 { return r.Tr * r.Tr / 12 }
+
+// DerivMu3 implements Signal: symmetric, so zero.
+func (r SaturatedRamp) DerivMu3() float64 { return 0 }
+
+// SymmetricDerivative implements Signal.
+func (r SaturatedRamp) SymmetricDerivative() bool { return true }
+
+// UnimodalDerivative implements Signal.
+func (r SaturatedRamp) UnimodalDerivative() bool { return true }
+
+func (r SaturatedRamp) String() string { return fmt.Sprintf("ramp(tr=%g)", r.Tr) }
+
+// RaisedCosine is the smooth transition v(t) = (1 - cos(pi t/Tr))/2 on
+// [0, Tr]. Its derivative is a half-sine lobe: unimodal, symmetric,
+// variance Tr^2 (1/4 - 2/pi^2).
+type RaisedCosine struct {
+	Tr float64 // transition duration, > 0
+}
+
+// Eval implements Signal.
+func (r RaisedCosine) Eval(t float64) float64 {
+	switch {
+	case t <= 0:
+		return 0
+	case t >= r.Tr:
+		return 1
+	default:
+		return (1 - math.Cos(math.Pi*t/r.Tr)) / 2
+	}
+}
+
+// RiseTime implements Signal.
+func (r RaisedCosine) RiseTime() float64 { return r.Tr }
+
+// Cross implements Signal.
+func (r RaisedCosine) Cross(level float64) float64 {
+	return r.Tr / math.Pi * math.Acos(1-2*level)
+}
+
+// DerivMean implements Signal.
+func (r RaisedCosine) DerivMean() float64 { return r.Tr / 2 }
+
+// DerivMu2 implements Signal.
+func (r RaisedCosine) DerivMu2() float64 {
+	return r.Tr * r.Tr * (0.25 - 2/(math.Pi*math.Pi))
+}
+
+// DerivMu3 implements Signal: symmetric, so zero.
+func (r RaisedCosine) DerivMu3() float64 { return 0 }
+
+// SymmetricDerivative implements Signal.
+func (r RaisedCosine) SymmetricDerivative() bool { return true }
+
+// UnimodalDerivative implements Signal.
+func (r RaisedCosine) UnimodalDerivative() bool { return true }
+
+func (r RaisedCosine) String() string { return fmt.Sprintf("raised-cosine(tr=%g)", r.Tr) }
+
+// Exponential is the RC-style edge v(t) = 1 - exp(-t/Tau). Its
+// derivative is the exponential density: unimodal (mode at 0) but
+// positively skewed, so it satisfies Corollary 2 but not Corollary 3.
+type Exponential struct {
+	Tau float64 // time constant, > 0
+}
+
+// Eval implements Signal.
+func (e Exponential) Eval(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-t/e.Tau)
+}
+
+// RiseTime implements Signal: the 10-90% time, tau * ln 9.
+func (e Exponential) RiseTime() float64 { return e.Tau * math.Log(9) }
+
+// Cross implements Signal.
+func (e Exponential) Cross(level float64) float64 {
+	return -e.Tau * math.Log(1-level)
+}
+
+// DerivMean implements Signal: exponential density mean tau.
+func (e Exponential) DerivMean() float64 { return e.Tau }
+
+// DerivMu2 implements Signal: tau^2.
+func (e Exponential) DerivMu2() float64 { return e.Tau * e.Tau }
+
+// DerivMu3 implements Signal: 2 tau^3 (positively skewed).
+func (e Exponential) DerivMu3() float64 { return 2 * e.Tau * e.Tau * e.Tau }
+
+// SymmetricDerivative implements Signal.
+func (e Exponential) SymmetricDerivative() bool { return false }
+
+// UnimodalDerivative implements Signal.
+func (e Exponential) UnimodalDerivative() bool { return true }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(tau=%g)", e.Tau) }
+
+// Validate reports whether a signal's parameters are usable and returns
+// a descriptive error otherwise.
+func Validate(s Signal) error {
+	switch v := s.(type) {
+	case Step:
+		return nil
+	case SaturatedRamp:
+		if !(v.Tr > 0) || math.IsInf(v.Tr, 0) {
+			return fmt.Errorf("signal: ramp rise time must be positive and finite, got %v", v.Tr)
+		}
+	case RaisedCosine:
+		if !(v.Tr > 0) || math.IsInf(v.Tr, 0) {
+			return fmt.Errorf("signal: raised-cosine duration must be positive and finite, got %v", v.Tr)
+		}
+	case Exponential:
+		if !(v.Tau > 0) || math.IsInf(v.Tau, 0) {
+			return fmt.Errorf("signal: exponential tau must be positive and finite, got %v", v.Tau)
+		}
+	case *PWL:
+		return v.Validate()
+	default:
+		// Unknown implementations are assumed self-validating.
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func TestStep(t *testing.T) {
+	s := Step{}
+	if s.Eval(-1) != 0 || s.Eval(0) != 1 || s.Eval(5) != 1 {
+		t.Errorf("step evaluation wrong")
+	}
+	if s.RiseTime() != 0 || s.Cross(0.5) != 0 {
+		t.Errorf("step timing wrong")
+	}
+	if s.DerivMean() != 0 || s.DerivMu2() != 0 || s.DerivMu3() != 0 {
+		t.Errorf("step derivative moments should vanish")
+	}
+	if !s.SymmetricDerivative() || !s.UnimodalDerivative() {
+		t.Errorf("step derivative properties wrong")
+	}
+	if err := Validate(s); err != nil {
+		t.Errorf("Validate(step) = %v", err)
+	}
+}
+
+func TestSaturatedRamp(t *testing.T) {
+	r := SaturatedRamp{Tr: 2e-9}
+	if r.Eval(-1) != 0 || r.Eval(1e-9) != 0.5 || r.Eval(3e-9) != 1 {
+		t.Errorf("ramp evaluation wrong")
+	}
+	if !approx(r.Cross(0.25), 0.5e-9, 1e-12) {
+		t.Errorf("Cross(0.25) = %v", r.Cross(0.25))
+	}
+	if !approx(r.DerivMean(), 1e-9, 1e-12) {
+		t.Errorf("DerivMean = %v", r.DerivMean())
+	}
+	if !approx(r.DerivMu2(), 4e-18/12, 1e-12) {
+		t.Errorf("DerivMu2 = %v, want %v", r.DerivMu2(), 4e-18/12)
+	}
+	if r.DerivMu3() != 0 || !r.SymmetricDerivative() || !r.UnimodalDerivative() {
+		t.Errorf("ramp derivative properties wrong")
+	}
+	if err := Validate(r); err != nil {
+		t.Errorf("Validate = %v", err)
+	}
+	if err := Validate(SaturatedRamp{Tr: 0}); err == nil {
+		t.Errorf("zero rise time should be invalid")
+	}
+}
+
+func TestRaisedCosine(t *testing.T) {
+	r := RaisedCosine{Tr: 1e-9}
+	if r.Eval(-1) != 0 || r.Eval(2e-9) != 1 {
+		t.Errorf("edges wrong")
+	}
+	if !approx(r.Eval(0.5e-9), 0.5, 1e-12) {
+		t.Errorf("midpoint = %v", r.Eval(0.5e-9))
+	}
+	if !approx(r.Cross(0.5), 0.5e-9, 1e-12) {
+		t.Errorf("Cross(0.5) = %v", r.Cross(0.5))
+	}
+	// Eval and Cross must be inverses.
+	for _, level := range []float64{0.1, 0.3, 0.7, 0.9} {
+		if !approx(r.Eval(r.Cross(level)), level, 1e-9) {
+			t.Errorf("Eval(Cross(%v)) = %v", level, r.Eval(r.Cross(level)))
+		}
+	}
+	wantMu2 := 1e-18 * (0.25 - 2/(math.Pi*math.Pi))
+	if !approx(r.DerivMu2(), wantMu2, 1e-12) {
+		t.Errorf("DerivMu2 = %v, want %v", r.DerivMu2(), wantMu2)
+	}
+	if !r.SymmetricDerivative() || !r.UnimodalDerivative() {
+		t.Errorf("raised cosine derivative properties wrong")
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Tau: 1e-9}
+	if !approx(e.Eval(1e-9), 1-math.Exp(-1), 1e-12) {
+		t.Errorf("Eval(tau) = %v", e.Eval(1e-9))
+	}
+	if !approx(e.Cross(0.5), 1e-9*math.Log(2), 1e-12) {
+		t.Errorf("Cross(0.5) = %v", e.Cross(0.5))
+	}
+	if !approx(e.RiseTime(), 1e-9*math.Log(9), 1e-12) {
+		t.Errorf("RiseTime = %v", e.RiseTime())
+	}
+	if !approx(e.DerivMean(), 1e-9, 1e-12) || !approx(e.DerivMu2(), 1e-18, 1e-12) ||
+		!approx(e.DerivMu3(), 2e-27, 1e-12) {
+		t.Errorf("exponential derivative moments wrong")
+	}
+	if e.SymmetricDerivative() {
+		t.Errorf("exponential derivative is skewed, not symmetric")
+	}
+	if !e.UnimodalDerivative() {
+		t.Errorf("exponential derivative is unimodal")
+	}
+}
+
+func TestPWLBasics(t *testing.T) {
+	p, err := NewPWL([]Point{{0, 0}, {1, 0.5}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Eval(-1) != 0 || p.Eval(4) != 1 {
+		t.Errorf("PWL edges wrong")
+	}
+	if !approx(p.Eval(0.5), 0.25, 1e-12) || !approx(p.Eval(2), 0.75, 1e-12) {
+		t.Errorf("PWL interior evaluation wrong: %v %v", p.Eval(0.5), p.Eval(2))
+	}
+	if !approx(p.Cross(0.25), 0.5, 1e-12) || !approx(p.Cross(0.75), 2, 1e-12) {
+		t.Errorf("PWL Cross wrong")
+	}
+	if p.RiseTime() != 3 {
+		t.Errorf("RiseTime = %v", p.RiseTime())
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	bad := [][]Point{
+		{{0, 0}},                       // too few
+		{{0, 0.1}, {1, 1}},             // doesn't start at 0
+		{{0, 0}, {1, 0.9}},             // doesn't end at 1
+		{{0, 0}, {0, 1}},               // non-increasing time
+		{{0, 0}, {2, 0.8}, {3, 0.5}},   // decreasing value
+		{{0, 0}, {math.NaN(), 1}},      // NaN
+		{{0, 0}, {math.Inf(1), 1}},     // Inf
+		{{0, 0}, {1, 0.5}, {0.5, 1.0}}, // time goes backward
+	}
+	for i, pts := range bad {
+		if _, err := NewPWL(pts); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPWLDerivMomentsMatchRamp(t *testing.T) {
+	// A 2-point PWL is exactly a saturated ramp.
+	tr := 3e-9
+	p, err := NewPWL([]Point{{0, 0}, {tr, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := SaturatedRamp{Tr: tr}
+	if !approx(p.DerivMean(), r.DerivMean(), 1e-12) {
+		t.Errorf("mean: pwl %v vs ramp %v", p.DerivMean(), r.DerivMean())
+	}
+	if !approx(p.DerivMu2(), r.DerivMu2(), 1e-10) {
+		t.Errorf("mu2: pwl %v vs ramp %v", p.DerivMu2(), r.DerivMu2())
+	}
+	if math.Abs(p.DerivMu3()) > 1e-12*math.Pow(p.DerivMu2(), 1.5) {
+		t.Errorf("mu3 should be ~0, got %v", p.DerivMu3())
+	}
+	if !p.SymmetricDerivative() || !p.UnimodalDerivative() {
+		t.Errorf("ramp-as-PWL properties wrong")
+	}
+}
+
+func TestPWLUnimodality(t *testing.T) {
+	// Triangle derivative: slopes increase then decrease -> unimodal.
+	tri, err := NewPWL([]Point{{0, 0}, {1, 0.2}, {2, 0.8}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tri.UnimodalDerivative() {
+		t.Errorf("triangular derivative should be unimodal")
+	}
+	// Bimodal derivative: fast, slow, fast.
+	bim, err := NewPWL([]Point{{0, 0}, {1, 0.45}, {2, 0.55}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bim.UnimodalDerivative() {
+		t.Errorf("two-burst derivative should not be unimodal")
+	}
+}
+
+func TestToPWLExactCases(t *testing.T) {
+	r := SaturatedRamp{Tr: 1e-9}
+	p, err := ToPWL(r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != 2 {
+		t.Errorf("ramp should convert to a 2-point PWL, got %d points", len(p.Points))
+	}
+	orig, err2 := NewPWL([]Point{{0, 0}, {1, 1}})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	same, err := ToPWL(orig, 5)
+	if err != nil || same != orig {
+		t.Errorf("PWL should convert to itself")
+	}
+	if _, err := ToPWL(Step{}, 10); err == nil {
+		t.Errorf("step should not convert to PWL")
+	}
+	if _, err := ToPWL(RaisedCosine{Tr: 1e-9}, 1); err == nil {
+		t.Errorf("n < 2 should be rejected")
+	}
+}
+
+func TestToPWLApproximatesRaisedCosine(t *testing.T) {
+	rc := RaisedCosine{Tr: 2e-9}
+	p, err := ToPWL(rc, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("sampled PWL invalid: %v", err)
+	}
+	// Pointwise agreement.
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		tt := frac * rc.Tr
+		if d := math.Abs(p.Eval(tt) - rc.Eval(tt)); d > 2e-3 {
+			t.Errorf("PWL approx off by %v at t=%v", d, tt)
+		}
+	}
+	// Derivative moments agree.
+	if !approx(p.DerivMean(), rc.DerivMean(), 1e-3) {
+		t.Errorf("mean %v vs %v", p.DerivMean(), rc.DerivMean())
+	}
+	if !approx(p.DerivMu2(), rc.DerivMu2(), 5e-3) {
+		t.Errorf("mu2 %v vs %v", p.DerivMu2(), rc.DerivMu2())
+	}
+	if !p.UnimodalDerivative() {
+		t.Errorf("sampled raised cosine should stay unimodal")
+	}
+}
+
+func TestToPWLApproximatesExponential(t *testing.T) {
+	e := Exponential{Tau: 1e-9}
+	p, err := ToPWL(e, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.5, 1, 2, 3} {
+		tt := frac * e.Tau
+		if d := math.Abs(p.Eval(tt) - e.Eval(tt)); d > 3e-3 {
+			t.Errorf("PWL approx off by %v at t=%v", d, tt)
+		}
+	}
+	if !approx(p.DerivMean(), e.DerivMean(), 2e-2) {
+		t.Errorf("mean %v vs %v", p.DerivMean(), e.DerivMean())
+	}
+}
+
+// Property: all canonical signals are monotone nondecreasing and their
+// Cross/Eval pairs are consistent.
+func TestSignalMonotonicityProperty(t *testing.T) {
+	f := func(trRaw uint16, kind uint8) bool {
+		tr := 1e-10 + float64(trRaw)*1e-12
+		var s Signal
+		switch kind % 3 {
+		case 0:
+			s = SaturatedRamp{Tr: tr}
+		case 1:
+			s = RaisedCosine{Tr: tr}
+		default:
+			s = Exponential{Tau: tr}
+		}
+		prev := -1.0
+		for k := 0; k <= 100; k++ {
+			v := s.Eval(float64(k) / 100 * 4 * tr)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		for _, level := range []float64{0.1, 0.5, 0.9} {
+			if !approx(s.Eval(s.Cross(level)), level, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, s := range []Signal{Step{}, SaturatedRamp{1e-9}, RaisedCosine{1e-9}, Exponential{1e-9}} {
+		if s.String() == "" {
+			t.Errorf("empty String for %T", s)
+		}
+	}
+	p, _ := NewPWL([]Point{{0, 0}, {1, 1}})
+	if p.String() == "" {
+		t.Errorf("empty String for PWL")
+	}
+}

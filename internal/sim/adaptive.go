@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+)
+
+// stepper advances the per-row θ-method by one fixed step; it owns the
+// assembled matrices for one step size and can be rebuilt cheaply
+// (O(N)) when the step changes — the property that makes adaptive
+// stepping on trees inexpensive.
+type stepper struct {
+	tree  *rctree.Tree
+	in    signal.Signal
+	theta []float64
+	g     []float64
+	bvec  []float64
+	dt    float64
+	f     *treeLU
+	gv    []float64
+}
+
+func newStepper(t *rctree.Tree, in signal.Signal, method Method) (*stepper, error) {
+	n := t.N()
+	var aMethod float64
+	switch method {
+	case Trapezoidal:
+		aMethod = 0.5
+	case BackwardEuler:
+		aMethod = 1
+	default:
+		return nil, fmt.Errorf("sim: unknown method %v", method)
+	}
+	s := &stepper{
+		tree:  t,
+		in:    in,
+		theta: make([]float64, n),
+		g:     make([]float64, n),
+		bvec:  make([]float64, n),
+		gv:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		if t.C(i) == 0 {
+			s.theta[i] = 1
+		} else {
+			s.theta[i] = aMethod
+		}
+		s.g[i] = 1 / t.R(i)
+		if t.Parent(i) == rctree.Source {
+			s.bvec[i] = s.g[i]
+		}
+	}
+	return s, nil
+}
+
+// refactor assembles and factors the system matrix for step size dt.
+func (s *stepper) refactor(dt float64) error {
+	t := s.tree
+	n := t.N()
+	diag := make([]float64, n)
+	rowChild := make([]float64, n)
+	rowParent := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] += t.C(i)/dt + s.theta[i]*s.g[i]
+		if p := t.Parent(i); p != rctree.Source {
+			diag[p] += s.theta[p] * s.g[i]
+			rowChild[i] = -s.theta[i] * s.g[i]
+			rowParent[i] = -s.theta[p] * s.g[i]
+		}
+	}
+	f, err := factorTree(t, diag, rowChild, rowParent)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.dt = dt
+	return nil
+}
+
+// step advances v (in place, via out) from tPrev by the factored dt.
+// v and out may alias distinct slices; out receives the new state.
+func (s *stepper) step(v, out []float64, tPrev float64) {
+	t := s.tree
+	n := t.N()
+	for i := range s.gv {
+		s.gv[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		if p := t.Parent(i); p != rctree.Source {
+			cur := s.g[i] * (v[i] - v[p])
+			s.gv[i] += cur
+			s.gv[p] -= cur
+		} else {
+			s.gv[i] += s.g[i] * v[i]
+		}
+	}
+	uPrev := s.in.Eval(tPrev)
+	uCur := s.in.Eval(tPrev + s.dt)
+	for i := 0; i < n; i++ {
+		uTerm := s.theta[i]*uCur + (1-s.theta[i])*uPrev
+		out[i] = t.C(i)/s.dt*v[i] - (1-s.theta[i])*s.gv[i] + s.bvec[i]*uTerm
+	}
+	s.f.solve(out)
+}
+
+// RunAdaptive integrates with step-doubling local error control: each
+// accepted step compares one step of size h against two of h/2 and
+// keeps the error per step below tol (in volts, on the unit-swing
+// response). The step grows when the error is comfortably small and
+// shrinks on rejection, so stiff fronts are resolved without paying
+// their cost over the whole horizon. Probing and result layout match
+// Run, but sample times are non-uniform.
+//
+// For stiff circuits (time constants spanning many decades) use
+// Method: BackwardEuler — the trapezoidal rule does not damp modes
+// with lambda*h >> 1, so at input discontinuities its step-doubling
+// error stays O(1) until h shrinks to the fastest time constant, which
+// may underflow the step floor.
+func RunAdaptive(t *rctree.Tree, opts Options, tol float64) (*Result, error) {
+	if tol <= 0 || math.IsNaN(tol) {
+		return nil, fmt.Errorf("sim: adaptive tolerance must be positive, got %v", tol)
+	}
+	n := t.N()
+	in := opts.Input
+	if in == nil {
+		in = signal.Step{}
+	}
+	if err := signal.Validate(in); err != nil {
+		return nil, err
+	}
+	tEnd := opts.TEnd
+	if tEnd <= 0 {
+		tEnd = defaultHorizon(t, in)
+	}
+	hInit := opts.DT
+	if hInit <= 0 {
+		hInit = tEnd / 4096
+	}
+
+	st, err := newStepper(t, in, opts.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	probes := opts.Probes
+	if len(probes) == 0 {
+		probes = make([]int, n)
+		for i := range probes {
+			probes[i] = i
+		}
+	}
+	res := &Result{probes: make(map[int]int, len(probes)), values: make([][]float64, len(probes))}
+	for row, node := range probes {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("sim: probe index %d out of range [0,%d)", node, n)
+		}
+		res.probes[node] = row
+	}
+
+	v := make([]float64, n)
+	full := make([]float64, n)
+	half := make([]float64, n)
+	half2 := make([]float64, n)
+	record := func(tm float64) {
+		res.Times = append(res.Times, tm)
+		for row, node := range probes {
+			res.values[row] = append(res.values[row], v[node])
+		}
+	}
+	record(0)
+
+	const (
+		hMinFactor = 1e-15
+		maxSteps   = 10_000_000
+	)
+	h := hInit
+	now := 0.0
+	steps := 0
+	for now < tEnd {
+		if steps++; steps > maxSteps {
+			return nil, fmt.Errorf("sim: adaptive run exceeded %d steps (tolerance too tight?)", maxSteps)
+		}
+		if now+h > tEnd {
+			h = tEnd - now
+		}
+		if h < tEnd*hMinFactor {
+			return nil, fmt.Errorf("sim: adaptive step underflow at t=%g", now)
+		}
+		// One full step.
+		if st.dt != h {
+			if err := st.refactor(h); err != nil {
+				return nil, err
+			}
+		}
+		st.step(v, full, now)
+		// Two half steps.
+		if err := st.refactor(h / 2); err != nil {
+			return nil, err
+		}
+		st.step(v, half, now)
+		st.step(half, half2, now+h/2)
+
+		errEst := 0.0
+		for i := 0; i < n; i++ {
+			if e := math.Abs(full[i] - half2[i]); e > errEst {
+				errEst = e
+			}
+		}
+		if errEst > tol {
+			h /= 2
+			continue
+		}
+		// Accept the more accurate half-step result.
+		copy(v, half2)
+		now += h
+		record(now)
+		if errEst < tol/8 {
+			h *= 2
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"elmore/internal/exact"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+func TestAdaptiveSingleRC(t *testing.T) {
+	const r, c = 1000.0, 1e-12
+	rc := r * c
+	b := rctree.NewBuilder()
+	b.MustRoot("n1", r, c)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAdaptive(tree, Options{TEnd: 8 * rc}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Waveform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5 * rc, rc, 3 * rc} {
+		want := 1 - math.Exp(-tt/rc)
+		if got := w.At(tt); !approx(got, want, 1e-4) {
+			t.Errorf("v(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestAdaptiveMatchesExactFig1(t *testing.T) {
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sys.Horizon(0)
+	res, err := RunAdaptive(tree, Options{TEnd: horizon}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C5")
+	w, err := res.Waveform(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.3, 0.6} {
+		tt := frac * horizon
+		if !approx(w.At(tt), sys.VStep(i, tt), 1e-4) {
+			t.Errorf("t=%v: adaptive %v vs exact %v", tt, w.At(tt), sys.VStep(i, tt))
+		}
+	}
+}
+
+// The point of adaptivity: a stiff tree (time constants spanning 4+
+// decades) needs far fewer accepted steps than a fixed-dt run of the
+// same accuracy, because the step grows once the fast modes die.
+func TestAdaptiveUsesFewerStepsOnStiffTree(t *testing.T) {
+	b := rctree.NewBuilder()
+	fast := b.MustRoot("fast", 100, 10e-15)    // tau = 1 ps
+	b.MustAttach(fast, "slow", 100000, 10e-12) // tau = 1 us
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 10 * 100000 * 10e-12
+	res, err := RunAdaptive(tree, Options{TEnd: horizon, DT: horizon / 1e6, Method: BackwardEuler}, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveSteps := len(res.Times)
+	if adaptiveSteps > 20000 {
+		t.Errorf("adaptive used %d steps; expected large savings over the 1e6 fixed grid", adaptiveSteps)
+	}
+	// Final value settled.
+	v, err := res.Voltages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := v[len(v)-1]; !approx(final, 1, 1e-3) {
+		t.Errorf("final = %v", final)
+	}
+}
+
+func TestAdaptiveRampInput(t *testing.T) {
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp := signal.SaturatedRamp{Tr: 1e-9}
+	p, err := signal.ToPWL(ramp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sys.Horizon(ramp.Tr)
+	res, err := RunAdaptive(tree, Options{TEnd: horizon, Input: ramp}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C7")
+	w, err := res.Waveform(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.2, 0.5} {
+		tt := frac * horizon
+		if !approx(w.At(tt), sys.VPWL(i, p, tt), 1e-3) {
+			t.Errorf("t=%v: adaptive %v vs exact %v", tt, w.At(tt), sys.VPWL(i, p, tt))
+		}
+	}
+}
+
+func TestAdaptiveErrors(t *testing.T) {
+	tree := topo.Fig1Tree()
+	if _, err := RunAdaptive(tree, Options{}, 0); err == nil {
+		t.Errorf("zero tolerance should fail")
+	}
+	if _, err := RunAdaptive(tree, Options{}, math.NaN()); err == nil {
+		t.Errorf("NaN tolerance should fail")
+	}
+	if _, err := RunAdaptive(tree, Options{Method: Method(9)}, 1e-6); err == nil {
+		t.Errorf("bad method should fail")
+	}
+	if _, err := RunAdaptive(tree, Options{Probes: []int{99}}, 1e-6); err == nil {
+		t.Errorf("bad probe should fail")
+	}
+	if _, err := RunAdaptive(tree, Options{Input: signal.SaturatedRamp{Tr: -1}}, 1e-6); err == nil {
+		t.Errorf("bad input should fail")
+	}
+}
+
+// Tighter tolerance gives a more accurate delay estimate.
+func TestAdaptiveToleranceControlsAccuracy(t *testing.T) {
+	tree := topo.Line25Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tree.MustIndex(topo.Line25NodeC)
+	want, err := sys.Delay50Step(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevErr = math.Inf(1)
+	for _, tol := range []float64{1e-3, 1e-5, 1e-7} {
+		res, err := RunAdaptive(tree, Options{Probes: []int{node}}, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Cross(node, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(got - want)
+		if e > prevErr*1.5 {
+			t.Errorf("tol=%v: delay error %v did not improve (prev %v)", tol, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 1e-12 {
+		t.Errorf("tightest-tolerance delay error %v too large", prevErr)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"elmore/internal/exact"
+	"elmore/internal/topo"
+)
+
+// The trapezoidal rule is second order: halving dt should cut the
+// error by ~4x (we accept >= 3x to allow for interpolation noise).
+// Backward Euler is first order: halving dt cuts the error by ~2x.
+func TestIntegrationOrderOfAccuracy(t *testing.T) {
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tree.MustIndex("C5")
+	horizon := 4e-9
+	times := []float64{0.5e-9, 1e-9, 2e-9, 3e-9}
+
+	runErr := func(method Method, dt float64) float64 {
+		res, err := Run(tree, Options{TEnd: horizon, DT: dt, Method: method, Probes: []int{node}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := res.Waveform(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for _, tt := range times {
+			if e := math.Abs(w.At(tt) - sys.VStep(node, tt)); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+
+	// Trapezoidal: order 2.
+	coarse := runErr(Trapezoidal, 50e-12)
+	fine := runErr(Trapezoidal, 25e-12)
+	if ratio := coarse / fine; ratio < 3 {
+		t.Errorf("trapezoidal refinement ratio %v, want ~4 (order 2)", ratio)
+	}
+	// Backward Euler: order 1.
+	coarseBE := runErr(BackwardEuler, 50e-12)
+	fineBE := runErr(BackwardEuler, 25e-12)
+	if ratio := coarseBE / fineBE; ratio < 1.7 || ratio > 2.6 {
+		t.Errorf("backward-Euler refinement ratio %v, want ~2 (order 1)", ratio)
+	}
+	// At equal dt, trapezoidal is more accurate than BE on this smooth
+	// problem.
+	if coarse > coarseBE {
+		t.Errorf("trapezoidal (%v) should beat backward Euler (%v) at the same step", coarse, coarseBE)
+	}
+}
+
+// Simulated 50% delays converge to the exact delay as dt shrinks.
+func TestDelayConvergence(t *testing.T) {
+	tree := topo.Line25Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tree.MustIndex(topo.Line25NodeC)
+	want, err := sys.Delay50Step(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 8e-9
+	prevErr := math.Inf(1)
+	for _, dt := range []float64{100e-12, 25e-12, 6.25e-12} {
+		res, err := Run(tree, Options{TEnd: horizon, DT: dt, Probes: []int{node}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := res.Cross(node, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(got - want)
+		if e > prevErr*1.01 {
+			t.Errorf("dt=%v: delay error %v did not shrink (prev %v)", dt, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 1e-13 {
+		t.Errorf("finest-step delay error %v too large", prevErr)
+	}
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/exact"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func TestSingleRCStep(t *testing.T) {
+	const r, c = 1000.0, 1e-12
+	rc := r * c
+	b := rctree.NewBuilder()
+	b.MustRoot("n1", r, c)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, Options{TEnd: 8 * rc, DT: rc / 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.Waveform(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5 * rc, rc, 2 * rc, 5 * rc} {
+		want := 1 - math.Exp(-tt/rc)
+		if got := w.At(tt); !approx(got, want, 1e-5) {
+			t.Errorf("v(%v) = %v, want %v", tt, got, want)
+		}
+	}
+	x, err := res.Cross(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x, rc*math.Ln2, 1e-4) {
+		t.Errorf("50%% crossing = %v, want %v", x, rc*math.Ln2)
+	}
+}
+
+// The simulator and the exact engine are independent formulations; they
+// must agree on the Fig. 1 circuit to integration accuracy.
+func TestAgreesWithExactFig1(t *testing.T) {
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sys.Horizon(0)
+	res, err := Run(tree, Options{TEnd: horizon, DT: horizon / 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"C1", "C5", "C7"} {
+		i := tree.MustIndex(name)
+		w, err := res.Waveform(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frac := range []float64{0.05, 0.2, 0.5, 0.8} {
+			tt := frac * horizon
+			if got, want := w.At(tt), sys.VStep(i, tt); !approx(got, want, 1e-4) {
+				t.Errorf("%s at %v: sim %v vs exact %v", name, tt, got, want)
+			}
+		}
+		simDelay, err := res.Cross(i, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exDelay, err := sys.Delay50Step(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(simDelay, exDelay, 1e-3) {
+			t.Errorf("%s 50%% delay: sim %v vs exact %v", name, simDelay, exDelay)
+		}
+	}
+}
+
+func TestAgreesWithExactRandomTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 15)
+		sys, err := exact.NewSystem(tree)
+		if err != nil {
+			return false
+		}
+		horizon := sys.Horizon(0)
+		res, err := Run(tree, Options{TEnd: horizon, DT: horizon / 8192})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tree.N(); i++ {
+			w, err := res.Waveform(i)
+			if err != nil {
+				return false
+			}
+			for _, frac := range []float64{0.1, 0.5, 0.9} {
+				tt := frac * horizon
+				if !approx(w.At(tt), sys.VStep(i, tt), 5e-3) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRampInputAgreesWithExact(t *testing.T) {
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramp := signal.SaturatedRamp{Tr: 1e-9}
+	p, err := signal.ToPWL(ramp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sys.Horizon(ramp.Tr)
+	res, err := Run(tree, Options{Input: ramp, TEnd: horizon, DT: horizon / 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C5")
+	w, err := res.Waveform(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.1, 0.3, 0.6} {
+		tt := frac * horizon
+		if got, want := w.At(tt), sys.VPWL(i, p, tt); !approx(got, want, 1e-4) {
+			t.Errorf("t=%v: sim %v vs exact %v", tt, got, want)
+		}
+	}
+}
+
+func TestBackwardEulerConvergesToo(t *testing.T) {
+	tree := topo.Fig1Tree()
+	sys, err := exact.NewSystem(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := sys.Horizon(0)
+	res, err := Run(tree, Options{TEnd: horizon, DT: horizon / 60000, Method: BackwardEuler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := tree.MustIndex("C5")
+	w, err := res.Waveform(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := 0.3 * horizon
+	if !approx(w.At(tt), sys.VStep(i, tt), 1e-3) {
+		t.Errorf("BE at %v: %v vs %v", tt, w.At(tt), sys.VStep(i, tt))
+	}
+}
+
+func TestZeroCapJunction(t *testing.T) {
+	// A purely resistive junction node (C=0) must simulate fine and
+	// settle to 1 like everything else.
+	b := rctree.NewBuilder()
+	j := b.MustRoot("junction", 100, 0)
+	b.MustAttach(j, "load1", 100, 1e-12)
+	b.MustAttach(j, "load2", 200, 2e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tree.N(); i++ {
+		v, err := res.Voltages(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final := v[len(v)-1]; !approx(final, 1, 1e-3) {
+			t.Errorf("node %s final voltage %v, want ~1", tree.Name(i), final)
+		}
+	}
+}
+
+func TestProbeSelection(t *testing.T) {
+	tree := topo.Fig1Tree()
+	i5 := tree.MustIndex("C5")
+	res, err := Run(tree, Options{Probes: []int{i5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Voltages(i5); err != nil {
+		t.Errorf("probed node should be available: %v", err)
+	}
+	if _, err := res.Voltages(tree.MustIndex("C1")); err == nil {
+		t.Errorf("unprobed node should error")
+	}
+	if _, err := Run(tree, Options{Probes: []int{99}}); err == nil {
+		t.Errorf("out-of-range probe should error")
+	}
+}
+
+func TestOptionErrors(t *testing.T) {
+	tree := topo.Fig1Tree()
+	if _, err := Run(tree, Options{Method: Method(42)}); err == nil {
+		t.Errorf("unknown method should error")
+	}
+	if _, err := Run(tree, Options{Input: signal.SaturatedRamp{Tr: -1}}); err == nil {
+		t.Errorf("invalid input signal should error")
+	}
+	if _, err := Run(tree, Options{TEnd: 1e-9, DT: math.NaN()}); err == nil {
+		t.Errorf("NaN dt should error")
+	}
+}
+
+func TestCrossMissingLevel(t *testing.T) {
+	tree := topo.Fig1Tree()
+	res, err := Run(tree, Options{TEnd: 1e-12, DT: 1e-13}) // far too short
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Cross(tree.MustIndex("C5"), 0.99); err == nil {
+		t.Errorf("level unreachable in horizon should error")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Trapezoidal.String() != "trapezoidal" || BackwardEuler.String() != "backward-euler" {
+		t.Errorf("method names wrong")
+	}
+	if Method(9).String() == "" {
+		t.Errorf("unknown method should still render")
+	}
+}
+
+func TestLargeChainLinearTime(t *testing.T) {
+	// 20k-node chain: one run must finish quickly (zero fill-in solve);
+	// final values settle to 1.
+	tree := topo.Chain(20000, 1, 1e-15)
+	res, err := Run(tree, Options{Probes: []int{19999}, DT: 0, TEnd: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Voltages(19999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := v[len(v)-1]; !approx(final, 1, 5e-2) {
+		t.Errorf("leaf final voltage %v, want ~1", final)
+	}
+}
+
+// Step responses stay within [0, 1]. Backward Euler is used because its
+// amplification factor lies in (0, 1) — no overshoot — whereas the
+// trapezoidal rule may ring transiently on poles stiffer than the step.
+func TestStepResponseBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := topo.RandomSmall(seed, 30)
+		res, err := Run(tree, Options{Method: BackwardEuler})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tree.N(); i++ {
+			v, err := res.Voltages(i)
+			if err != nil {
+				return false
+			}
+			for _, x := range v {
+				if x < -1e-6 || x > 1+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

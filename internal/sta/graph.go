@@ -1,0 +1,156 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is a combinational timing graph: named timing points connected
+// by gate+net arcs. Multiple arcs may converge on a point (gate fanin);
+// the timer propagates the *latest* arrival window and the worst slew,
+// the standard pessimistic merge of static timing analysis.
+type Graph struct {
+	arcs   []arc
+	points map[string]bool
+}
+
+type arc struct {
+	from, to string
+	stage    Stage
+}
+
+// NewGraph returns an empty timing graph.
+func NewGraph() *Graph {
+	return &Graph{points: make(map[string]bool)}
+}
+
+// AddArc connects timing point `from` to `to` through a gate driving a
+// net; the stage's Sink names the net node that reaches `to`.
+func (g *Graph) AddArc(from, to string, stage Stage) error {
+	if from == "" || to == "" {
+		return fmt.Errorf("sta: arc endpoints need names")
+	}
+	if from == to {
+		return fmt.Errorf("sta: self-arc at %q", from)
+	}
+	if stage.Cell == nil || stage.Net == nil {
+		return fmt.Errorf("sta: arc %s->%s: incomplete stage", from, to)
+	}
+	if _, ok := stage.Net.Index(stage.Sink); !ok {
+		return fmt.Errorf("sta: arc %s->%s: net has no node %q", from, to, stage.Sink)
+	}
+	g.arcs = append(g.arcs, arc{from, to, stage})
+	g.points[from] = true
+	g.points[to] = true
+	return nil
+}
+
+// PointTiming is the merged timing at a graph point.
+type PointTiming struct {
+	Point     string
+	ArrivalUB float64
+	ArrivalLB float64
+	Slew      float64 // worst (largest) incoming slew
+}
+
+// GraphResult maps every timing point to its merged arrival window.
+type GraphResult struct {
+	Points map[string]PointTiming
+}
+
+// At returns the timing at a named point.
+func (r *GraphResult) At(name string) (PointTiming, error) {
+	pt, ok := r.Points[name]
+	if !ok {
+		return PointTiming{}, fmt.Errorf("sta: no timing point %q", name)
+	}
+	return pt, nil
+}
+
+// AnalyzeGraph propagates arrival windows from the given primary
+// inputs (each with its own arrival time and slew) through the graph in
+// topological order. It returns an error for cyclic graphs or points
+// with no driven arrival.
+func AnalyzeGraph(g *Graph, primary map[string]PointTiming) (*GraphResult, error) {
+	if len(g.arcs) == 0 {
+		return nil, fmt.Errorf("sta: empty graph")
+	}
+	if len(primary) == 0 {
+		return nil, fmt.Errorf("sta: no primary inputs")
+	}
+	for name := range primary {
+		if !g.points[name] {
+			return nil, fmt.Errorf("sta: primary input %q is not in the graph", name)
+		}
+	}
+
+	// Kahn topological order over the points.
+	indeg := make(map[string]int)
+	out := make(map[string][]arc)
+	for p := range g.points {
+		indeg[p] = 0
+	}
+	for _, a := range g.arcs {
+		indeg[a.to]++
+		out[a.from] = append(out[a.from], a)
+	}
+	var queue []string
+	for p, d := range indeg {
+		if d == 0 {
+			if _, isPI := primary[p]; !isPI {
+				return nil, fmt.Errorf("sta: point %q has no fanin and is not a primary input", p)
+			}
+			queue = append(queue, p)
+		}
+	}
+	sort.Strings(queue) // deterministic order
+
+	res := &GraphResult{Points: make(map[string]PointTiming)}
+	for name, pt := range primary {
+		pt.Point = name
+		res.Points[name] = pt
+	}
+	processed := 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		processed++
+		from, ok := res.Points[p]
+		if !ok {
+			return nil, fmt.Errorf("sta: point %q reached without an arrival (disconnected from primary inputs?)", p)
+		}
+		for _, a := range out[p] {
+			one, err := AnalyzePath(Path{InputSlew: from.Slew, Stages: []Stage{a.stage}})
+			if err != nil {
+				return nil, fmt.Errorf("sta: arc %s->%s: %w", a.from, a.to, err)
+			}
+			st := one.Stages[0]
+			cand := PointTiming{
+				Point:     a.to,
+				ArrivalUB: from.ArrivalUB + st.ArrivalUB,
+				ArrivalLB: from.ArrivalLB + st.ArrivalLB,
+				Slew:      st.SinkSlew,
+			}
+			cur, seen := res.Points[a.to]
+			if !seen {
+				res.Points[a.to] = cand
+			} else {
+				// Latest-arrival merge; worst (largest) slew.
+				merged := cur
+				merged.ArrivalUB = math.Max(cur.ArrivalUB, cand.ArrivalUB)
+				merged.ArrivalLB = math.Max(cur.ArrivalLB, cand.ArrivalLB)
+				merged.Slew = math.Max(cur.Slew, cand.Slew)
+				res.Points[a.to] = merged
+			}
+			indeg[a.to]--
+			if indeg[a.to] == 0 {
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	if processed != len(g.points) {
+		return nil, fmt.Errorf("sta: graph has a cycle (%d of %d points processed)", processed, len(g.points))
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGraphLinearMatchesPath(t *testing.T) {
+	cell := testCell(t, "inv", 300)
+	net1 := smallNet(t)
+	net2 := smallNet(t)
+	// A two-arc chain through the graph must equal the two-stage path.
+	g := NewGraph()
+	if err := g.AddArc("in", "mid", Stage{Cell: cell, Net: net1, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc("mid", "out", Stage{Cell: cell, Net: net2, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeGraph(g, map[string]PointTiming{
+		"in": {ArrivalUB: 0, ArrivalLB: 0, Slew: 25e-12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.At("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyzePath(Path{
+		InputSlew: 25e-12,
+		Stages: []Stage{
+			{Cell: cell, Net: net1, Sink: "pin"},
+			{Cell: cell, Net: net2, Sink: "pin"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got.ArrivalUB, want.ArrivalUB, 1e-12) || !approx(got.ArrivalLB, want.ArrivalLB, 1e-12) {
+		t.Errorf("graph [%v,%v] vs path [%v,%v]", got.ArrivalLB, got.ArrivalUB, want.ArrivalLB, want.ArrivalUB)
+	}
+}
+
+func TestGraphReconvergentFaninTakesWorst(t *testing.T) {
+	fast := testCell(t, "fast", 120)
+	slow := testCell(t, "slow", 900)
+	netA := smallNet(t)
+	netB := smallNet(t)
+	g := NewGraph()
+	if err := g.AddArc("in", "join", Stage{Cell: fast, Net: netA, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddArc("in2", "join", Stage{Cell: slow, Net: netB, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeGraph(g, map[string]PointTiming{
+		"in":  {Slew: 20e-12},
+		"in2": {Slew: 20e-12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := res.At("join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow branch dominates: its single-arc analysis gives the
+	// merged value.
+	slowOnly, err := AnalyzePath(Path{InputSlew: 20e-12, Stages: []Stage{{Cell: slow, Net: netB, Sink: "pin"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(join.ArrivalUB, slowOnly.ArrivalUB, 1e-12) {
+		t.Errorf("merged UB %v, want slow branch %v", join.ArrivalUB, slowOnly.ArrivalUB)
+	}
+	fastOnly, err := AnalyzePath(Path{InputSlew: 20e-12, Stages: []Stage{{Cell: fast, Net: netA, Sink: "pin"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.ArrivalUB <= fastOnly.ArrivalUB {
+		t.Errorf("merge failed to dominate the fast branch")
+	}
+	if join.Slew < math.Max(slowOnly.Stages[0].SinkSlew, fastOnly.Stages[0].SinkSlew)-1e-18 {
+		t.Errorf("merged slew should be the worst incoming")
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	cell := testCell(t, "inv", 300)
+	net := smallNet(t)
+	g := NewGraph()
+	if err := g.AddArc("", "b", Stage{Cell: cell, Net: net, Sink: "pin"}); err == nil {
+		t.Errorf("empty endpoint should fail")
+	}
+	if err := g.AddArc("a", "a", Stage{Cell: cell, Net: net, Sink: "pin"}); err == nil {
+		t.Errorf("self arc should fail")
+	}
+	if err := g.AddArc("a", "b", Stage{Net: net, Sink: "pin"}); err == nil {
+		t.Errorf("missing cell should fail")
+	}
+	if err := g.AddArc("a", "b", Stage{Cell: cell, Net: net, Sink: "zz"}); err == nil {
+		t.Errorf("bad sink should fail")
+	}
+
+	if _, err := AnalyzeGraph(NewGraph(), map[string]PointTiming{"a": {}}); err == nil {
+		t.Errorf("empty graph should fail")
+	}
+	if err := g.AddArc("a", "b", Stage{Cell: cell, Net: net, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeGraph(g, nil); err == nil {
+		t.Errorf("no primary inputs should fail")
+	}
+	if _, err := AnalyzeGraph(g, map[string]PointTiming{"zz": {}}); err == nil {
+		t.Errorf("unknown primary input should fail")
+	}
+
+	// Cycle detection.
+	gc := NewGraph()
+	if err := gc.AddArc("x", "y", Stage{Cell: cell, Net: net, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.AddArc("y", "x", Stage{Cell: cell, Net: net, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gc.AddArc("in", "x", Stage{Cell: cell, Net: net, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeGraph(gc, map[string]PointTiming{"in": {Slew: 1e-12}}); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle should be detected, got %v", err)
+	}
+
+	// A fanin-free point that is not a primary input.
+	gf := NewGraph()
+	if err := gf.AddArc("orphan", "z", Stage{Cell: cell, Net: net, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.AddArc("in", "z", Stage{Cell: cell, Net: net, Sink: "pin"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalyzeGraph(gf, map[string]PointTiming{"in": {Slew: 1e-12}}); err == nil {
+		t.Errorf("orphan source should be rejected")
+	}
+	if _, err := (&GraphResult{Points: map[string]PointTiming{}}).At("zz"); err == nil {
+		t.Errorf("missing point should error")
+	}
+}

@@ -1,0 +1,134 @@
+// Package sta is a miniature static timing analyzer for gate + RC-net
+// paths, built entirely on the paper's guarantees:
+//
+//   - each cell's delay/output-slew comes from its characterization
+//     tables via effective-capacitance reduction (package gate);
+//   - each net's sink delay is bracketed by the generalized-input
+//     Elmore bounds (Corollary 2: the cell's output ramp has a
+//     unimodal, symmetric derivative, so T_D is a hard upper bound and
+//     mu-sigma a hard lower bound);
+//   - sink transition times propagate by Appendix-B variance addition:
+//     the output edge's derivative variance is the input's plus the
+//     net's mu2, re-expressed as an equivalent saturated ramp.
+//
+// The result is a path arrival window [LB, UB] that is *certified* on
+// the net segments — the part of timing that the Elmore theory covers —
+// with table-accurate gate contributions.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"elmore/internal/gate"
+	"elmore/internal/moments"
+	"elmore/internal/pimodel"
+	"elmore/internal/rctree"
+)
+
+// Stage is one gate driving one net; Sink names the net node that
+// feeds the next stage (or the path endpoint).
+type Stage struct {
+	Cell *gate.Cell
+	Net  *rctree.Tree
+	Sink string
+}
+
+// Path is a chain of stages excited by an initial edge.
+type Path struct {
+	InputSlew float64 // transition time of the edge entering stage 0
+	Stages    []Stage
+}
+
+// StageResult carries one stage's timing contributions.
+type StageResult struct {
+	Cell string
+	Sink string
+
+	Ceff       float64 // effective capacitance the cell saw
+	GateDelay  float64 // table delay at (input slew, Ceff)
+	OutputSlew float64 // ramp the cell launches into the net
+
+	NetElmore float64 // T_D at the sink: the net-delay upper bound
+	NetLower  float64 // mu-sigma net-delay lower bound
+	SinkSlew  float64 // equivalent ramp duration at the sink
+	ArrivalUB float64 // cumulative upper bound after this stage
+	ArrivalLB float64 // cumulative lower bound after this stage
+}
+
+// PathResult is the full path analysis.
+type PathResult struct {
+	Stages    []StageResult
+	ArrivalUB float64
+	ArrivalLB float64
+}
+
+// AnalyzePath walks the path, propagating arrival bounds and slew.
+func AnalyzePath(p Path) (*PathResult, error) {
+	if len(p.Stages) == 0 {
+		return nil, fmt.Errorf("sta: path needs at least one stage")
+	}
+	if p.InputSlew < 0 || math.IsNaN(p.InputSlew) {
+		return nil, fmt.Errorf("sta: invalid input slew %v", p.InputSlew)
+	}
+	res := &PathResult{}
+	slew := p.InputSlew
+	var ub, lb float64
+	for si, st := range p.Stages {
+		if st.Net == nil || st.Cell == nil {
+			return nil, fmt.Errorf("sta: stage %d incomplete", si)
+		}
+		sink, ok := st.Net.Index(st.Sink)
+		if !ok {
+			return nil, fmt.Errorf("sta: stage %d: net has no node %q", si, st.Sink)
+		}
+		load, err := pimodel.ForInput(st.Net)
+		if err != nil {
+			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+		}
+		drv, err := st.Cell.DriveLoad(slew, load)
+		if err != nil {
+			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+		}
+
+		ms, err := moments.Compute(st.Net, 2)
+		if err != nil {
+			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+		}
+		td := ms.Elmore(sink)
+		mu2 := ms.Mu2(sink)
+		tr := drv.OutputSlew
+
+		// Net delay bounds for a saturated-ramp input of duration tr
+		// (Corollary 2 upper; Corollary 1 generalized lower). The
+		// input's 50% point is tr/2.
+		inMu2 := tr * tr / 12
+		outSigma := math.Sqrt(mu2 + inMu2)
+		netLower := math.Max(td+tr/2-outSigma, 0) - tr/2
+		if netLower < 0 {
+			netLower = 0
+		}
+
+		// Sink transition: variance addition re-expressed as a ramp.
+		sinkSlew := math.Sqrt(tr*tr + 12*mu2)
+
+		ub += drv.Delay + td
+		lb += drv.Delay + netLower
+		res.Stages = append(res.Stages, StageResult{
+			Cell:       st.Cell.Name,
+			Sink:       st.Sink,
+			Ceff:       drv.Ceff,
+			GateDelay:  drv.Delay,
+			OutputSlew: tr,
+			NetElmore:  td,
+			NetLower:   netLower,
+			SinkSlew:   sinkSlew,
+			ArrivalUB:  ub,
+			ArrivalLB:  lb,
+		})
+		slew = sinkSlew
+	}
+	res.ArrivalUB = ub
+	res.ArrivalLB = lb
+	return res, nil
+}

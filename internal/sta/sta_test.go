@@ -1,0 +1,174 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"elmore/internal/exact"
+	"elmore/internal/gate"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func testCell(t *testing.T, name string, rdrv float64) *gate.Cell {
+	t.Helper()
+	cell, err := gate.LinearCell(name, rdrv, 2e-12, 0.05, 4e-12,
+		[]float64{1e-12, 50e-12, 500e-12, 5e-9},
+		[]float64{1e-15, 50e-15, 500e-15, 5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cell
+}
+
+func smallNet(t *testing.T) *rctree.Tree {
+	t.Helper()
+	b := rctree.NewBuilder()
+	n1 := b.MustRoot("w1", 120, 20e-15)
+	b.MustAttach(n1, "pin", 200, 60e-15)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestSingleStageManual(t *testing.T) {
+	cell := testCell(t, "inv", 300)
+	net := smallNet(t)
+	res, err := AnalyzePath(Path{
+		InputSlew: 20e-12,
+		Stages:    []Stage{{Cell: cell, Net: net, Sink: "pin"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 1 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	st := res.Stages[0]
+	// Net Elmore at the pin: 120*(80f) + 200*60f = 9.6p + 12p = 21.6ps.
+	if !approx(st.NetElmore, 21.6e-12, 1e-9) {
+		t.Errorf("net Elmore = %v, want 21.6ps", st.NetElmore)
+	}
+	// Gate delay from the table at the converged Ceff.
+	wantDelay := cell.Delay.Lookup(20e-12, st.Ceff)
+	if !approx(st.GateDelay, wantDelay, 1e-9) {
+		t.Errorf("gate delay = %v, want %v", st.GateDelay, wantDelay)
+	}
+	if !(res.ArrivalLB <= res.ArrivalUB) {
+		t.Errorf("LB %v > UB %v", res.ArrivalLB, res.ArrivalUB)
+	}
+	if st.SinkSlew <= st.OutputSlew {
+		t.Errorf("sink slew %v should exceed launched slew %v (net dispersion adds)", st.SinkSlew, st.OutputSlew)
+	}
+}
+
+// The certified net portion: simulate the cell's actual output ramp
+// through the exact engine and check the per-stage net delay lands in
+// [NetLower, NetElmore].
+func TestNetBoundsCertified(t *testing.T) {
+	cell := testCell(t, "inv", 250)
+	for seed := int64(0); seed < 20; seed++ {
+		net := topo.Random(seed, topo.RandomOptions{N: 8, CMin: 5e-15, CMax: 80e-15, RMin: 50, RMax: 400})
+		sink := net.Leaves()[0]
+		res, err := AnalyzePath(Path{
+			InputSlew: 30e-12,
+			Stages:    []Stage{{Cell: cell, Net: net, Sink: net.Name(sink)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stages[0]
+		sys, err := exact.NewSystem(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual, err := sys.Delay(sink, signal.SaturatedRamp{Tr: st.OutputSlew}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if actual > st.NetElmore*(1+1e-9) {
+			t.Errorf("seed %d: net delay %v above Elmore bound %v", seed, actual, st.NetElmore)
+		}
+		if actual < st.NetLower*(1-1e-9)-1e-18 {
+			t.Errorf("seed %d: net delay %v below lower bound %v", seed, actual, st.NetLower)
+		}
+	}
+}
+
+func TestMultiStagePath(t *testing.T) {
+	cellA := testCell(t, "buf_small", 400)
+	cellB := testCell(t, "buf_big", 150)
+	net1 := smallNet(t)
+	net2 := topo.Chain(6, 80, 15e-15)
+	res, err := AnalyzePath(Path{
+		InputSlew: 25e-12,
+		Stages: []Stage{
+			{Cell: cellA, Net: net1, Sink: "pin"},
+			{Cell: cellB, Net: net2, Sink: "n6"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 2 {
+		t.Fatalf("stages = %d", len(res.Stages))
+	}
+	// Arrivals accumulate monotonically.
+	if !(res.Stages[0].ArrivalUB < res.Stages[1].ArrivalUB) {
+		t.Errorf("UB should grow along the path")
+	}
+	if !(res.Stages[0].ArrivalLB <= res.Stages[1].ArrivalLB) {
+		t.Errorf("LB should grow along the path")
+	}
+	if res.ArrivalUB != res.Stages[1].ArrivalUB || res.ArrivalLB != res.Stages[1].ArrivalLB {
+		t.Errorf("totals should match the last stage")
+	}
+	// The second stage sees the first's sink slew.
+	if res.Stages[1].OutputSlew <= 0 {
+		t.Errorf("slew did not propagate")
+	}
+}
+
+func TestHeavierNetSlowsAndSlews(t *testing.T) {
+	cell := testCell(t, "inv", 300)
+	light := topo.Chain(3, 50, 10e-15)
+	heavy := topo.Chain(12, 150, 40e-15)
+	rl, err := AnalyzePath(Path{InputSlew: 20e-12, Stages: []Stage{{Cell: cell, Net: light, Sink: "n3"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := AnalyzePath(Path{InputSlew: 20e-12, Stages: []Stage{{Cell: cell, Net: heavy, Sink: "n12"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.ArrivalUB <= rl.ArrivalUB {
+		t.Errorf("heavier net should be slower: %v vs %v", rh.ArrivalUB, rl.ArrivalUB)
+	}
+	if rh.Stages[0].SinkSlew <= rl.Stages[0].SinkSlew {
+		t.Errorf("heavier net should degrade the edge: %v vs %v", rh.Stages[0].SinkSlew, rl.Stages[0].SinkSlew)
+	}
+}
+
+func TestAnalyzePathErrors(t *testing.T) {
+	cell := testCell(t, "inv", 300)
+	net := smallNet(t)
+	cases := []Path{
+		{},
+		{InputSlew: math.NaN(), Stages: []Stage{{Cell: cell, Net: net, Sink: "pin"}}},
+		{InputSlew: 1e-12, Stages: []Stage{{Cell: cell, Net: net, Sink: "nope"}}},
+		{InputSlew: 1e-12, Stages: []Stage{{Net: net, Sink: "pin"}}},
+		{InputSlew: 1e-12, Stages: []Stage{{Cell: cell, Sink: "pin"}}},
+	}
+	for i, p := range cases {
+		if _, err := AnalyzePath(p); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"elmore/internal/rctree"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+// elmore computes T_D at node i without importing the moments package
+// (keeps topo's tests dependency-free of higher layers).
+func elmoreAt(t *rctree.Tree, i int) float64 {
+	var td float64
+	for k := 0; k < t.N(); k++ {
+		td += t.SharedPathResistance(i, k) * t.C(k)
+	}
+	return td
+}
+
+func TestFig1Calibration(t *testing.T) {
+	tree := Fig1Tree()
+	if tree.N() != 7 {
+		t.Fatalf("N = %d", tree.N())
+	}
+	cases := map[string]float64{"C1": 0.55e-9, "C5": 1.2e-9, "C7": 0.75e-9}
+	for name, want := range cases {
+		if got := elmoreAt(tree, tree.MustIndex(name)); !approx(got, want, 1e-12) {
+			t.Errorf("T_D(%s) = %v, want %v", name, got, want)
+		}
+	}
+	// Topology: C1 has two children (branches), C5 and C7 are leaves.
+	if len(tree.Children(tree.MustIndex("C1"))) != 2 {
+		t.Errorf("C1 should fork")
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 {
+		t.Errorf("leaves = %d", len(leaves))
+	}
+}
+
+func TestLine25Calibration(t *testing.T) {
+	tree := Line25Tree()
+	if tree.N() != 25 {
+		t.Fatalf("N = %d", tree.N())
+	}
+	if got := elmoreAt(tree, tree.MustIndex(Line25NodeA)); !approx(got, 0.02e-9, 1e-12) {
+		t.Errorf("T_D(A) = %v", got)
+	}
+	if got := elmoreAt(tree, tree.MustIndex(Line25NodeC)); !approx(got, 1.56e-9, 1e-12) {
+		t.Errorf("T_D(C) = %v", got)
+	}
+	// A pure chain: every node except the leaf has exactly one child.
+	for i := 0; i < tree.N(); i++ {
+		if n := len(tree.Children(i)); n > 1 {
+			t.Fatalf("node %d has %d children; line must be a chain", i, n)
+		}
+	}
+}
+
+func TestChainStarBalancedShapes(t *testing.T) {
+	c := Chain(5, 10, 1e-15)
+	if c.N() != 5 || c.Depth(c.MustIndex("n5")) != 5 {
+		t.Errorf("chain shape wrong")
+	}
+	s := Star(3, 4, 10, 1e-15)
+	if s.N() != 1+3*4 {
+		t.Errorf("star N = %d", s.N())
+	}
+	if len(s.Children(s.MustIndex("hub"))) != 3 {
+		t.Errorf("star hub fanout wrong")
+	}
+	b := Balanced(3, 2, 10, 1e-15)
+	if b.N() != 1+2+4 {
+		t.Errorf("balanced N = %d", b.N())
+	}
+	if len(b.Leaves()) != 4 {
+		t.Errorf("balanced leaves = %d", len(b.Leaves()))
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"chain":    func() { Chain(0, 1, 1e-15) },
+		"star":     func() { Star(0, 1, 1, 1e-15) },
+		"balanced": func() { Balanced(0, 2, 1, 1e-15) },
+		"random":   func() { Random(1, RandomOptions{N: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on bad size", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(7, RandomOptions{N: 30})
+	b := Random(7, RandomOptions{N: 30})
+	if a.N() != b.N() {
+		t.Fatalf("sizes differ")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.R(i) != b.R(i) || a.C(i) != b.C(i) || a.Parent(i) != b.Parent(i) {
+			t.Fatalf("same seed should give identical trees (node %d)", i)
+		}
+	}
+	c := Random(8, RandomOptions{N: 30})
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if a.R(i) != c.R(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestRandomRespectsRanges(t *testing.T) {
+	f := func(seed int64) bool {
+		opts := RandomOptions{N: 25, RMin: 5, RMax: 50, CMin: 2e-15, CMax: 9e-15}
+		tree := Random(seed, opts)
+		for i := 0; i < tree.N(); i++ {
+			if tree.R(i) < opts.RMin || tree.R(i) > opts.RMax {
+				return false
+			}
+			if tree.C(i) < opts.CMin || tree.C(i) > opts.CMax {
+				return false
+			}
+		}
+		return tree.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChaininessShapesTree(t *testing.T) {
+	// Chaininess 1 must produce a pure chain; chaininess near 0 a bushy
+	// tree with depth << N.
+	chain := Random(3, RandomOptions{N: 60, Chaininess: 1})
+	maxDepth := 0
+	for i := 0; i < chain.N(); i++ {
+		if d := chain.Depth(i); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth != 60 {
+		t.Errorf("chaininess=1: depth %d, want 60", maxDepth)
+	}
+	bushy := Random(3, RandomOptions{N: 60, Chaininess: 1e-9})
+	maxDepth = 0
+	for i := 0; i < bushy.N(); i++ {
+		if d := bushy.Depth(i); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth >= 30 {
+		t.Errorf("chaininess~0: depth %d, want bushy (< 30)", maxDepth)
+	}
+}
+
+func TestRandomSmallBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := RandomSmall(seed, 20)
+		return tree.N() >= 1 && tree.N() <= 20 && tree.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	if got := RandomSmall(1, 0); got.N() != 1 {
+		t.Errorf("maxN < 1 should clamp to 1")
+	}
+}
+
+func TestHTree(t *testing.T) {
+	tree := HTree(4, 200, 40e-15, 5e-15)
+	// Nodes: 1 + 2 + 4 + 8 = 15 for levels=4 (trunk is level 1).
+	if tree.N() != 15 {
+		t.Fatalf("N = %d, want 15", tree.N())
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 8 {
+		t.Fatalf("leaves = %d, want 8", len(leaves))
+	}
+	// Perfect symmetry: all leaves share one Elmore delay.
+	td0 := elmoreAt(tree, leaves[0])
+	for _, l := range leaves[1:] {
+		if !approx(elmoreAt(tree, l), td0, 1e-12) {
+			t.Fatalf("H-tree should have zero Elmore skew")
+		}
+	}
+	// Geometric taper: child resistance is half the parent's.
+	hl := tree.MustIndex("hL")
+	hll := tree.MustIndex("hLL")
+	if tree.R(hll) != tree.R(hl)/2 {
+		t.Errorf("taper wrong: %v vs %v", tree.R(hll), tree.R(hl))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("levels < 1 should panic")
+		}
+	}()
+	HTree(0, 1, 1e-15, 1e-15)
+}

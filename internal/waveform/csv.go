@@ -1,0 +1,97 @@
+package waveform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes named waveforms sharing a time axis as CSV with a
+// "time,<name>,..." header — the format cmd/rcsim emits. All waveforms
+// must share identical sample times.
+func WriteCSV(w io.Writer, names []string, waves []*Waveform) error {
+	if len(names) != len(waves) || len(waves) == 0 {
+		return fmt.Errorf("waveform: WriteCSV needs matching, nonempty names and waveforms")
+	}
+	base := waves[0]
+	for k, wv := range waves[1:] {
+		if len(wv.T) != len(base.T) {
+			return fmt.Errorf("waveform: %q has %d samples, want %d", names[k+1], len(wv.T), len(base.T))
+		}
+		for i := range wv.T {
+			if wv.T[i] != base.T[i] {
+				return fmt.Errorf("waveform: %q has a different time axis", names[k+1])
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "time")
+	for _, n := range names {
+		fmt.Fprintf(bw, ",%s", n)
+	}
+	fmt.Fprintln(bw)
+	for i := range base.T {
+		fmt.Fprintf(bw, "%.9g", base.T[i])
+		for _, wv := range waves {
+			fmt.Fprintf(bw, ",%.9g", wv.V[i])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses CSV in the WriteCSV / cmd/rcsim layout: a header
+// beginning with "time" followed by column names, then numeric rows.
+// It returns the column names and one waveform per column.
+func ReadCSV(r io.Reader) ([]string, []*Waveform, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("waveform: empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 2 || header[0] != "time" {
+		return nil, nil, fmt.Errorf("waveform: CSV header must start with \"time\", got %q", sc.Text())
+	}
+	names := header[1:]
+	var times []float64
+	cols := make([][]float64, len(names))
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.TrimSpace(sc.Text())
+		if row == "" {
+			continue
+		}
+		fields := strings.Split(row, ",")
+		if len(fields) != len(header) {
+			return nil, nil, fmt.Errorf("waveform: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		t, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("waveform: line %d: %w", line, err)
+		}
+		times = append(times, t)
+		for k := range names {
+			v, err := strconv.ParseFloat(fields[k+1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("waveform: line %d: %w", line, err)
+			}
+			cols[k] = append(cols[k], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("waveform: read: %w", err)
+	}
+	waves := make([]*Waveform, len(names))
+	for k := range names {
+		wv, err := New(times, cols[k])
+		if err != nil {
+			return nil, nil, fmt.Errorf("waveform: column %q: %w", names[k], err)
+		}
+		waves[k] = wv
+	}
+	return names, waves, nil
+}

@@ -1,0 +1,76 @@
+package waveform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := mustNew(t, []float64{0, 1e-9, 2e-9}, []float64{0, 0.5, 1})
+	b := mustNew(t, []float64{0, 1e-9, 2e-9}, []float64{0, 0.25, 0.75})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"n1", "n2"}, []*Waveform{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	names, waves, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "n1" || names[1] != "n2" {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range a.T {
+		if waves[0].T[i] != a.T[i] || waves[0].V[i] != a.V[i] {
+			t.Fatalf("column n1 changed at sample %d", i)
+		}
+		if waves[1].V[i] != b.V[i] {
+			t.Fatalf("column n2 changed at sample %d", i)
+		}
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	a := mustNew(t, []float64{0, 1}, []float64{0, 1})
+	short := mustNew(t, []float64{0, 1, 2}, []float64{0, 1, 2})
+	shifted := mustNew(t, []float64{0, 2}, []float64{0, 1})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a"}, nil); err == nil {
+		t.Errorf("mismatched args should fail")
+	}
+	if err := WriteCSV(&buf, []string{"a", "b"}, []*Waveform{a, short}); err == nil {
+		t.Errorf("length mismatch should fail")
+	}
+	if err := WriteCSV(&buf, []string{"a", "b"}, []*Waveform{a, shifted}); err == nil {
+		t.Errorf("time-axis mismatch should fail")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", ""},
+		{"bad header", "t,n1\n0,0\n1,1\n"},
+		{"no columns", "time\n0\n1\n"},
+		{"ragged row", "time,n1\n0,0\n1\n"},
+		{"bad number", "time,n1\n0,zz\n1,1\n"},
+		{"bad time", "time,n1\nzz,0\n1,1\n"},
+		{"single sample", "time,n1\n0,0\n"},
+		{"non-increasing", "time,n1\n0,0\n0,1\n"},
+	}
+	for _, tc := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	src := "time,n1\n0,0\n\n1e-9,1\n"
+	_, waves, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waves[0].Len() != 2 {
+		t.Errorf("samples = %d, want 2", waves[0].Len())
+	}
+}

@@ -1,0 +1,373 @@
+// Package waveform provides sampled-waveform utilities: interpolation,
+// threshold crossings, numeric integration and differentiation,
+// convolution, and distribution statistics (mean/median/mode,
+// unimodality) of a waveform treated as a density.
+//
+// It backs the numerical cross-checks between the exact pole/residue
+// engine, the transient simulator, and the moment computations, and it
+// carries the series data for the reproduced paper figures.
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Waveform is a sampled real function of time with strictly increasing
+// sample times. Values between samples are linearly interpolated.
+type Waveform struct {
+	T []float64
+	V []float64
+}
+
+// New validates the sample vectors and returns a waveform.
+func New(t, v []float64) (*Waveform, error) {
+	if len(t) != len(v) {
+		return nil, fmt.Errorf("waveform: time/value length mismatch %d != %d", len(t), len(v))
+	}
+	if len(t) < 2 {
+		return nil, fmt.Errorf("waveform: need at least 2 samples, got %d", len(t))
+	}
+	for i := range t {
+		if math.IsNaN(t[i]) || math.IsInf(t[i], 0) || math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			return nil, fmt.Errorf("waveform: sample %d is not finite", i)
+		}
+		if i > 0 && t[i] <= t[i-1] {
+			return nil, fmt.Errorf("waveform: times must strictly increase (samples %d, %d)", i-1, i)
+		}
+	}
+	return &Waveform{T: t, V: v}, nil
+}
+
+// FromFunc samples f at n+1 uniform points across [t0, t1].
+func FromFunc(f func(float64) float64, t0, t1 float64, n int) (*Waveform, error) {
+	if !(t1 > t0) {
+		return nil, fmt.Errorf("waveform: need t1 > t0, got [%v, %v]", t0, t1)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("waveform: need at least 1 interval, got %d", n)
+	}
+	t := make([]float64, n+1)
+	v := make([]float64, n+1)
+	dt := (t1 - t0) / float64(n)
+	for i := 0; i <= n; i++ {
+		t[i] = t0 + float64(i)*dt
+		v[i] = f(t[i])
+	}
+	return New(t, v)
+}
+
+// Len returns the number of samples.
+func (w *Waveform) Len() int { return len(w.T) }
+
+// At returns the linearly interpolated value at time x; outside the
+// sampled range the first/last value is held.
+func (w *Waveform) At(x float64) float64 {
+	n := len(w.T)
+	if x <= w.T[0] {
+		return w.V[0]
+	}
+	if x >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w.T[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (x - w.T[lo]) / (w.T[hi] - w.T[lo])
+	return w.V[lo] + f*(w.V[hi]-w.V[lo])
+}
+
+// Cross returns the first time the waveform crosses the given level in
+// the upward direction, linearly interpolated, and whether any crossing
+// exists in the sampled range.
+func (w *Waveform) Cross(level float64) (float64, bool) {
+	if w.V[0] >= level {
+		return w.T[0], true
+	}
+	for i := 1; i < len(w.T); i++ {
+		if w.V[i] >= level {
+			a, b := i-1, i
+			if w.V[b] == w.V[a] {
+				return w.T[b], true
+			}
+			f := (level - w.V[a]) / (w.V[b] - w.V[a])
+			return w.T[a] + f*(w.T[b]-w.T[a]), true
+		}
+	}
+	return 0, false
+}
+
+// RiseTime returns the time for the waveform to go from lo*final to
+// hi*final (e.g. 0.1, 0.9 of the final sampled value). The second return
+// is false if either crossing is missing.
+func (w *Waveform) RiseTime(lo, hi float64) (float64, bool) {
+	final := w.V[len(w.V)-1]
+	tLo, ok1 := w.Cross(lo * final)
+	tHi, ok2 := w.Cross(hi * final)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return tHi - tLo, true
+}
+
+// Integral returns the trapezoidal integral over the whole sample range.
+func (w *Waveform) Integral() float64 {
+	var sum float64
+	for i := 1; i < len(w.T); i++ {
+		sum += 0.5 * (w.V[i] + w.V[i-1]) * (w.T[i] - w.T[i-1])
+	}
+	return sum
+}
+
+// RawMoment returns the trapezoidal estimate of integral t^q w(t) dt over
+// the sampled range.
+func (w *Waveform) RawMoment(q int) float64 {
+	var sum float64
+	for i := 1; i < len(w.T); i++ {
+		fa := math.Pow(w.T[i-1], float64(q)) * w.V[i-1]
+		fb := math.Pow(w.T[i], float64(q)) * w.V[i]
+		sum += 0.5 * (fa + fb) * (w.T[i] - w.T[i-1])
+	}
+	return sum
+}
+
+// DensityStats summarizes a waveform treated as a (not necessarily
+// normalized) distribution density.
+type DensityStats struct {
+	Area   float64 // integral of the density
+	Mean   float64 // first moment / area
+	Sigma  float64 // sqrt of central second moment
+	Mu2    float64
+	Mu3    float64
+	Skew   float64 // mu3 / mu2^(3/2)
+	Median float64 // half-area point
+	Mode   float64 // argmax of the sampled density
+}
+
+// Stats computes distribution statistics of the waveform-as-density.
+// It returns an error if the total area is not positive.
+func (w *Waveform) Stats() (DensityStats, error) {
+	area := w.Integral()
+	if area <= 0 {
+		return DensityStats{}, fmt.Errorf("waveform: density area %g is not positive", area)
+	}
+	m1 := w.RawMoment(1) / area
+	m2 := w.RawMoment(2) / area
+	m3 := w.RawMoment(3) / area
+	mu2 := m2 - m1*m1
+	mu3 := m3 - 3*m1*m2 + 2*m1*m1*m1
+	st := DensityStats{Area: area, Mean: m1, Mu2: mu2, Mu3: mu3}
+	if mu2 > 0 {
+		st.Sigma = math.Sqrt(mu2)
+		st.Skew = mu3 / math.Pow(mu2, 1.5)
+	}
+	// Median: accumulate trapezoids to half the area.
+	half := area / 2
+	var acc float64
+	st.Median = w.T[len(w.T)-1]
+	for i := 1; i < len(w.T); i++ {
+		seg := 0.5 * (w.V[i] + w.V[i-1]) * (w.T[i] - w.T[i-1])
+		if acc+seg >= half {
+			// Solve for the fraction of this segment. The integrand is
+			// linear, so the cumulative is quadratic in the fraction f:
+			// acc + dt*f*(va + f*(vb-va)/2) = half.
+			va, vb := w.V[i-1], w.V[i]
+			dt := w.T[i] - w.T[i-1]
+			need := half - acc
+			f := solveSegmentFraction(va, vb, dt, need)
+			st.Median = w.T[i-1] + f*dt
+			break
+		}
+		acc += seg
+	}
+	// Mode: maximum sample.
+	best := 0
+	for i := range w.V {
+		if w.V[i] > w.V[best] {
+			best = i
+		}
+	}
+	st.Mode = w.T[best]
+	return st, nil
+}
+
+// solveSegmentFraction finds f in [0,1] such that the integral of the
+// linear interpolant from va to vb over fraction f of width dt equals
+// need: dt*(va*f + (vb-va)*f^2/2) = need.
+func solveSegmentFraction(va, vb, dt, need float64) float64 {
+	a := (vb - va) / 2
+	b := va
+	c := -need / dt
+	if a == 0 {
+		if b == 0 {
+			return 1
+		}
+		return clamp01(-c / b)
+	}
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		return 1
+	}
+	sq := math.Sqrt(disc)
+	f1 := (-b + sq) / (2 * a)
+	f2 := (-b - sq) / (2 * a)
+	// Pick the root in [0, 1].
+	if f1 >= 0 && f1 <= 1 {
+		return f1
+	}
+	return clamp01(f2)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// IsNonNegative reports whether all samples are >= -tol*max|V|.
+func (w *Waveform) IsNonNegative(tol float64) bool {
+	maxAbs := 0.0
+	for _, v := range w.V {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for _, v := range w.V {
+		if v < -tol*maxAbs {
+			return false
+		}
+	}
+	return true
+}
+
+// IsUnimodal reports whether the sample sequence rises to a single peak
+// and then falls, allowing wiggle up to tol*max|V|.
+func (w *Waveform) IsUnimodal(tol float64) bool {
+	maxAbs := 0.0
+	for _, v := range w.V {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	eps := tol * maxAbs
+	i := 0
+	for i+1 < len(w.V) && w.V[i+1] >= w.V[i]-eps {
+		i++
+	}
+	for i+1 < len(w.V) {
+		if w.V[i+1] > w.V[i]+eps {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// IsMonotoneNonDecreasing reports whether samples never decrease by more
+// than tol*range.
+func (w *Waveform) IsMonotoneNonDecreasing(tol float64) bool {
+	lo, hi := w.V[0], w.V[0]
+	for _, v := range w.V {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	eps := tol * (hi - lo)
+	for i := 1; i < len(w.V); i++ {
+		if w.V[i] < w.V[i-1]-eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Derivative returns the centered finite-difference derivative sampled
+// at the original times (one-sided at the ends).
+func (w *Waveform) Derivative() *Waveform {
+	n := len(w.T)
+	dv := make([]float64, n)
+	dv[0] = (w.V[1] - w.V[0]) / (w.T[1] - w.T[0])
+	dv[n-1] = (w.V[n-1] - w.V[n-2]) / (w.T[n-1] - w.T[n-2])
+	for i := 1; i < n-1; i++ {
+		dv[i] = (w.V[i+1] - w.V[i-1]) / (w.T[i+1] - w.T[i-1])
+	}
+	out, err := New(append([]float64(nil), w.T...), dv)
+	if err != nil {
+		panic(err) // cannot happen: times validated at construction
+	}
+	return out
+}
+
+// Resample returns the waveform sampled at n+1 uniform points across
+// [t0, t1], holding end values outside the original range.
+func (w *Waveform) Resample(t0, t1 float64, n int) (*Waveform, error) {
+	return FromFunc(w.At, t0, t1, n)
+}
+
+// Convolve numerically convolves two densities on a shared uniform grid
+// of step dt, returning samples covering the sum of both supports. Both
+// waveforms are treated as zero outside their sampled ranges; the inputs
+// must start at t >= 0 (causal densities).
+func Convolve(a, b *Waveform, dt float64) (*Waveform, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("waveform: Convolve needs dt > 0")
+	}
+	if a.T[0] < 0 || b.T[0] < 0 {
+		return nil, fmt.Errorf("waveform: Convolve requires causal (t >= 0) densities")
+	}
+	na := int(math.Ceil(a.T[len(a.T)-1]/dt)) + 1
+	nb := int(math.Ceil(b.T[len(b.T)-1]/dt)) + 1
+	if na < 2 || nb < 2 {
+		return nil, fmt.Errorf("waveform: Convolve grid too coarse")
+	}
+	av := make([]float64, na)
+	bv := make([]float64, nb)
+	for i := range av {
+		av[i] = a.atOrZero(float64(i) * dt)
+	}
+	for i := range bv {
+		bv[i] = b.atOrZero(float64(i) * dt)
+	}
+	n := na + nb - 1
+	t := make([]float64, n)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t[i] = float64(i) * dt
+		var s float64
+		jLo := i - (nb - 1)
+		if jLo < 0 {
+			jLo = 0
+		}
+		jHi := i
+		if jHi > na-1 {
+			jHi = na - 1
+		}
+		for j := jLo; j <= jHi; j++ {
+			s += av[j] * bv[i-j]
+		}
+		v[i] = s * dt
+	}
+	return New(t, v)
+}
+
+// atOrZero is like At but returns 0 outside the sampled range instead of
+// holding end values — the right behaviour for densities.
+func (w *Waveform) atOrZero(x float64) float64 {
+	if x < w.T[0] || x > w.T[len(w.T)-1] {
+		return 0
+	}
+	return w.At(x)
+}

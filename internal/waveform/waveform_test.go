@@ -1,0 +1,310 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+1e-300)
+}
+
+func mustNew(t *testing.T, ts, vs []float64) *Waveform {
+	t.Helper()
+	w, err := New(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		t, v []float64
+	}{
+		{"length mismatch", []float64{0, 1}, []float64{0}},
+		{"too short", []float64{0}, []float64{0}},
+		{"non-increasing", []float64{0, 0}, []float64{0, 1}},
+		{"NaN time", []float64{0, math.NaN()}, []float64{0, 1}},
+		{"Inf value", []float64{0, 1}, []float64{0, math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.t, tc.v); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	w := mustNew(t, []float64{0, 1, 3}, []float64{0, 10, 30})
+	cases := map[float64]float64{-1: 0, 0: 0, 0.5: 5, 1: 10, 2: 20, 3: 30, 4: 30}
+	for x, want := range cases {
+		if got := w.At(x); !approx(got, want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestCross(t *testing.T) {
+	w := mustNew(t, []float64{0, 1, 2}, []float64{0, 0.4, 1})
+	x, ok := w.Cross(0.2)
+	if !ok || !approx(x, 0.5, 1e-12) {
+		t.Errorf("Cross(0.2) = %v, %v", x, ok)
+	}
+	x, ok = w.Cross(0.7)
+	if !ok || !approx(x, 1.5, 1e-12) {
+		t.Errorf("Cross(0.7) = %v, %v", x, ok)
+	}
+	if _, ok := w.Cross(2); ok {
+		t.Errorf("Cross(2) should not exist")
+	}
+	// Level below the first sample: crossing reported at start.
+	x, ok = w.Cross(-1)
+	if !ok || x != 0 {
+		t.Errorf("Cross(-1) = %v, %v", x, ok)
+	}
+}
+
+func TestRiseTime(t *testing.T) {
+	// Linear ramp 0..1 over [0, 10]: 10%-90% takes 8.
+	w, err := FromFunc(func(x float64) float64 { return x / 10 }, 0, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := w.RiseTime(0.1, 0.9)
+	if !ok || !approx(rt, 8, 1e-9) {
+		t.Errorf("RiseTime = %v, %v", rt, ok)
+	}
+}
+
+func TestIntegralAndMoments(t *testing.T) {
+	// Uniform density 1 on [0, 2]: area 2, mean 1, raw2 8/3.
+	w, err := FromFunc(func(x float64) float64 { return 1 }, 0, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Integral(); !approx(got, 2, 1e-9) {
+		t.Errorf("Integral = %v", got)
+	}
+	if got := w.RawMoment(1); !approx(got, 2, 1e-6) {
+		t.Errorf("RawMoment(1) = %v, want 2", got)
+	}
+	if got := w.RawMoment(2); !approx(got, 8.0/3, 1e-6) {
+		t.Errorf("RawMoment(2) = %v, want 8/3", got)
+	}
+}
+
+func TestStatsUniformDensity(t *testing.T) {
+	w, err := FromFunc(func(x float64) float64 { return 0.5 }, 0, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(st.Area, 1, 1e-9) || !approx(st.Mean, 1, 1e-6) || !approx(st.Median, 1, 1e-6) {
+		t.Errorf("uniform stats: %+v", st)
+	}
+	if !approx(st.Mu2, 1.0/3, 1e-5) {
+		t.Errorf("mu2 = %v, want 1/3", st.Mu2)
+	}
+	if math.Abs(st.Skew) > 1e-4 {
+		t.Errorf("skew = %v, want ~0", st.Skew)
+	}
+}
+
+func TestStatsExponentialDensity(t *testing.T) {
+	// h(t) = e^{-t}: mean 1, median ln 2, mode 0, sigma 1, skew 2.
+	w, err := FromFunc(func(x float64) float64 { return math.Exp(-x) }, 0, 40, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := w.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(st.Mean, 1, 1e-4) {
+		t.Errorf("mean = %v, want 1", st.Mean)
+	}
+	if !approx(st.Median, math.Ln2, 1e-4) {
+		t.Errorf("median = %v, want ln2", st.Median)
+	}
+	if st.Mode != 0 {
+		t.Errorf("mode = %v, want 0", st.Mode)
+	}
+	if !approx(st.Sigma, 1, 1e-3) {
+		t.Errorf("sigma = %v, want 1", st.Sigma)
+	}
+	if !approx(st.Skew, 2, 1e-2) {
+		t.Errorf("skew = %v, want 2", st.Skew)
+	}
+	// The paper's ordering for a positively skewed unimodal density.
+	if !(st.Mode <= st.Median && st.Median <= st.Mean) {
+		t.Errorf("mode <= median <= mean violated: %+v", st)
+	}
+}
+
+func TestStatsRejectsZeroArea(t *testing.T) {
+	w := mustNew(t, []float64{0, 1}, []float64{0, 0})
+	if _, err := w.Stats(); err == nil {
+		t.Errorf("zero-area density should error")
+	}
+}
+
+func TestUnimodality(t *testing.T) {
+	up := mustNew(t, []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	if !up.IsUnimodal(1e-12) {
+		t.Errorf("monotone rise should be unimodal")
+	}
+	peak := mustNew(t, []float64{0, 1, 2, 3}, []float64{0, 2, 1, 0.5})
+	if !peak.IsUnimodal(1e-12) {
+		t.Errorf("single peak should be unimodal")
+	}
+	twoPeaks := mustNew(t, []float64{0, 1, 2, 3, 4}, []float64{0, 2, 1, 2, 0})
+	if twoPeaks.IsUnimodal(1e-12) {
+		t.Errorf("two peaks should not be unimodal")
+	}
+	// Tolerance forgives tiny numerical wiggle.
+	wiggle := mustNew(t, []float64{0, 1, 2, 3}, []float64{0, 1, 0.999999, 0.5})
+	if !wiggle.IsUnimodal(1e-3) {
+		t.Errorf("tiny wiggle should pass with tolerance")
+	}
+}
+
+func TestNonNegativeAndMonotone(t *testing.T) {
+	w := mustNew(t, []float64{0, 1, 2}, []float64{0, 0.5, 1})
+	if !w.IsNonNegative(0) || !w.IsMonotoneNonDecreasing(0) {
+		t.Errorf("ramp should be nonnegative and monotone")
+	}
+	neg := mustNew(t, []float64{0, 1}, []float64{0, -1})
+	if neg.IsNonNegative(1e-12) {
+		t.Errorf("negative waveform reported nonnegative")
+	}
+	dip := mustNew(t, []float64{0, 1, 2}, []float64{0, 1, 0.2})
+	if dip.IsMonotoneNonDecreasing(1e-3) {
+		t.Errorf("dip should fail monotone check")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// d/dt of t^2 on [0,1] is 2t; check at interior points.
+	w, err := FromFunc(func(x float64) float64 { return x * x }, 0, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Derivative()
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		if got := d.At(x); !approx(got, 2*x, 1e-4) {
+			t.Errorf("derivative at %v = %v, want %v", x, got, 2*x)
+		}
+	}
+}
+
+func TestResample(t *testing.T) {
+	w := mustNew(t, []float64{0, 2}, []float64{0, 2})
+	r, err := w.Resample(0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 || !approx(r.V[2], 1, 1e-12) {
+		t.Errorf("Resample wrong: %+v", r)
+	}
+}
+
+// Convolution of two unit-area densities: area 1, means add, central
+// moments add (the paper's Appendix B property, checked numerically).
+func TestConvolveMomentAdditivity(t *testing.T) {
+	a, err := FromFunc(func(x float64) float64 { return math.Exp(-x) }, 0, 30, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromFunc(func(x float64) float64 { return 2 * math.Exp(-2*x) }, 0, 15, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Convolve(a, b, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.Stats()
+	sb, _ := b.Stats()
+	sc, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sc.Area, 1, 1e-2) {
+		t.Errorf("area = %v, want 1", sc.Area)
+	}
+	if !approx(sc.Mean, sa.Mean+sb.Mean, 1e-2) {
+		t.Errorf("mean = %v, want %v", sc.Mean, sa.Mean+sb.Mean)
+	}
+	if !approx(sc.Mu2, sa.Mu2+sb.Mu2, 2e-2) {
+		t.Errorf("mu2 = %v, want %v", sc.Mu2, sa.Mu2+sb.Mu2)
+	}
+	if !approx(sc.Mu3, sa.Mu3+sb.Mu3, 5e-2) {
+		t.Errorf("mu3 = %v, want %v", sc.Mu3, sa.Mu3+sb.Mu3)
+	}
+}
+
+func TestConvolveErrors(t *testing.T) {
+	w := mustNew(t, []float64{0, 1}, []float64{1, 1})
+	if _, err := Convolve(w, w, 0); err == nil {
+		t.Errorf("dt=0 should fail")
+	}
+	neg := mustNew(t, []float64{-1, 1}, []float64{1, 1})
+	if _, err := Convolve(neg, w, 0.1); err == nil {
+		t.Errorf("non-causal input should fail")
+	}
+}
+
+func TestFromFuncErrors(t *testing.T) {
+	if _, err := FromFunc(math.Sin, 1, 1, 10); err == nil {
+		t.Errorf("empty range should fail")
+	}
+	if _, err := FromFunc(math.Sin, 0, 1, 0); err == nil {
+		t.Errorf("zero intervals should fail")
+	}
+}
+
+// Property: for randomized triangular densities, the median lies between
+// mode-side mass boundaries and stats are finite; mean of symmetric
+// triangle equals its center.
+func TestStatsTriangleProperty(t *testing.T) {
+	f := func(centerRaw, widthRaw uint8) bool {
+		center := 1 + float64(centerRaw)/32  // 1..9
+		width := 0.5 + float64(widthRaw)/128 // 0.5..2.5
+		lo, hi := center-width, center+width // may start below 0; shift
+		if lo < 0 {
+			shift := -lo
+			lo += shift
+			hi += shift
+			center += shift
+		}
+		tri := func(x float64) float64 {
+			d := 1 - math.Abs(x-center)/width
+			if d < 0 {
+				return 0
+			}
+			return d
+		}
+		w, err := FromFunc(tri, lo, hi, 4000)
+		if err != nil {
+			return false
+		}
+		st, err := w.Stats()
+		if err != nil {
+			return false
+		}
+		return approx(st.Mean, center, 1e-3) &&
+			approx(st.Median, center, 1e-3) &&
+			approx(st.Mode, center, 2e-3) &&
+			math.Abs(st.Skew) < 1e-2 &&
+			w.IsUnimodal(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
