@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check build test vet race bench fmt
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -l .

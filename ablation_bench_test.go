@@ -44,6 +44,7 @@ func BenchmarkAblationPWLSegments(b *testing.B) {
 	}
 	for _, segs := range []int{16, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("segments=%d", segs), func(b *testing.B) {
+			b.ReportAllocs()
 			var d float64
 			for i := 0; i < b.N; i++ {
 				if d, err = sys.Delay(node, sig, segs); err != nil {
@@ -68,6 +69,7 @@ func BenchmarkAblationIntegrator(b *testing.B) {
 	const horizon, dt = 4e-9, 10e-12
 	for _, m := range []sim.Method{sim.Trapezoidal, sim.BackwardEuler} {
 		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var worst float64
 			for i := 0; i < b.N; i++ {
 				res, err := sim.Run(tree, sim.Options{TEnd: horizon, DT: dt, Method: m, Probes: []int{node}})
@@ -95,11 +97,13 @@ func BenchmarkAblationIntegrator(b *testing.B) {
 func BenchmarkAblationElmoreAlgorithm(b *testing.B) {
 	tree := topo.Random(42, topo.RandomOptions{N: 2000})
 	b.Run("path-tracing", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			moments.ElmoreDelays(tree)
 		}
 	})
 	b.Run("definitional", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for node := 0; node < tree.N(); node += 100 { // 20 nodes only: full sweep is quadratic
 				moments.ElmoreDelayDirect(tree, node)
@@ -115,6 +119,7 @@ func BenchmarkAblationGroundTruth(b *testing.B) {
 	tree := topo.Random(7, topo.RandomOptions{N: 60})
 	leaf := tree.Leaves()[0]
 	b.Run("exact-eigen", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sys, err := exact.NewSystem(tree)
 			if err != nil {
@@ -126,6 +131,7 @@ func BenchmarkAblationGroundTruth(b *testing.B) {
 		}
 	})
 	b.Run("transient-sim", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := sim.Run(tree, sim.Options{Probes: []int{leaf}})
 			if err != nil {
@@ -165,6 +171,7 @@ func BenchmarkAblationSimplify(b *testing.B) {
 	}
 	b.Logf("nodes: raw %d -> simplified %d", raw.N(), simplified.N())
 	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := elmore.Analyze(raw); err != nil {
 				b.Fatal(err)
@@ -172,6 +179,7 @@ func BenchmarkAblationSimplify(b *testing.B) {
 		}
 	})
 	b.Run("simplified", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := elmore.Analyze(simplified); err != nil {
 				b.Fatal(err)
@@ -200,6 +208,7 @@ func BenchmarkAblationAWEOrder(b *testing.B) {
 	}
 	for _, order := range []int{1, 2, 3, 4} {
 		b.Run(fmt.Sprintf("q=%d", order), func(b *testing.B) {
+			b.ReportAllocs()
 			var d float64
 			for i := 0; i < b.N; i++ {
 				ap, err := elmore.FitAWE(ms, node, order)

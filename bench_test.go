@@ -10,18 +10,21 @@
 package elmore_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
 
 	"elmore"
 	"elmore/internal/repro"
+	"elmore/internal/telemetry"
 	"elmore/internal/topo"
 )
 
 // --- Paper artifacts: one benchmark per table and figure. ---
 
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := repro.TableI()
 		if err != nil {
@@ -34,6 +37,7 @@ func BenchmarkTableI(b *testing.B) {
 }
 
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := repro.TableII()
 		if err != nil {
@@ -46,6 +50,7 @@ func BenchmarkTableII(b *testing.B) {
 }
 
 func BenchmarkFig3StepAndImpulse(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.Fig3(); err != nil {
 			b.Fatal(err)
@@ -54,6 +59,7 @@ func BenchmarkFig3StepAndImpulse(b *testing.B) {
 }
 
 func BenchmarkFig4SymmetricDensity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if s := repro.Fig4(); len(s) != 1 {
 			b.Fatal("series count")
@@ -62,6 +68,7 @@ func BenchmarkFig4SymmetricDensity(b *testing.B) {
 }
 
 func BenchmarkFig5DrivingPointResponse(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.Fig5(); err != nil {
 			b.Fatal(err)
@@ -70,6 +77,7 @@ func BenchmarkFig5DrivingPointResponse(b *testing.B) {
 }
 
 func BenchmarkFig12DelayCurves(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := repro.Fig12(nil)
 		if err != nil {
@@ -82,6 +90,7 @@ func BenchmarkFig12DelayCurves(b *testing.B) {
 }
 
 func BenchmarkFig13ImpulseFamily(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.Fig13(); err != nil {
 			b.Fatal(err)
@@ -90,6 +99,7 @@ func BenchmarkFig13ImpulseFamily(b *testing.B) {
 }
 
 func BenchmarkFig14ErrorSurface(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := repro.Fig14(nil)
 		if err != nil {
@@ -125,6 +135,7 @@ func BenchmarkAnalyzeBounds(b *testing.B) {
 	for _, n := range benchSizes() {
 		tree := topo.Random(42, topo.RandomOptions{N: n})
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := elmore.Analyze(tree); err != nil {
 					b.Fatal(err)
@@ -138,6 +149,7 @@ func BenchmarkMomentsOrder6(b *testing.B) {
 	for _, n := range benchSizes() {
 		tree := topo.Random(42, topo.RandomOptions{N: n})
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := elmore.Moments(tree, 6); err != nil {
 					b.Fatal(err)
@@ -151,6 +163,7 @@ func BenchmarkExactSystemBuild(b *testing.B) {
 	for _, n := range []int{25, 50, 100, 200} {
 		tree := topo.Random(42, topo.RandomOptions{N: n})
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := elmore.NewExactSystem(tree); err != nil {
 					b.Fatal(err)
@@ -161,6 +174,7 @@ func BenchmarkExactSystemBuild(b *testing.B) {
 }
 
 func BenchmarkExactDelay50(b *testing.B) {
+	b.ReportAllocs()
 	tree := topo.Random(42, topo.RandomOptions{N: 100})
 	sys, err := elmore.NewExactSystem(tree)
 	if err != nil {
@@ -178,6 +192,7 @@ func BenchmarkSimTransient(b *testing.B) {
 	for _, n := range []int{1000, 10000, 100000} {
 		tree := topo.Chain(n, 1, 1e-15)
 		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := elmore.Simulate(tree, elmore.SimOptions{
 					Probes: []int{n - 1},
@@ -193,6 +208,7 @@ func BenchmarkSimTransient(b *testing.B) {
 }
 
 func BenchmarkAWEFitOrder3(b *testing.B) {
+	b.ReportAllocs()
 	tree := topo.Random(42, topo.RandomOptions{N: 200})
 	ms, err := elmore.Moments(tree, 6)
 	if err != nil {
@@ -240,6 +256,7 @@ func BenchmarkNetlistFormat(b *testing.B) {
 // --- Extension experiments beyond the paper's artifacts. ---
 
 func BenchmarkExtPRHWaveformBounds(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		series, err := repro.FigPRH("C5")
 		if err != nil {
@@ -252,6 +269,7 @@ func BenchmarkExtPRHWaveformBounds(b *testing.B) {
 }
 
 func BenchmarkExtInputShapeStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := repro.InputShapeStudy("C5", 0.3e-9)
 		if err != nil {
@@ -260,5 +278,22 @@ func BenchmarkExtInputShapeStudy(b *testing.B) {
 		if bad := repro.CheckInputShapes(rows); len(bad) != 0 {
 			b.Fatalf("violations: %v", bad)
 		}
+	}
+}
+
+// --- Observability overhead. ---
+
+// BenchmarkTelemetryDisabled measures the cost the telemetry hooks add
+// to instrumented code when no registry or tracer is installed — the
+// state every library consumer and un-flagged CLI run is in. It must
+// stay at a few nanoseconds with zero allocations.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		_, sp := telemetry.Start(ctx, "bench.disabled")
+		sp.AttrInt("i", int64(i))
+		sp.End()
+		telemetry.C("bench.disabled_counter").Add(1)
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,10 +22,12 @@ import (
 	"sort"
 	"strings"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/exact"
 	"elmore/internal/moments"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/telemetry"
 	"elmore/internal/topo"
 )
 
@@ -53,7 +56,7 @@ func quantiles(xs []float64) [5]float64 {
 	return [5]float64{xs[0], q(0.1), q(0.5), q(0.9), xs[len(xs)-1]}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("boundstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -63,8 +66,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		riseSpec   = fs.String("rise", "step,0.5n,2n", "comma-separated rise times ('step' for the ideal step)")
 		chaininess = fs.Float64("chaininess", 0.5, "tree shape parameter in [0,1]")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("boundstat"))
+		return nil
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
@@ -72,6 +80,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *nTrees < 1 || *maxNodes < 1 {
 		return fmt.Errorf("-trees and -max-nodes must be positive")
 	}
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "boundstat.run")
+	root.AttrInt("trees", int64(*nTrees))
+	defer root.End()
 
 	var sigs []signal.Signal
 	for _, tok := range strings.Split(*riseSpec, ",") {
@@ -96,12 +112,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	nodes := 0
 	trees := 0
 
+	mctx, msp := telemetry.Start(ctx, "measure")
+	defer msp.End()
 	for k := 0; k < *nTrees; k++ {
 		tree := topo.Random(*seed+int64(k), topo.RandomOptions{
 			N:          1 + (k % *maxNodes),
 			Chaininess: *chaininess,
 		})
-		sys, err := exact.NewSystem(tree)
+		sys, err := exact.NewSystemContext(mctx, tree)
 		if err != nil {
 			return err
 		}

@@ -63,3 +63,13 @@ func TestErrors(t *testing.T) {
 		t.Errorf("empty rise should fail")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runCLI(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "boundstat ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}

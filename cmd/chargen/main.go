@@ -13,16 +13,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/exact"
 	"elmore/internal/gate"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/telemetry"
 )
 
 func main() {
@@ -52,7 +56,7 @@ func parseList(spec string) ([]float64, error) {
 	return out, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("chargen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -63,8 +67,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		loadSpec = fs.String("loads", "1f,20f,80f,320f", "comma-separated load capacitance grid")
 		outPath  = fs.String("o", "", "output path (default stdout)")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("chargen"))
+		return nil
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
@@ -92,13 +101,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-loads: %w", err)
 	}
 
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "chargen.run")
+	root.AttrInt("grid_points", int64(len(slews)*len(loads)))
+	defer root.End()
+
+	mctx, msp := telemetry.Start(ctx, "characterize")
 	delay := &gate.Table{Slews: slews, Loads: loads}
 	oslew := &gate.Table{Slews: slews, Loads: loads}
 	for _, sl := range slews {
 		var dRow, sRow []float64
 		for _, cl := range loads {
-			d, tr, err := measure(rdrv, cl, sl)
+			d, tr, err := measure(mctx, rdrv, cl, sl)
 			if err != nil {
+				msp.End()
 				return fmt.Errorf("measure(slew=%g, load=%g): %w", sl, cl, err)
 			}
 			dRow = append(dRow, d0+d)
@@ -107,11 +127,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		delay.Values = append(delay.Values, dRow)
 		oslew.Values = append(oslew.Values, sRow)
 	}
+	msp.End()
 	cell := &gate.Cell{Name: *name, Delay: delay, OutputSlew: oslew}
 	if err := cell.Validate(); err != nil {
 		return err
 	}
 
+	_, wsp := telemetry.Start(ctx, "write")
+	defer wsp.End()
 	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -129,14 +152,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 // measure builds the single-stage R-C circuit, drives it with a
 // saturated ramp of the given slew, and returns the measured 50% delay
 // and the equivalent 0-100% output ramp duration (10-90% time / 0.8).
-func measure(rdrv, load, slew float64) (delay, outSlew float64, err error) {
+func measure(ctx context.Context, rdrv, load, slew float64) (delay, outSlew float64, err error) {
 	b := rctree.NewBuilder()
 	b.MustRoot("out", rdrv, load)
 	tree, err := b.Build()
 	if err != nil {
 		return 0, 0, err
 	}
-	sys, err := exact.NewSystem(tree)
+	sys, err := exact.NewSystemContext(ctx, tree)
 	if err != nil {
 		return 0, 0, err
 	}

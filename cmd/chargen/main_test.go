@@ -88,3 +88,13 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runCLI(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "chargen ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}

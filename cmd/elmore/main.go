@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,11 +20,13 @@ import (
 	"sort"
 	"strings"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/core"
 	"elmore/internal/exact"
 	"elmore/internal/netlist"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +36,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("elmore", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -45,9 +48,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		corners  = fs.Float64("corners", 0, "if > 0, also print guaranteed delay intervals under +-X relative R/C variation (e.g. 0.15)")
 		window   = fs.Float64("window", 0, "if in (0,1), also print guaranteed crossing-time windows at this threshold")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("elmore"))
+		return nil
+	}
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "elmore.run")
+	defer root.End()
 
 	in := stdin
 	switch fs.NArg() {
@@ -63,7 +78,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("at most one netlist file")
 	}
 
+	_, psp := telemetry.Start(ctx, "parse")
 	deck, err := netlist.Parse(in)
+	psp.End()
 	if err != nil {
 		return err
 	}
@@ -79,9 +96,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "simplified %d nodes -> %d\n", tree.N(), simp.N())
 		tree = simp
 	}
+	root.AttrInt("nodes", int64(tree.N()))
 
-	an, err := core.Analyze(tree)
+	actx, asp := telemetry.Start(ctx, "analyze")
+	an, err := core.AnalyzeContext(actx, tree)
 	if err != nil {
+		asp.End()
 		return err
 	}
 
@@ -89,6 +109,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *riseStr != "" {
 		tr, err := rctree.ParseValue(*riseStr)
 		if err != nil {
+			asp.End()
 			return fmt.Errorf("-rise: %w", err)
 		}
 		sig = signal.SaturatedRamp{Tr: tr}
@@ -104,11 +125,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				break
 			}
 		}
-		sys, err = exact.NewSystem(work)
+		sys, err = exact.NewSystemContext(actx, work)
 		if err != nil {
+			asp.End()
 			return err
 		}
 	}
+	asp.End()
+
+	_, rsp := telemetry.Start(ctx, "report")
+	defer rsp.End()
 
 	nodes := tree.PreOrder()
 	if *nodeSel != "" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -143,6 +144,73 @@ func TestCornersFlag(t *testing.T) {
 	}
 	if _, _, err := runCLI(t, []string{"-corners", "2"}, demoDeck); err == nil {
 		t.Errorf("corners >= 1 should fail")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-version"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "elmore ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}
+
+func TestTraceAndMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	out, errOut, err := runCLI(t, []string{"-trace", path, "-metrics"}, demoDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "critical sink") {
+		t.Errorf("analysis output missing:\n%s", out)
+	}
+
+	// The trace must hold parseable JSON lines with the phase spans
+	// parse, analyze and report nested under elmore.run.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		Span   int64  `json:"span"`
+		Parent int64  `json:"parent"`
+		Name   string `json:"name"`
+		DurNS  int64  `json:"dur_ns"`
+	}
+	byName := map[string]rec{}
+	for _, ln := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		var r rec
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("bad trace line %q: %v", ln, err)
+		}
+		byName[r.Name] = r
+	}
+	rootSpan, ok := byName["elmore.run"]
+	if !ok {
+		t.Fatalf("no elmore.run span in trace:\n%s", data)
+	}
+	for _, phase := range []string{"parse", "analyze", "report"} {
+		sp, ok := byName[phase]
+		if !ok {
+			t.Errorf("no %q span in trace:\n%s", phase, data)
+			continue
+		}
+		if sp.Parent != rootSpan.Span {
+			t.Errorf("%q span parent = %d, want elmore.run (%d)", phase, sp.Parent, rootSpan.Span)
+		}
+	}
+	if _, ok := byName["core.analyze"]; !ok {
+		t.Errorf("engine span core.analyze missing from trace:\n%s", data)
+	}
+
+	// The metrics snapshot must list the analysis node count.
+	if !strings.Contains(errOut, "counter core.nodes_analyzed 2") {
+		t.Errorf("metrics snapshot missing node count:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "counter moments.node_visits") {
+		t.Errorf("metrics snapshot missing solver step counts:\n%s", errOut)
 	}
 }
 

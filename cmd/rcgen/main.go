@@ -11,13 +11,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/netlist"
 	"elmore/internal/rctree"
+	"elmore/internal/telemetry"
 	"elmore/internal/topo"
 )
 
@@ -28,7 +31,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("rcgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -45,12 +48,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		outPath    = fs.String("o", "", "output path (default stdout)")
 		asDOT      = fs.Bool("dot", false, "emit Graphviz dot instead of a SPICE deck")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("rcgen"))
+		return nil
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "rcgen.run")
+	root.AttrString("topology", *topology)
+	defer root.End()
 	r, err := rctree.ParseValue(*rStr)
 	if err != nil {
 		return fmt.Errorf("-r: %w", err)
@@ -60,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-c: %w", err)
 	}
 
+	_, gsp := telemetry.Start(ctx, "generate")
 	var tree *rctree.Tree
 	title := ""
 	switch *topology {
@@ -82,9 +99,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		tree = topo.Random(*seed, topo.RandomOptions{N: *n, Chaininess: *chaininess})
 		title = fmt.Sprintf("random %d-node RC tree (seed %d)", *n, *seed)
 	default:
+		gsp.End()
 		return fmt.Errorf("-topology: unknown %q", *topology)
 	}
+	gsp.AttrInt("nodes", int64(tree.N()))
+	gsp.End()
 
+	_, wsp := telemetry.Start(ctx, "write")
+	defer wsp.End()
 	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

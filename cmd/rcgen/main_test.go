@@ -99,3 +99,13 @@ func TestDOTOutput(t *testing.T) {
 		t.Errorf("dot output wrong:\n%s", out)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runCLI(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "rcgen ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}

@@ -12,16 +12,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/netlist"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
 	"elmore/internal/sim"
+	"elmore/internal/telemetry"
 )
 
 func main() {
@@ -61,7 +64,7 @@ func parseInput(spec string) (signal.Signal, error) {
 	return s, nil
 }
 
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("rcsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -73,9 +76,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		outPath   = fs.String("o", "", "output CSV path (default stdout)")
 		adaptive  = fs.Float64("adaptive", 0, "if > 0, use adaptive stepping with this local error tolerance (volts/step)")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("rcsim"))
+		return nil
+	}
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "rcsim.run")
+	defer root.End()
 
 	in := stdin
 	switch fs.NArg() {
@@ -90,7 +105,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("at most one netlist file")
 	}
+	_, psp := telemetry.Start(ctx, "parse")
 	deck, err := netlist.Parse(in)
+	psp.End()
 	if err != nil {
 		return err
 	}
@@ -141,16 +158,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
+	sctx, ssp := telemetry.Start(ctx, "simulate")
 	var res *sim.Result
 	if *adaptive > 0 {
-		res, err = sim.RunAdaptive(tree, opts, *adaptive)
+		res, err = sim.RunAdaptiveContext(sctx, tree, opts, *adaptive)
 	} else {
-		res, err = sim.Run(tree, opts)
+		res, err = sim.RunContext(sctx, tree, opts)
 	}
+	ssp.End()
 	if err != nil {
 		return err
 	}
 
+	_, wsp := telemetry.Start(ctx, "write")
+	defer wsp.End()
 	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

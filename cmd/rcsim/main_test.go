@@ -144,3 +144,13 @@ func TestAdaptiveFlag(t *testing.T) {
 		t.Errorf("non-positive tolerance should fall back to fixed: %v", err)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-version"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "rcsim ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}

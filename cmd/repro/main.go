@@ -11,14 +11,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/plot"
 	"elmore/internal/repro"
+	"elmore/internal/telemetry"
 )
 
 func main() {
@@ -28,7 +31,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -36,12 +39,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		outdir = fs.String("outdir", "", "also write CSV data files to this directory")
 		doPlot = fs.Bool("plot", false, "render figures as ASCII charts")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("repro"))
+		return nil
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "repro.run")
+	root.AttrString("exp", *expSel)
+	defer root.End()
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			return err
@@ -53,8 +69,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return os.WriteFile(filepath.Join(*outdir, name), []byte(content), 0o644)
 	}
-	want := func(name string) bool { return *expSel == "all" || *expSel == name }
 	ran := false
+	// want doubles as the experiment phase marker: a selected experiment
+	// opens a child span that the matching done() call closes.
+	var expSpan *telemetry.Span
+	want := func(name string) bool {
+		if *expSel != "all" && *expSel != name {
+			return false
+		}
+		_, expSpan = telemetry.Start(ctx, "repro."+name)
+		return true
+	}
+	done := func() {
+		expSpan.End()
+		expSpan = nil
+	}
 
 	plotSeries := func(title, xlabel string, series []repro.Series, logX bool) error {
 		if !*doPlot {
@@ -101,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeCSV("table1.csv", res.CSV()); err != nil {
 			return err
 		}
+		done()
 	}
 	if want("tableII") {
 		ran = true
@@ -120,6 +150,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeCSV("table2.csv", res.CSV()); err != nil {
 			return err
 		}
+		done()
 	}
 	figSeries := map[string]func() ([]repro.Series, error){
 		"fig3":  repro.Fig3,
@@ -155,6 +186,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeCSV(name+".csv", repro.SeriesCSV(series)); err != nil {
 			return err
 		}
+		done()
 	}
 	if want("fig4") {
 		ran = true
@@ -166,6 +198,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeCSV("fig4.csv", repro.SeriesCSV(series)); err != nil {
 			return err
 		}
+		done()
 	}
 	if want("fig12") {
 		ran = true
@@ -185,6 +218,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeCSV("fig12.csv", res.CSV()); err != nil {
 			return err
 		}
+		done()
 	}
 	if want("fig14") {
 		ran = true
@@ -210,6 +244,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeCSV("fig14.csv", res.CSV()); err != nil {
 			return err
 		}
+		done()
 	}
 	if want("prh") {
 		ran = true
@@ -228,6 +263,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 				return err
 			}
 		}
+		done()
 	}
 	if want("shapes") {
 		ran = true
@@ -241,6 +277,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%-24s %12.4g %12.4g %10.2f\n", r.Input, r.Upper*1e9, r.Delay*1e9, r.MarginPct)
 		}
 		reportChecks("input shapes", repro.CheckInputShapes(rows))
+		done()
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q; want one of all, tableI, tableII, fig3, fig4, fig5, fig12, fig13, fig14, prh, shapes", *expSel)

@@ -97,3 +97,13 @@ func TestExtensionExperiments(t *testing.T) {
 		t.Errorf("shapes output wrong:\n%s", out)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runCLI(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "repro ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}

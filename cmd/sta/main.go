@@ -13,16 +13,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"elmore/internal/cliutil"
 	"elmore/internal/gate"
 	"elmore/internal/netlist"
 	"elmore/internal/rctree"
 	"elmore/internal/sta"
+	"elmore/internal/telemetry"
 )
 
 func main() {
@@ -32,15 +35,20 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("sta", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		libPath  = fs.String("lib", "", "liberty-lite cell library file (required)")
 		slewSpec = fs.String("slew", "30p", "transition time of the edge entering the path")
 	)
+	cf := cliutil.Add(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if cf.Version {
+		fmt.Fprintln(stdout, cliutil.Version("sta"))
+		return nil
 	}
 	if *libPath == "" {
 		return fmt.Errorf("-lib is required")
@@ -53,13 +61,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-slew: %w", err)
 	}
 
+	sess, err := cf.Start(stderr)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, sess.Close()) }()
+	ctx, root := telemetry.Start(sess.Context(), "sta.run")
+	defer root.End()
+
+	_, psp := telemetry.Start(ctx, "parse")
 	libFile, err := os.Open(*libPath)
 	if err != nil {
+		psp.End()
 		return err
 	}
 	lib, err := gate.ParseLibrary(libFile)
 	libFile.Close()
 	if err != nil {
+		psp.End()
 		return err
 	}
 
@@ -84,11 +103,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		path.Stages = append(path.Stages, sta.Stage{Cell: cell, Net: deck.Tree, Sink: parts[2]})
 	}
+	psp.End()
 
-	res, err := sta.AnalyzePath(path)
+	actx, asp := telemetry.Start(ctx, "analyze")
+	res, err := sta.AnalyzePathContext(actx, path)
+	asp.End()
 	if err != nil {
 		return err
 	}
+	_, rsp := telemetry.Start(ctx, "report")
+	defer rsp.End()
 	fmt.Fprintf(stdout, "%-12s %-8s %10s %10s %10s %10s %12s %12s\n",
 		"cell", "sink", "Ceff", "gate", "net UB", "net LB", "arrival UB", "arrival LB")
 	for _, st := range res.Stages {

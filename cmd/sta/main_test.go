@@ -94,3 +94,13 @@ func TestErrors(t *testing.T) {
 		t.Errorf("bad slew should fail")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	out, err := runCLI(t, "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "sta ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output wrong: %q", out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"elmore/internal/linalg"
 	"elmore/internal/moments"
 	"elmore/internal/poly"
+	"elmore/internal/telemetry"
 )
 
 // Approx is a stable q-pole approximation of a node transfer function:
@@ -51,7 +52,13 @@ func FitNode(ms *moments.Set, i, q int) (*Approx, error) {
 		}
 		c[k] = v
 	}
-	return fit(c, q)
+	a, err := fit(c, q)
+	if err != nil {
+		telemetry.C("awe.unstable_fits").Inc()
+		return nil, err
+	}
+	telemetry.C("awe.fits").Inc()
+	return a, nil
 }
 
 // fit solves the Pade problem for the shifted moment sequence c.
@@ -138,6 +145,7 @@ func FitStable(ms *moments.Set, i, q int) (*Approx, error) {
 			return a, nil
 		}
 		lastErr = err
+		telemetry.C("awe.fallbacks").Inc()
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("awe: moment set order %d too low for any fit", ms.Order())

@@ -1,0 +1,198 @@
+// Package cliutil carries the flags and lifecycle shared by every
+// cmd/* tool: observability switches (-trace, -metrics, -debug-addr),
+// the -version flag, and the session object that opens/flushes the
+// trace file, installs the process-wide metrics registry, and serves
+// net/http/pprof + expvar for live inspection.
+//
+// The intended wiring inside a tool's run function:
+//
+//	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+//	cf := cliutil.Add(fs)
+//	if err := fs.Parse(args); err != nil { return err }
+//	if cf.Version {
+//	    fmt.Fprintln(stdout, cliutil.Version("tool"))
+//	    return nil
+//	}
+//	sess, err := cf.Start(stderr)
+//	if err != nil { return err }
+//	defer func() { err = errors.Join(err, sess.Close()) }()
+//	ctx := sess.Context()
+//	// ... pass ctx to the engines; telemetry.Start for tool phases.
+package cliutil
+
+import (
+	"bufio"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"context"
+
+	"elmore/internal/telemetry"
+)
+
+// Flags holds the shared observability/version flags. Create with Add.
+type Flags struct {
+	Trace     string // -trace: JSON-lines span log path
+	Metrics   bool   // -metrics: snapshot to stderr on exit
+	DebugAddr string // -debug-addr: pprof/expvar listen address
+	Version   bool   // -version: print build info and exit
+}
+
+// Add registers the shared flags on fs and returns the value holder.
+func Add(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Trace, "trace", "", "write a JSON-lines span trace to `file`")
+	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot to stderr on exit")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&f.Version, "version", false, "print version information and exit")
+	return f
+}
+
+// Version returns a one-line version string for the named tool from
+// the binary's embedded build info: module version, VCS revision and
+// the Go toolchain.
+func Version(tool string) string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return tool + " version unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	parts := []string{tool, ver}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		parts = append(parts, rev+dirty)
+	}
+	parts = append(parts, bi.GoVersion)
+	return strings.Join(parts, " ")
+}
+
+// Session is the live observability state of one tool invocation.
+// Always Close it — Close flushes the trace, prints the -metrics
+// snapshot, stops the debug server and restores the previous default
+// registry.
+type Session struct {
+	ctx     context.Context
+	stderr  io.Writer
+	metrics bool
+
+	reg  *telemetry.Registry
+	prev *telemetry.Registry
+
+	tracer    *telemetry.Tracer
+	traceBuf  *bufio.Writer
+	traceFile *os.File
+
+	ln net.Listener
+}
+
+// publishOnce guards the process-wide expvar name (expvar.Publish
+// panics on duplicates). The published Var reads the *current* default
+// registry, so one publication serves every later session.
+var publishOnce sync.Once
+
+// Start opens the session described by the flags. stderr receives the
+// debug-server address line and, at Close, the -metrics snapshot.
+func (f *Flags) Start(stderr io.Writer) (*Session, error) {
+	s := &Session{ctx: context.Background(), stderr: stderr, metrics: f.Metrics}
+	if f.Trace != "" || f.Metrics || f.DebugAddr != "" {
+		s.reg = telemetry.NewRegistry()
+		s.prev = telemetry.SetDefault(s.reg)
+	}
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			s.rollback()
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+		s.traceFile = file
+		s.traceBuf = bufio.NewWriter(file)
+		s.tracer = telemetry.NewTracer(telemetry.WriterSink{W: s.traceBuf})
+		s.ctx = telemetry.WithTracer(s.ctx, s.tracer)
+	}
+	if f.DebugAddr != "" {
+		publishOnce.Do(func() { expvar.Publish("elmore.metrics", telemetry.ExpvarVar{}) })
+		ln, err := net.Listen("tcp", f.DebugAddr)
+		if err != nil {
+			s.rollback()
+			return nil, fmt.Errorf("-debug-addr: %w", err)
+		}
+		s.ln = ln
+		// The default mux carries /debug/pprof/* and /debug/vars from
+		// the net/http/pprof and expvar imports.
+		go func() { _ = http.Serve(ln, nil) }()
+		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/pprof/ (expvar at /debug/vars)\n", ln.Addr())
+	}
+	return s, nil
+}
+
+// rollback undoes partial Start work on error.
+func (s *Session) rollback() {
+	if s.reg != nil {
+		telemetry.SetDefault(s.prev)
+	}
+	if s.traceFile != nil {
+		s.traceFile.Close()
+	}
+}
+
+// Context returns the context engines should run under; it carries the
+// session's tracer when -trace was given.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Registry returns the session's metrics registry (nil when no
+// observability flag was set).
+func (s *Session) Registry() *telemetry.Registry { return s.reg }
+
+// Close flushes and closes the trace file, emits the -metrics snapshot
+// to stderr, stops the debug listener, and restores the previously
+// installed default registry. It returns the first error from the
+// trace pipeline so silently truncated traces fail the run.
+func (s *Session) Close() error {
+	var errs []error
+	if s.ln != nil {
+		errs = append(errs, s.ln.Close())
+	}
+	if s.tracer != nil {
+		errs = append(errs, s.tracer.Err())
+	}
+	if s.traceBuf != nil {
+		errs = append(errs, s.traceBuf.Flush())
+	}
+	if s.traceFile != nil {
+		errs = append(errs, s.traceFile.Close())
+	}
+	if s.metrics {
+		fmt.Fprintln(s.stderr, "--- metrics ---")
+		errs = append(errs, s.reg.WriteText(s.stderr))
+	}
+	if s.reg != nil {
+		telemetry.SetDefault(s.prev)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,168 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elmore/internal/telemetry"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cf := Add(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version("mytool")
+	if !strings.HasPrefix(v, "mytool ") {
+		t.Errorf("version %q must start with the tool name", v)
+	}
+	if !strings.Contains(v, "go1") {
+		t.Errorf("version %q must carry the Go toolchain", v)
+	}
+}
+
+func TestFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Add(fs)
+	for _, name := range []string{"trace", "metrics", "debug-addr", "version"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestNoFlagsSessionIsInert(t *testing.T) {
+	cf := parse(t)
+	var errOut strings.Builder
+	sess, err := cf.Start(&errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if telemetry.TracerFrom(sess.Context()) != nil {
+		t.Error("inert session must not carry a tracer")
+	}
+	if sess.Registry() != nil {
+		t.Error("inert session must not install a registry")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("inert session wrote to stderr: %q", errOut.String())
+	}
+}
+
+func TestTraceAndMetricsLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	cf := parse(t, "-trace", path, "-metrics")
+	var errOut strings.Builder
+	sess, err := cf.Start(&errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, sp := telemetry.Start(sess.Context(), "phase")
+	_, inner := telemetry.Start(ctx, "phase.inner")
+	inner.End()
+	sp.End()
+	telemetry.C("test.count").Add(5)
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if telemetry.Default() != nil {
+		t.Error("Close must restore the previous (nil) default registry")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 trace lines, got %d:\n%s", len(lines), data)
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("trace line %q: %v", ln, err)
+		}
+		for _, field := range []string{"span", "parent", "name", "start_ns", "dur_ns"} {
+			if _, ok := rec[field]; !ok {
+				t.Errorf("trace line missing %q: %s", field, ln)
+			}
+		}
+	}
+	if !strings.Contains(errOut.String(), "counter test.count 5") {
+		t.Errorf("metrics snapshot missing counter:\n%s", errOut.String())
+	}
+}
+
+func TestDebugServerServesPprofAndExpvar(t *testing.T) {
+	cf := parse(t, "-debug-addr", "127.0.0.1:0", "-metrics")
+	var errOut strings.Builder
+	sess, err := cf.Start(&errOut)
+	if err != nil {
+		t.Skipf("cannot listen in this environment: %v", err)
+	}
+	defer sess.Close()
+	telemetry.C("dbg.count").Inc()
+
+	// The listen address is reported on stderr.
+	line := errOut.String()
+	start := strings.Index(line, "http://")
+	end := strings.Index(line, "/debug/pprof/")
+	if start < 0 || end < 0 {
+		t.Fatalf("no debug address line: %q", line)
+	}
+	base := line[start:end]
+
+	for path, want := range map[string]string{
+		"/debug/vars":               `"dbg.count":1`,
+		"/debug/pprof/":             "goroutine",
+		"/debug/pprof/heap?debug=1": "heap profile",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+			continue
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q", path, want)
+		}
+	}
+}
+
+func TestTraceErrorSurfacesOnClose(t *testing.T) {
+	cf := parse(t, "-trace", filepath.Join(t.TempDir(), "missing", "dir", "t.jsonl"))
+	if _, err := cf.Start(io.Discard); err == nil {
+		t.Fatal("unwritable -trace path must error at Start")
+	}
+	if telemetry.Default() != nil {
+		t.Error("failed Start must not leave a default registry installed")
+	}
+}
+
+func ExampleVersion() {
+	fmt.Println(strings.Fields(Version("demo"))[0])
+	// Output: demo
+}

@@ -19,12 +19,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"elmore/internal/moments"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/telemetry"
 )
 
 // Bounds collects every closed-form delay metric the paper derives or
@@ -67,6 +69,16 @@ type Analysis struct {
 
 // Analyze computes all step-input bounds for every node of the tree.
 func Analyze(t *rctree.Tree) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), t)
+}
+
+// AnalyzeContext is Analyze under a context: when the context carries a
+// telemetry tracer the analysis is recorded as a span, and the node
+// count flows into the metrics registry.
+func AnalyzeContext(ctx context.Context, t *rctree.Tree) (*Analysis, error) {
+	_, sp := telemetry.Start(ctx, "core.analyze")
+	sp.AttrInt("nodes", int64(t.N()))
+	defer sp.End()
 	ms, err := moments.Compute(t, 3)
 	if err != nil {
 		return nil, err
@@ -97,6 +109,8 @@ func Analyze(t *rctree.Tree) (*Analysis, error) {
 		b.PRHTmax = PRHTmax(prh.TP, td, prh.TR(i), 0.5)
 		a.Bounds[i] = b
 	}
+	telemetry.C("core.analyses").Inc()
+	telemetry.C("core.nodes_analyzed").Add(int64(t.N()))
 	return a, nil
 }
 

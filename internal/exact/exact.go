@@ -13,11 +13,13 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"elmore/internal/linalg"
 	"elmore/internal/rctree"
+	"elmore/internal/telemetry"
 )
 
 // System is the eigen-decomposed RC tree, ready to evaluate responses
@@ -33,7 +35,18 @@ type System struct {
 // resistive junctions). Cost is O(N^3); intended for trees up to a few
 // hundred nodes — use package sim for larger circuits.
 func NewSystem(t *rctree.Tree) (*System, error) {
+	return NewSystemContext(context.Background(), t)
+}
+
+// NewSystemContext is NewSystem under a context: when the context
+// carries a telemetry tracer, the build and its eigensolve are recorded
+// as nested spans, and the eigensolve cost (Jacobi sweeps, pole count)
+// is exported through the metrics registry.
+func NewSystemContext(ctx context.Context, t *rctree.Tree) (*System, error) {
 	n := t.N()
+	ctx, sp := telemetry.Start(ctx, "exact.newsystem")
+	sp.AttrInt("nodes", int64(n))
+	defer sp.End()
 	for i := 0; i < n; i++ {
 		if t.C(i) <= 0 {
 			return nil, fmt.Errorf("exact: node %q has zero capacitance; regularize the tree first", t.Name(i))
@@ -64,13 +77,20 @@ func NewSystem(t *rctree.Tree) (*System, error) {
 			a.Set(i, j, g.At(i, j)/(sqrtC[i]*sqrtC[j]))
 		}
 	}
-	vals, vecs, err := linalg.EigSym(a)
+	_, esp := telemetry.Start(ctx, "exact.eigensolve")
+	vals, vecs, sweeps, err := linalg.EigSymSweeps(a)
+	esp.AttrInt("nodes", int64(n))
+	esp.AttrInt("sweeps", int64(sweeps))
+	esp.End()
+	telemetry.C("exact.eigensolve_sweeps").Add(int64(sweeps))
 	if err != nil {
 		return nil, fmt.Errorf("exact: eigen-decomposition failed: %w", err)
 	}
 	if vals[0] <= 0 {
 		return nil, fmt.Errorf("exact: non-positive pole %g (tree not properly grounded?)", vals[0])
 	}
+	telemetry.C("exact.systems").Inc()
+	telemetry.C("exact.poles").Add(int64(n))
 
 	// Step response: with w = C^{1/2} v, w(t) = (I - Q e^{-Λt} Q^T) w_ss
 	// and w_ss = C^{1/2} * 1 (unit DC gain everywhere). Hence
@@ -112,13 +132,19 @@ func Regularize(t *rctree.Tree, frac float64) *rctree.Tree {
 		minC = 1e-15
 	}
 	cp := t.Clone()
+	replaced := 0
 	for i := 0; i < cp.N(); i++ {
 		if cp.C(i) == 0 {
 			// Values validated at build time; scaling keeps them valid.
 			if err := cp.SetC(i, frac*minC); err != nil {
 				panic(err)
 			}
+			replaced++
 		}
+	}
+	telemetry.C("exact.regularized_nodes").Add(int64(replaced))
+	if replaced > 0 {
+		telemetry.C("exact.regularizations").Inc()
 	}
 	return cp
 }

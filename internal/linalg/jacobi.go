@@ -16,22 +16,32 @@ import (
 // it is simple and extremely accurate, which is exactly what the exact
 // response engine needs.
 func EigSym(a *Matrix) ([]float64, *Matrix, error) {
+	vals, vecs, _, err := EigSymSweeps(a)
+	return vals, vecs, err
+}
+
+// EigSymSweeps is EigSym, additionally reporting the number of Jacobi
+// sweeps it ran — the eigensolve iteration count that the exact engine
+// exports as telemetry.
+func EigSymSweeps(a *Matrix) ([]float64, *Matrix, int, error) {
 	if a.Rows != a.Cols {
-		return nil, nil, fmt.Errorf("linalg: EigSym of non-square %dx%d matrix", a.Rows, a.Cols)
+		return nil, nil, 0, fmt.Errorf("linalg: EigSym of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
 	if !a.IsSymmetric(1e-10) {
-		return nil, nil, fmt.Errorf("linalg: EigSym requires a symmetric matrix")
+		return nil, nil, 0, fmt.Errorf("linalg: EigSym requires a symmetric matrix")
 	}
 	n := a.Rows
 	w := a.Clone()
 	v := Identity(n)
 
 	const maxSweeps = 100
+	sweeps := 0
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := offDiagNorm(w)
 		if off <= 1e-14*(1+w.MaxAbs()) {
 			break
 		}
+		sweeps++
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := w.At(p, q)
@@ -73,7 +83,7 @@ func EigSym(a *Matrix) ([]float64, *Matrix, error) {
 			}
 		}
 		if sweep == maxSweeps-1 {
-			return nil, nil, fmt.Errorf("linalg: Jacobi did not converge in %d sweeps", maxSweeps)
+			return nil, nil, sweeps, fmt.Errorf("linalg: Jacobi did not converge in %d sweeps", maxSweeps)
 		}
 	}
 
@@ -95,7 +105,7 @@ func EigSym(a *Matrix) ([]float64, *Matrix, error) {
 			sortedVecs.Set(r, newCol, v.At(r, oldCol))
 		}
 	}
-	return sortedVals, sortedVecs, nil
+	return sortedVals, sortedVecs, sweeps, nil
 }
 
 func offDiagNorm(m *Matrix) float64 {

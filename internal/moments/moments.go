@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"elmore/internal/rctree"
+	"elmore/internal/telemetry"
 )
 
 // Set holds moments m_0..m_Order for every node of a tree.
@@ -66,6 +67,9 @@ func Compute(t *rctree.Tree, order int) (*Set, error) {
 			s.m[q][i] = -acc[i]
 		}
 	}
+	telemetry.C("moments.computes").Inc()
+	telemetry.C("moments.traversals").Add(2 * int64(order))
+	telemetry.C("moments.node_visits").Add(2 * int64(order) * int64(n))
 	return s, nil
 }
 

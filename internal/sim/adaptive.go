@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/telemetry"
 )
 
 // stepper advances the per-row θ-method by one fixed step; it owns the
@@ -120,10 +122,21 @@ func (s *stepper) step(v, out []float64, tPrev float64) {
 // error stays O(1) until h shrinks to the fastest time constant, which
 // may underflow the step floor.
 func RunAdaptive(t *rctree.Tree, opts Options, tol float64) (*Result, error) {
+	return RunAdaptiveContext(context.Background(), t, opts, tol)
+}
+
+// RunAdaptiveContext is RunAdaptive under a context, recording the run
+// as a telemetry span (accepted steps, rejections, refactorizations)
+// when a tracer is installed.
+func RunAdaptiveContext(ctx context.Context, t *rctree.Tree, opts Options, tol float64) (*Result, error) {
 	if tol <= 0 || math.IsNaN(tol) {
 		return nil, fmt.Errorf("sim: adaptive tolerance must be positive, got %v", tol)
 	}
 	n := t.N()
+	_, sp := telemetry.Start(ctx, "sim.run_adaptive")
+	sp.AttrInt("nodes", int64(n))
+	sp.AttrFloat("tol", tol)
+	defer sp.End()
 	in := opts.Input
 	if in == nil {
 		in = signal.Step{}
@@ -179,6 +192,7 @@ func RunAdaptive(t *rctree.Tree, opts Options, tol float64) (*Result, error) {
 	h := hInit
 	now := 0.0
 	steps := 0
+	accepted, rejected, refactors := 0, 0, 0
 	for now < tEnd {
 		if steps++; steps > maxSteps {
 			return nil, fmt.Errorf("sim: adaptive run exceeded %d steps (tolerance too tight?)", maxSteps)
@@ -194,12 +208,14 @@ func RunAdaptive(t *rctree.Tree, opts Options, tol float64) (*Result, error) {
 			if err := st.refactor(h); err != nil {
 				return nil, err
 			}
+			refactors++
 		}
 		st.step(v, full, now)
 		// Two half steps.
 		if err := st.refactor(h / 2); err != nil {
 			return nil, err
 		}
+		refactors++
 		st.step(v, half, now)
 		st.step(half, half2, now+h/2)
 
@@ -211,15 +227,25 @@ func RunAdaptive(t *rctree.Tree, opts Options, tol float64) (*Result, error) {
 		}
 		if errEst > tol {
 			h /= 2
+			rejected++
 			continue
 		}
 		// Accept the more accurate half-step result.
 		copy(v, half2)
 		now += h
 		record(now)
+		accepted++
 		if errEst < tol/8 {
 			h *= 2
 		}
 	}
+	sp.AttrInt("steps", int64(accepted))
+	sp.AttrInt("rejections", int64(rejected))
+	sp.AttrInt("refactorizations", int64(refactors))
+	telemetry.C("sim.adaptive_runs").Inc()
+	telemetry.C("sim.steps").Add(int64(accepted))
+	telemetry.C("sim.adaptive_rejections").Add(int64(rejected))
+	telemetry.C("sim.lu_factorizations").Add(int64(refactors))
+	telemetry.G("sim.horizon_seconds").Set(tEnd)
 	return res, nil
 }

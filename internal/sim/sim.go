@@ -14,11 +14,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/telemetry"
 	"elmore/internal/waveform"
 )
 
@@ -85,7 +87,21 @@ func (r *Result) Waveform(node int) (*waveform.Waveform, error) {
 	return waveform.New(r.Times, v)
 }
 
-// Cross returns the first time a probed node crosses the level.
+// Cross returns the first time a probed node's sampled waveform
+// reaches the level in the upward direction, linearly interpolated
+// between samples.
+//
+// Error contract:
+//   - a node that was not probed returns an error immediately;
+//   - a level the waveform never reaches within the simulated horizon
+//     returns an error mentioning the node and level — callers should
+//     treat it as "extend TEnd or lower the level", not as a fault;
+//   - a level at or below the initial sample is "crossed at t = 0":
+//     Cross returns the first sample time (0 for Run results) and a
+//     nil error;
+//   - on a non-monotone waveform the first upward crossing is
+//     returned, even if the waveform later falls back below the level;
+//     later crossings are not reported.
 func (r *Result) Cross(node int, level float64) (float64, error) {
 	v, err := r.Voltages(node)
 	if err != nil {
@@ -158,7 +174,19 @@ func (f *treeLU) solve(rhs []float64) {
 
 // Run integrates the tree's node equations over [0, TEnd].
 func Run(t *rctree.Tree, opts Options) (*Result, error) {
+	return RunContext(context.Background(), t, opts)
+}
+
+// RunContext is Run under a context: with a telemetry tracer installed
+// the run is recorded as a span (node count, step count, dt, method),
+// and step/factorization counts and the horizon flow into the metrics
+// registry. With telemetry disabled the overhead is a few nil checks.
+func RunContext(ctx context.Context, t *rctree.Tree, opts Options) (*Result, error) {
 	n := t.N()
+	_, sp := telemetry.Start(ctx, "sim.run")
+	sp.AttrInt("nodes", int64(n))
+	sp.AttrString("method", opts.Method.String())
+	defer sp.End()
 	in := opts.Input
 	if in == nil {
 		in = signal.Step{}
@@ -183,6 +211,8 @@ func Run(t *rctree.Tree, opts Options) (*Result, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("sim: horizon %v shorter than step %v", tEnd, dt)
 	}
+	sp.AttrInt("steps", int64(steps))
+	sp.AttrFloat("dt_seconds", dt)
 
 	// Per-row θ-method: row i solves
 	//   C_i/dt v' + θ_i (G v')_i = C_i/dt v - (1-θ_i)(G v)_i + b_i u_i
@@ -289,8 +319,16 @@ func Run(t *rctree.Tree, opts Options) (*Result, error) {
 	for step := 0; step <= steps; step++ {
 		res.Times[step] = float64(step) * dt
 	}
+	telemetry.C("sim.runs").Inc()
+	telemetry.C("sim.steps").Add(int64(steps))
+	telemetry.C("sim.lu_factorizations").Inc()
+	telemetry.G("sim.horizon_seconds").Set(tEnd)
+	telemetry.Default().Histogram("sim.steps_per_run", stepsBuckets).Observe(float64(steps))
 	return res, nil
 }
+
+// stepsBuckets are the histogram bounds for per-run step counts.
+var stepsBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536}
 
 // defaultHorizon estimates a settling horizon: ten times the largest
 // Elmore delay (a conservative multiple of the dominant time constant)

@@ -236,6 +236,59 @@ func TestCrossMissingLevel(t *testing.T) {
 	}
 }
 
+// crossResult builds a Result holding one hand-written waveform at node
+// 0, for exercising the Cross edge cases the doc comment promises.
+func crossResult(times, volts []float64) *Result {
+	return &Result{
+		Times:  times,
+		probes: map[int]int{0: 0},
+		values: [][]float64{volts},
+	}
+}
+
+func TestCrossNeverCrossed(t *testing.T) {
+	res := crossResult([]float64{0, 1, 2, 3}, []float64{0, 0.1, 0.2, 0.3})
+	if _, err := res.Cross(0, 0.5); err == nil {
+		t.Errorf("level above the whole waveform should error")
+	}
+	if _, err := res.Cross(7, 0.5); err == nil {
+		t.Errorf("unprobed node should error")
+	}
+}
+
+func TestCrossAtTimeZero(t *testing.T) {
+	// Initial sample already at/above the level: crossed at the first
+	// sample time, nil error.
+	res := crossResult([]float64{0, 1, 2}, []float64{0.5, 0.8, 1})
+	x, err := res.Cross(0, 0.5)
+	if err != nil {
+		t.Fatalf("level at initial sample must not error: %v", err)
+	}
+	if x != 0 {
+		t.Errorf("crossing at t=0 expected, got %g", x)
+	}
+	x, err = res.Cross(0, 0.2)
+	if err != nil || x != 0 {
+		t.Errorf("level below initial sample: want (0, nil), got (%g, %v)", x, err)
+	}
+}
+
+func TestCrossNonMonotone(t *testing.T) {
+	// Rings above and back below the level; Cross must report the FIRST
+	// upward crossing, interpolated within [1, 2].
+	res := crossResult(
+		[]float64{0, 1, 2, 3, 4, 5},
+		[]float64{0, 0.4, 0.8, 0.3, 0.9, 1},
+	)
+	x, err := res.Cross(0, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.5; !approx(x, want, 1e-12) {
+		t.Errorf("first upward crossing: want %g, got %g", want, x)
+	}
+}
+
 func TestMethodString(t *testing.T) {
 	if Trapezoidal.String() != "trapezoidal" || BackwardEuler.String() != "backward-euler" {
 		t.Errorf("method names wrong")

@@ -17,6 +17,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -24,6 +25,7 @@ import (
 	"elmore/internal/moments"
 	"elmore/internal/pimodel"
 	"elmore/internal/rctree"
+	"elmore/internal/telemetry"
 )
 
 // Stage is one gate driving one net; Sink names the net node that
@@ -65,12 +67,23 @@ type PathResult struct {
 
 // AnalyzePath walks the path, propagating arrival bounds and slew.
 func AnalyzePath(p Path) (*PathResult, error) {
+	return AnalyzePathContext(context.Background(), p)
+}
+
+// AnalyzePathContext is AnalyzePath under a context: when the context
+// carries a telemetry tracer the path walk is recorded as a span with
+// one child span per stage, and path/stage counts flow into the metrics
+// registry.
+func AnalyzePathContext(ctx context.Context, p Path) (*PathResult, error) {
 	if len(p.Stages) == 0 {
 		return nil, fmt.Errorf("sta: path needs at least one stage")
 	}
 	if p.InputSlew < 0 || math.IsNaN(p.InputSlew) {
 		return nil, fmt.Errorf("sta: invalid input slew %v", p.InputSlew)
 	}
+	ctx, sp := telemetry.Start(ctx, "sta.analyze_path")
+	sp.AttrInt("stages", int64(len(p.Stages)))
+	defer sp.End()
 	res := &PathResult{}
 	slew := p.InputSlew
 	var ub, lb float64
@@ -78,57 +91,76 @@ func AnalyzePath(p Path) (*PathResult, error) {
 		if st.Net == nil || st.Cell == nil {
 			return nil, fmt.Errorf("sta: stage %d incomplete", si)
 		}
-		sink, ok := st.Net.Index(st.Sink)
-		if !ok {
-			return nil, fmt.Errorf("sta: stage %d: net has no node %q", si, st.Sink)
+		_, ssp := telemetry.Start(ctx, "sta.stage")
+		ssp.AttrInt("index", int64(si))
+		ssp.AttrString("sink", st.Sink)
+		stageRes, err := analyzeStage(si, st, slew)
+		if stageRes != nil {
+			ssp.AttrString("cell", stageRes.Cell)
 		}
-		load, err := pimodel.ForInput(st.Net)
+		ssp.End()
 		if err != nil {
-			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+			return nil, err
 		}
-		drv, err := st.Cell.DriveLoad(slew, load)
-		if err != nil {
-			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
-		}
-
-		ms, err := moments.Compute(st.Net, 2)
-		if err != nil {
-			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
-		}
-		td := ms.Elmore(sink)
-		mu2 := ms.Mu2(sink)
-		tr := drv.OutputSlew
-
-		// Net delay bounds for a saturated-ramp input of duration tr
-		// (Corollary 2 upper; Corollary 1 generalized lower). The
-		// input's 50% point is tr/2.
-		inMu2 := tr * tr / 12
-		outSigma := math.Sqrt(mu2 + inMu2)
-		netLower := math.Max(td+tr/2-outSigma, 0) - tr/2
-		if netLower < 0 {
-			netLower = 0
-		}
-
-		// Sink transition: variance addition re-expressed as a ramp.
-		sinkSlew := math.Sqrt(tr*tr + 12*mu2)
-
-		ub += drv.Delay + td
-		lb += drv.Delay + netLower
-		res.Stages = append(res.Stages, StageResult{
-			Cell:       st.Cell.Name,
-			Sink:       st.Sink,
-			Ceff:       drv.Ceff,
-			GateDelay:  drv.Delay,
-			OutputSlew: tr,
-			NetElmore:  td,
-			NetLower:   netLower,
-			SinkSlew:   sinkSlew,
-			ArrivalUB:  ub,
-			ArrivalLB:  lb,
-		})
-		slew = sinkSlew
+		stageRes.ArrivalUB = ub + stageRes.GateDelay + stageRes.NetElmore
+		stageRes.ArrivalLB = lb + stageRes.GateDelay + stageRes.NetLower
+		ub = stageRes.ArrivalUB
+		lb = stageRes.ArrivalLB
+		res.Stages = append(res.Stages, *stageRes)
+		slew = stageRes.SinkSlew
 	}
 	res.ArrivalUB = ub
 	res.ArrivalLB = lb
+	telemetry.C("sta.paths").Inc()
+	telemetry.C("sta.stages").Add(int64(len(p.Stages)))
 	return res, nil
+}
+
+// analyzeStage computes one stage's timing contributions; arrival
+// bounds are accumulated by the caller.
+func analyzeStage(si int, st Stage, slew float64) (*StageResult, error) {
+	sink, ok := st.Net.Index(st.Sink)
+	if !ok {
+		return nil, fmt.Errorf("sta: stage %d: net has no node %q", si, st.Sink)
+	}
+	load, err := pimodel.ForInput(st.Net)
+	if err != nil {
+		return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+	}
+	drv, err := st.Cell.DriveLoad(slew, load)
+	if err != nil {
+		return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+	}
+
+	ms, err := moments.Compute(st.Net, 2)
+	if err != nil {
+		return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+	}
+	td := ms.Elmore(sink)
+	mu2 := ms.Mu2(sink)
+	tr := drv.OutputSlew
+
+	// Net delay bounds for a saturated-ramp input of duration tr
+	// (Corollary 2 upper; Corollary 1 generalized lower). The
+	// input's 50% point is tr/2.
+	inMu2 := tr * tr / 12
+	outSigma := math.Sqrt(mu2 + inMu2)
+	netLower := math.Max(td+tr/2-outSigma, 0) - tr/2
+	if netLower < 0 {
+		netLower = 0
+	}
+
+	// Sink transition: variance addition re-expressed as a ramp.
+	sinkSlew := math.Sqrt(tr*tr + 12*mu2)
+
+	return &StageResult{
+		Cell:       st.Cell.Name,
+		Sink:       st.Sink,
+		Ceff:       drv.Ceff,
+		GateDelay:  drv.Delay,
+		OutputSlew: tr,
+		NetElmore:  td,
+		NetLower:   netLower,
+		SinkSlew:   sinkSlew,
+	}, nil
 }

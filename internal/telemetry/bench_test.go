@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkDisabledCounter measures the cost instrumented hot loops pay
+// when no registry is installed: a default-registry load plus nil
+// checks. Must report 0 allocs/op.
+func BenchmarkDisabledCounter(b *testing.B) {
+	prev := SetDefault(nil)
+	defer SetDefault(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		C("bench.count").Add(1)
+		G("bench.gauge").Set(1)
+		H("bench.hist").Observe(1)
+	}
+}
+
+// BenchmarkDisabledSpan measures Start/Attr/End on a context without a
+// tracer. Must report 0 allocs/op.
+func BenchmarkDisabledSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench.span")
+		sp.AttrInt("i", int64(i))
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledCounter is the reference cost with a live registry.
+func BenchmarkEnabledCounter(b *testing.B) {
+	prev := SetDefault(NewRegistry())
+	defer SetDefault(prev)
+	c := C("bench.count")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}

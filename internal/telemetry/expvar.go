@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+)
+
+// ExpvarVar is an expvar.Var that renders the *current* default
+// registry as a JSON object on every read, so it can be published once
+// at process start and keep working as registries are swapped in and
+// out (it renders {} while metrics are disabled).
+//
+// Counters and gauges appear as plain numbers; histograms as objects
+// with count, sum and per-bucket cumulative-free counts keyed by upper
+// bound ("inf" for the overflow bucket).
+type ExpvarVar struct{}
+
+var _ expvar.Var = ExpvarVar{}
+
+// String implements expvar.Var.
+func (ExpvarVar) String() string { return Default().JSON() }
+
+// JSON renders the registry as a JSON object ("{}" on nil).
+func (r *Registry) JSON() string {
+	if r == nil {
+		return "{}"
+	}
+	r.mu.RLock()
+	out := make(map[string]any, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		buckets := make(map[string]int64, len(h.bounds)+1)
+		for i, b := range h.bounds {
+			buckets[formatBound(b)] = h.counts[i].Load()
+		}
+		buckets["inf"] = h.counts[len(h.bounds)].Load()
+		out[name] = map[string]any{
+			"count":   h.Count(),
+			"sum":     h.Sum(),
+			"buckets": buckets,
+		}
+	}
+	r.mu.RUnlock()
+	b, err := json.Marshal(out)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+func formatBound(b float64) string {
+	s, err := json.Marshal(b)
+	if err != nil {
+		return "nan"
+	}
+	return string(s)
+}

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink receives one encoded span record per line. Implementations must
+// be safe for concurrent use or be wrapped by a Tracer (which
+// serializes writes). The record does not include the trailing newline.
+type Sink interface {
+	Emit(record []byte) error
+}
+
+// WriterSink adapts an io.Writer into a Sink, appending one newline per
+// record. The caller owns flushing/closing of the underlying writer.
+type WriterSink struct {
+	W io.Writer
+}
+
+// Emit writes the record and a trailing newline.
+func (s WriterSink) Emit(record []byte) error {
+	if _, err := s.W.Write(record); err != nil {
+		return err
+	}
+	_, err := s.W.Write([]byte{'\n'})
+	return err
+}
+
+// Tracer assigns span IDs and emits completed spans to a sink as JSON
+// lines. All span timestamps are nanoseconds relative to the tracer's
+// epoch (its creation time), which keeps traces self-contained and
+// diffable. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	seq   atomic.Uint64
+	now   func() time.Time
+	epoch time.Time
+	err   error // first emit error, sticky
+}
+
+// NewTracer returns a tracer emitting to sink with the real clock.
+func NewTracer(sink Sink) *Tracer { return NewTracerClock(sink, time.Now) }
+
+// NewTracerClock is NewTracer with an explicit clock — the test hook
+// that makes golden traces deterministic.
+func NewTracerClock(sink Sink, now func() time.Time) *Tracer {
+	return &Tracer{sink: sink, now: now, epoch: now()}
+}
+
+// Err returns the first error any span emission hit, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context carrying the tracer; Start on that
+// context (and its descendants) records spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// Span is one timed phase. Create with Start, annotate with the Attr
+// methods, and finish with End — the span is emitted on End. A nil
+// *Span (returned when no tracer is installed) is a valid no-op.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []attr
+}
+
+type attr struct {
+	key string
+	val any
+}
+
+// spanRecord is the stable JSON-lines schema. Field names and order are
+// a compatibility contract covered by a golden test; extend by
+// appending fields, never by renaming.
+type spanRecord struct {
+	Span    uint64         `json:"span"`
+	Parent  uint64         `json:"parent"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Start begins a span named name. If ctx carries a tracer, the span
+// nests under the context's current span and the returned context
+// carries the new span; otherwise both returns are the inputs (ctx
+// unchanged, span nil) at zero allocation. Span IDs are assigned in
+// Start order, so a child's ID is always greater than its parent's.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &Span{tr: tr, id: tr.seq.Add(1), name: name, start: tr.now()}
+	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
+		sp.parent = parent.id
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// AttrInt attaches an integer attribute. The typed Attr variants exist
+// so disabled call sites never box their argument into an interface;
+// all are no-ops on a nil span and return the span for chaining.
+func (s *Span) AttrInt(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, attr{key, v})
+	return s
+}
+
+// AttrFloat attaches a float64 attribute (no-op on nil).
+func (s *Span) AttrFloat(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, attr{key, v})
+	return s
+}
+
+// AttrString attaches a string attribute (no-op on nil).
+func (s *Span) AttrString(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, attr{key, v})
+	return s
+}
+
+// End emits the span as one JSON line. No-op on a nil span. End must be
+// called at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	end := t.now()
+	rec := spanRecord{
+		Span:    s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartNS: s.start.Sub(t.epoch).Nanoseconds(),
+		DurNS:   end.Sub(s.start).Nanoseconds(),
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			rec.Attrs[a.key] = a.val
+		}
+	}
+	line, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	if err := t.sink.Emit(line); err != nil && t.err == nil {
+		t.err = err
+	}
+}

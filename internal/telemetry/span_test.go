@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock ticks 1ms per reading, making trace timestamps exact.
+type fakeClock struct {
+	t time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+// TestGoldenTrace pins the JSON-lines trace format: field names, field
+// order, relative timestamps and monotonic span IDs. Downstream tooling
+// parses this; if this test breaks, the format changed incompatibly.
+func TestGoldenTrace(t *testing.T) {
+	var sb strings.Builder
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := NewTracerClock(WriterSink{W: &sb}, clk.now) // epoch: first tick
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "run") // start: +1ms
+	ctx2, parse := Start(ctx, "parse")
+	parse.AttrInt("nodes", 25).AttrString("file", "deck.sp")
+	_ = ctx2
+	parse.End()
+	_, analyze := Start(ctx, "analyze")
+	analyze.AttrFloat("tp_seconds", 0.5)
+	analyze.End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fake clock ticks 1ms per reading: epoch at tick 1, each
+	// Start/End consumes one tick, so every timestamp below is exact.
+	want := strings.Join([]string{
+		`{"span":2,"parent":1,"name":"parse","start_ns":2000000,"dur_ns":1000000,"attrs":{"file":"deck.sp","nodes":25}}`,
+		`{"span":3,"parent":1,"name":"analyze","start_ns":4000000,"dur_ns":1000000,"attrs":{"tp_seconds":0.5}}`,
+		`{"span":1,"parent":0,"name":"run","start_ns":1000000,"dur_ns":5000000}`,
+		``,
+	}, "\n")
+	if sb.String() != want {
+		t.Errorf("golden trace mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestTraceParsesAndNests(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(WriterSink{W: &sb})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, outer := Start(ctx, "outer")
+	ictx, inner := Start(ctx, "inner")
+	_, inner2 := Start(ictx, "inner.child")
+	inner2.End()
+	inner.End()
+	outer.End()
+
+	type rec struct {
+		Span   uint64 `json:"span"`
+		Parent uint64 `json:"parent"`
+		Name   string `json:"name"`
+		DurNS  int64  `json:"dur_ns"`
+	}
+	started := map[uint64]string{}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 span lines, got %d:\n%s", len(lines), sb.String())
+	}
+	for _, ln := range lines {
+		var r rec
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", ln, err)
+		}
+		if r.Span == 0 {
+			t.Errorf("span id 0 in %q", ln)
+		}
+		if r.Parent >= r.Span {
+			t.Errorf("parent %d not before span %d (IDs must be monotonic in start order)", r.Parent, r.Span)
+		}
+		if r.DurNS < 0 {
+			t.Errorf("negative duration in %q", ln)
+		}
+		started[r.Span] = r.Name
+	}
+	for id, name := range map[uint64]string{1: "outer", 2: "inner", 3: "inner.child"} {
+		if started[id] != name {
+			t.Errorf("span %d = %q, want %q", id, started[id], name)
+		}
+	}
+}
+
+func TestStartWithoutTracer(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "nothing")
+	if sp != nil {
+		t.Fatal("Start without a tracer must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a tracer must return the context unchanged")
+	}
+}
+
+type failSink struct{}
+
+func (failSink) Emit([]byte) error { return errFail }
+
+var errFail = &json.UnsupportedValueError{Str: "boom"}
+
+func TestTracerStickyError(t *testing.T) {
+	tr := NewTracer(failSink{})
+	ctx := WithTracer(context.Background(), tr)
+	_, sp := Start(ctx, "x")
+	sp.End()
+	if tr.Err() == nil {
+		t.Fatal("sink failure must surface via Err")
+	}
+}

@@ -1,0 +1,304 @@
+// Package telemetry is the repository's observability substrate: a
+// metrics registry (atomic counters, gauges, fixed-bucket histograms)
+// and span-based phase tracing emitted as JSON lines. Everything is
+// stdlib-only and designed so that the *disabled* path — no registry
+// installed, no tracer in the context — costs a nil check and zero
+// allocations, making it safe to leave instrumentation in the hot
+// engines permanently.
+//
+// Metrics are reached through a process-wide default registry:
+//
+//	reg := telemetry.NewRegistry()
+//	prev := telemetry.SetDefault(reg)
+//	defer telemetry.SetDefault(prev)
+//	...
+//	telemetry.C("sim.steps").Add(int64(steps)) // no-op while no registry
+//
+// Tracing flows through a context:
+//
+//	ctx = telemetry.WithTracer(ctx, telemetry.NewTracer(w))
+//	ctx, sp := telemetry.Start(ctx, "exact.eigensolve")
+//	sp.AttrInt("nodes", n)
+//	sp.End()
+//
+// Every method on Counter, Gauge, Histogram, Span and Registry is safe
+// to call on a nil receiver, so instrumentation sites never need to
+// guard against telemetry being switched off.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically updated float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. A histogram with
+// upper bounds [b0, b1, ...] has len(bounds)+1 buckets: (-inf, b0],
+// (b0, b1], ..., (b_last, +inf). Observation is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	n      atomic.Int64
+}
+
+// DefBuckets are the default histogram bounds, in seconds: they cover
+// phase durations from a microsecond to ten seconds.
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+var nopStop = func() {}
+
+// Time returns a stop function that records the elapsed time (in
+// seconds) when called. On a nil histogram it returns a shared no-op
+// without reading the clock, so disabled timing costs nothing.
+func (h *Histogram) Time() func() {
+	if h == nil {
+		return nopStop
+	}
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry holds named metrics. The zero value is not usable; create
+// one with NewRegistry. A nil *Registry is a valid "disabled" registry:
+// every lookup returns nil and every nil metric is a no-op.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (DefBuckets when bounds is empty).
+// Later calls ignore bounds. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText writes a sorted, line-oriented snapshot of every metric:
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	histogram <name> count=<n> sum=<s> le<bound>=<n> ... inf=<n>
+//
+// Safe on a nil registry (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %g", name, g.Value()))
+	}
+	for name, h := range r.hists {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "histogram %s count=%d sum=%g", name, h.Count(), h.Sum())
+		for i, b := range h.bounds {
+			fmt.Fprintf(&sb, " le%g=%d", b, h.counts[i].Load())
+		}
+		fmt.Fprintf(&sb, " inf=%d", h.counts[len(h.bounds)].Load())
+		lines = append(lines, sb.String())
+	}
+	r.mu.RUnlock()
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := fmt.Fprintln(w, ln); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// defaultRegistry is the process-wide registry consulted by C, G and H.
+var defaultRegistry atomic.Pointer[Registry]
+
+// SetDefault installs r as the process-wide default registry (nil
+// disables metrics) and returns the previous default, so callers can
+// restore it.
+func SetDefault(r *Registry) (prev *Registry) {
+	return defaultRegistry.Swap(r)
+}
+
+// Default returns the current default registry, or nil when metrics
+// are disabled.
+func Default() *Registry { return defaultRegistry.Load() }
+
+// C returns the named counter from the default registry (nil when
+// metrics are disabled — all Counter methods accept nil).
+func C(name string) *Counter { return Default().Counter(name) }
+
+// G returns the named gauge from the default registry (nil when
+// metrics are disabled).
+func G(name string) *Gauge { return Default().Gauge(name) }
+
+// H returns the named histogram with default buckets from the default
+// registry (nil when metrics are disabled).
+func H(name string) *Histogram { return Default().Histogram(name, nil) }
