@@ -10,9 +10,16 @@
 //
 //	boundstat [-trees 200] [-max-nodes 20] [-seed 1]
 //	          [-rise step,0.5n,2n] [-chaininess 0.5]
+//
+// With -jobs FILE the tool instead evaluates an NDJSON stream of net
+// jobs concurrently (see internal/batch for the job schema) and emits
+// one NDJSON result line per job, in job order:
+//
+//	boundstat -jobs jobs.ndjson -workers 8 -timeout 30s > results.ndjson
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"elmore/internal/batch"
 	"elmore/internal/cliutil"
 	"elmore/internal/exact"
 	"elmore/internal/moments"
@@ -56,6 +64,27 @@ func quantiles(xs []float64) [5]float64 {
 	return [5]float64{xs[0], q(0.1), q(0.5), q(0.9), xs[len(xs)-1]}
 }
 
+// runBatch evaluates the -jobs NDJSON stream on the batch engine. Net
+// jobs only: boundstat has no cell library, so path specs fail soft
+// (one error record each). A nonzero number of failed jobs fails the
+// run after every result has been emitted.
+func runBatch(ctx context.Context, bf *cliutil.BatchFlags, stdout io.Writer) error {
+	f, err := os.Open(bf.Jobs)
+	if err != nil {
+		return fmt.Errorf("-jobs: %w", err)
+	}
+	defer f.Close()
+	eng := &batch.Engine{Workers: bf.Workers, Timeout: bf.Timeout, Cache: batch.NewCache()}
+	failed, total, err := batch.RunSpecs(ctx, eng, f, nil, 0, stdout)
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, total)
+	}
+	return nil
+}
+
 func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("boundstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -67,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		chaininess = fs.Float64("chaininess", 0.5, "tree shape parameter in [0,1]")
 	)
 	cf := cliutil.Add(fs)
+	bf := cliutil.AddBatch(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +115,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	defer func() { err = errors.Join(err, sess.Close()) }()
+	if bf.Jobs != "" {
+		// Batch mode replaces the Monte-Carlo study: net jobs from the
+		// NDJSON stream, results streamed to stdout in job order.
+		return runBatch(sess.Context(), bf, stdout)
+	}
 	ctx, root := telemetry.Start(sess.Context(), "boundstat.run")
 	root.AttrInt("trees", int64(*nTrees))
 	defer root.End()

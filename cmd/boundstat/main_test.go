@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -71,5 +75,62 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(out, "boundstat ") || !strings.Contains(out, "go1") {
 		t.Errorf("version output wrong: %q", out)
+	}
+}
+
+func TestBatchMode(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.sp")
+	deck := "Vin in 0 1\nR1 in a 100\nC1 a 0 20f\nR2 a z 150\nC2 z 0 30f\n"
+	if err := os.WriteFile(netPath, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobsPath := filepath.Join(dir, "jobs.ndjson")
+	jobs := fmt.Sprintf("{\"id\":\"n1\",\"net\":%q,\"sinks\":[\"z\"],\"rise\":\"1n\"}\n{\"id\":\"n2\",\"net\":%q}\n", netPath, netPath)
+	if err := os.WriteFile(jobsPath, []byte(jobs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-jobs", jobsPath, "-workers", "2", "-timeout", "30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec["error"] != nil {
+			t.Errorf("line %d unexpected error: %v", i, rec["error"])
+		}
+	}
+	if !strings.Contains(lines[0], `"id":"n1"`) || !strings.Contains(lines[1], `"id":"n2"`) {
+		t.Errorf("results out of job order:\n%s", out)
+	}
+	// Monte-Carlo output must not appear in batch mode.
+	if strings.Contains(out, "tightness") {
+		t.Errorf("batch mode ran the Monte-Carlo study:\n%s", out)
+	}
+}
+
+func TestBatchModeFailSoftExit(t *testing.T) {
+	dir := t.TempDir()
+	jobsPath := filepath.Join(dir, "jobs.ndjson")
+	if err := os.WriteFile(jobsPath, []byte("{\"id\":\"bad\",\"net\":\"missing.sp\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-jobs", jobsPath)
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 jobs failed") {
+		t.Errorf("failed jobs must fail the run: %v", err)
+	}
+	// The error record is still emitted before the nonzero exit.
+	if !strings.Contains(out, `"error"`) {
+		t.Errorf("missing error record:\n%s", out)
+	}
+	if _, err := runCLI(t, "-jobs", filepath.Join(dir, "absent.ndjson")); err == nil {
+		t.Errorf("missing jobs file should fail")
 	}
 }

@@ -10,6 +10,13 @@
 // Each positional argument is one stage: the driving cell name, the
 // netlist file of the driven net, and the net node feeding the next
 // stage (or the endpoint).
+//
+// With -jobs FILE the tool instead evaluates an NDJSON stream of path
+// jobs concurrently (see internal/batch for the job schema; -slew is
+// the default input slew for specs that omit it) and emits one NDJSON
+// result line per job, in job order:
+//
+//	sta -lib cells.lib -jobs paths.ndjson -workers 8 > results.ndjson
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"elmore/internal/batch"
 	"elmore/internal/cliutil"
 	"elmore/internal/gate"
 	"elmore/internal/netlist"
@@ -43,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		slewSpec = fs.String("slew", "30p", "transition time of the edge entering the path")
 	)
 	cf := cliutil.Add(fs)
+	bf := cliutil.AddBatch(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,8 +62,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *libPath == "" {
 		return fmt.Errorf("-lib is required")
 	}
-	if fs.NArg() == 0 {
+	if bf.Jobs == "" && fs.NArg() == 0 {
 		return fmt.Errorf("at least one CELL:NETFILE:SINK stage is required")
+	}
+	if bf.Jobs != "" && fs.NArg() != 0 {
+		return fmt.Errorf("-jobs and positional stages are mutually exclusive")
 	}
 	inSlew, err := rctree.ParseValue(*slewSpec)
 	if err != nil {
@@ -80,6 +92,26 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err != nil {
 		psp.End()
 		return err
+	}
+
+	if bf.Jobs != "" {
+		psp.End()
+		// Batch mode: path (and net) jobs from the NDJSON stream, -slew
+		// as the default input slew, results streamed in job order.
+		jobsFile, err := os.Open(bf.Jobs)
+		if err != nil {
+			return fmt.Errorf("-jobs: %w", err)
+		}
+		defer jobsFile.Close()
+		eng := &batch.Engine{Workers: bf.Workers, Timeout: bf.Timeout, Cache: batch.NewCache()}
+		failed, total, err := batch.RunSpecs(ctx, eng, jobsFile, lib, inSlew, stdout)
+		if err != nil {
+			return err
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d jobs failed", failed, total)
+		}
+		return nil
 	}
 
 	path := sta.Path{InputSlew: inSlew}

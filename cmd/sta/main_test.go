@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -102,5 +104,70 @@ func TestVersionFlag(t *testing.T) {
 	}
 	if !strings.HasPrefix(out, "sta ") || !strings.Contains(out, "go1") {
 		t.Errorf("version output wrong: %q", out)
+	}
+}
+
+func TestBatchMode(t *testing.T) {
+	libPath, netPath := writeFiles(t)
+	dir := t.TempDir()
+	jobsPath := filepath.Join(dir, "paths.ndjson")
+	jobs := fmt.Sprintf(
+		"{\"id\":\"p1\",\"stages\":[{\"cell\":\"inv_x1\",\"net\":%q,\"sink\":\"z\"}]}\n"+
+			"{\"id\":\"p2\",\"slew\":\"40p\",\"stages\":[{\"cell\":\"inv_x1\",\"net\":%q,\"sink\":\"z\"},{\"cell\":\"inv_x1\",\"net\":%q,\"sink\":\"a\"}]}\n",
+		netPath, netPath, netPath)
+	if err := os.WriteFile(jobsPath, []byte(jobs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-lib", libPath, "-slew", "20p", "-jobs", jobsPath, "-workers", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 NDJSON lines, got %d:\n%s", len(lines), out)
+	}
+	for i, id := range []string{"p1", "p2"} {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if rec["id"] != id {
+			t.Errorf("line %d id = %v, want %s (job order)", i, rec["id"], id)
+		}
+		if rec["error"] != nil {
+			t.Errorf("job %s failed: %v", id, rec["error"])
+		}
+		path, _ := rec["path"].(map[string]any)
+		if path == nil || path["arrival_ub"] == nil {
+			t.Errorf("job %s missing path payload: %v", id, rec)
+		}
+	}
+	// The single-shot table must not appear in batch mode.
+	if strings.Contains(out, "path arrival window") {
+		t.Errorf("batch mode printed the single-shot report:\n%s", out)
+	}
+}
+
+func TestBatchModeErrors(t *testing.T) {
+	libPath, netPath := writeFiles(t)
+	dir := t.TempDir()
+	jobsPath := filepath.Join(dir, "paths.ndjson")
+	jobs := "{\"id\":\"bad\",\"stages\":[{\"cell\":\"nocell\",\"net\":\"x.sp\",\"sink\":\"z\"}]}\n"
+	if err := os.WriteFile(jobsPath, []byte(jobs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-lib", libPath, "-jobs", jobsPath)
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 jobs failed") {
+		t.Errorf("failed jobs must fail the run: %v", err)
+	}
+	if !strings.Contains(out, `"error"`) {
+		t.Errorf("missing error record:\n%s", out)
+	}
+	if _, err := runCLI(t, "-lib", libPath, "-jobs", jobsPath, "inv_x1:"+netPath+":z"); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-jobs plus positional stages must be rejected, got %v", err)
+	}
+	if _, err := runCLI(t, "-jobs", jobsPath); err == nil {
+		t.Errorf("-jobs without -lib should fail")
 	}
 }

@@ -1,0 +1,315 @@
+// Package batch evaluates many independent bound-analysis jobs
+// concurrently on a bounded worker pool. The paper's closed-form bounds
+// are embarrassingly parallel across nets and sinks, and library
+// characterization flows sweep thousands of net/slew/corner
+// combinations per run; this package is the layer that exploits that.
+//
+// A Job is either a net analysis (core.AnalyzeContext plus per-sink
+// Bounds/InputBounds) or an STA path walk (sta.AnalyzePathMoments). The
+// Engine guarantees:
+//
+//   - Bounded concurrency: at most Workers jobs run at once (default
+//     GOMAXPROCS).
+//   - Per-job timeout and cancellation: each job runs under a derived
+//     context; expiry or batch-context cancellation is observed at
+//     sink/stage boundaries inside the engines.
+//   - Fail-soft error policy: one bad netlist (or a panicking job)
+//     yields a per-job error Result, never a dead batch. Worker panics
+//     are recovered and isolated to the offending job.
+//   - Deterministic ordering: Run returns results in job order, and
+//     RunFunc emits them in job order as soon as each prefix completes,
+//     regardless of which worker finished first.
+//   - Shared moment reuse: an optional immutable Cache keyed by tree
+//     fingerprint lets repeated nets reuse one moments.Set.
+//
+// The engine is instrumented with the telemetry package: a
+// batch.queue_depth gauge, batch.jobs / batch.job_errors /
+// batch.cache_hits / batch.cache_misses counters, and one batch.job
+// span per job nested under the batch.run span.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elmore/internal/core"
+	"elmore/internal/moments"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/sta"
+	"elmore/internal/telemetry"
+)
+
+// NetJob asks for the paper's delay bounds on one net. The tree comes
+// either pre-built (Tree) or from a loader that runs inside the worker
+// (Load) so that parse failures stay per-job.
+type NetJob struct {
+	Tree  *rctree.Tree                 // pre-built net; takes precedence over Load
+	Load  func() (*rctree.Tree, error) // lazy loader, called in-worker
+	Sinks []string                     // node names to report; empty means every node
+	Input signal.Signal                // excitation; nil means the ideal step
+}
+
+// PathJob asks for an STA path walk. Like NetJob, the path comes
+// pre-built or from an in-worker loader.
+type PathJob struct {
+	Path *sta.Path
+	Load func() (*sta.Path, error)
+}
+
+// Job is one unit of batch work: exactly one of Net or Path must be
+// set. A Job with Err set is dead on arrival — the engine reports it as
+// a per-job error record, which is how spec-level failures (bad rise
+// time, unknown cell) flow through the fail-soft policy.
+type Job struct {
+	ID   string // caller-chosen label, echoed in the Result
+	Err  error  // pre-failed job (e.g. an invalid spec)
+	Net  *NetJob
+	Path *PathJob
+}
+
+// SinkBounds carries one reported node of a net job.
+type SinkBounds struct {
+	Node   string
+	Bounds core.Bounds       // step-input bounds at the node
+	Input  *core.InputBounds // generalized-input bounds; nil for step inputs
+}
+
+// NetResult is the outcome of one net job.
+type NetResult struct {
+	Analysis *core.Analysis
+	Sinks    []SinkBounds
+}
+
+// Result is the outcome of one job. Exactly one of Net/Path is non-nil
+// on success; Err is set on failure (and both payloads are nil).
+type Result struct {
+	Index    int    // position in the submitted job slice
+	ID       string // echoed Job.ID
+	Err      error
+	CacheHit bool // a shared moment set was reused
+	Elapsed  time.Duration
+	Net      *NetResult
+	Path     *sta.PathResult
+}
+
+// Engine runs batches. The zero value is usable: GOMAXPROCS workers, no
+// timeout, no cache. An Engine is stateless across Run calls and safe
+// for concurrent use.
+type Engine struct {
+	Workers int           // max concurrent jobs; <= 0 means runtime.GOMAXPROCS(0)
+	Timeout time.Duration // per-job limit; <= 0 means none
+	Cache   *Cache        // shared moment-set cache; nil disables reuse
+}
+
+// Run evaluates all jobs and returns one Result per job, in job order.
+// It never fails as a whole: cancellation of ctx marks the remaining
+// jobs with ctx's error and returns.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	e.RunFunc(ctx, jobs, func(r Result) { results[r.Index] = r })
+	return results
+}
+
+// RunFunc evaluates all jobs, calling emit exactly once per job in job
+// order (emit runs on the calling goroutine, so it needs no locking).
+// Results stream: result i is emitted as soon as jobs 0..i have all
+// finished, so a slow job delays — but never reorders — the output.
+func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	bctx, bsp := telemetry.Start(ctx, "batch.run")
+	bsp.AttrInt("jobs", int64(len(jobs)))
+	bsp.AttrInt("workers", int64(workers))
+	defer bsp.End()
+	if len(jobs) == 0 {
+		return
+	}
+
+	var pending atomic.Int64
+	pending.Store(int64(len(jobs)))
+	telemetry.G("batch.queue_depth").Set(float64(len(jobs)))
+
+	idxCh := make(chan int)
+	resCh := make(chan Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				telemetry.G("batch.queue_depth").Set(float64(pending.Add(-1)))
+				resCh <- e.runJob(bctx, i, jobs[i])
+			}
+		}()
+	}
+	go func() {
+		for i := range jobs {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Reorder buffer: emit in job order as each prefix completes.
+	buffered := make([]*Result, len(jobs))
+	next := 0
+	for r := range resCh {
+		r := r
+		buffered[r.Index] = &r
+		for next < len(jobs) && buffered[next] != nil {
+			emit(*buffered[next])
+			buffered[next] = nil
+			next++
+		}
+	}
+}
+
+// runJob executes one job under the per-job timeout with panic
+// isolation. It always returns a Result, never panics.
+func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
+	res = Result{Index: idx, ID: j.ID}
+	start := time.Now()
+	jctx := ctx
+	if e.Timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, e.Timeout)
+		defer cancel()
+	}
+	jctx, sp := telemetry.Start(jctx, "batch.job")
+	sp.AttrInt("index", int64(idx))
+	if j.ID != "" {
+		sp.AttrString("id", j.ID)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res.Net, res.Path = nil, nil
+			res.Err = fmt.Errorf("batch: job %d (%s) panicked: %v", idx, j.ID, p)
+		}
+		res.Elapsed = time.Since(start)
+		telemetry.C("batch.jobs").Inc()
+		if res.Err != nil {
+			telemetry.C("batch.job_errors").Inc()
+			sp.AttrString("error", res.Err.Error())
+		}
+		sp.End()
+	}()
+	switch {
+	case j.Err != nil:
+		res.Err = j.Err
+	case j.Net != nil && j.Path == nil:
+		res.Net, res.CacheHit, res.Err = e.runNet(jctx, j.Net)
+	case j.Path != nil && j.Net == nil:
+		res.Path, res.CacheHit, res.Err = e.runPath(jctx, j.Path)
+	default:
+		res.Err = fmt.Errorf("batch: job %d (%s): exactly one of Net or Path must be set", idx, j.ID)
+	}
+	return res
+}
+
+func (e *Engine) runNet(ctx context.Context, nj *NetJob) (*NetResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	tree := nj.Tree
+	if tree == nil {
+		if nj.Load == nil {
+			return nil, false, fmt.Errorf("batch: net job has neither Tree nor Load")
+		}
+		var err error
+		tree, err = nj.Load()
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	var (
+		ms  *moments.Set
+		hit bool
+		err error
+	)
+	if e.Cache != nil {
+		ms, hit, err = e.Cache.Moments(tree, 3)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	var a *core.Analysis
+	if ms != nil {
+		a, err = core.AnalyzeWithMoments(ctx, tree, ms)
+	} else {
+		a, err = core.AnalyzeContext(ctx, tree)
+	}
+	if err != nil {
+		return nil, hit, err
+	}
+	sinks := nj.Sinks
+	if len(sinks) == 0 {
+		sinks = tree.Names()
+	}
+	out := &NetResult{Analysis: a, Sinks: make([]SinkBounds, 0, len(sinks))}
+	for _, name := range sinks {
+		if err := ctx.Err(); err != nil {
+			return nil, hit, err
+		}
+		i, ok := tree.Index(name)
+		if !ok {
+			return nil, hit, fmt.Errorf("batch: net has no node %q", name)
+		}
+		sb := SinkBounds{Node: name, Bounds: a.Bounds[i]}
+		if nj.Input != nil {
+			if _, isStep := nj.Input.(signal.Step); !isStep {
+				ib, err := a.ForInput(i, nj.Input)
+				if err != nil {
+					return nil, hit, err
+				}
+				sb.Input = &ib
+			}
+		}
+		out.Sinks = append(out.Sinks, sb)
+	}
+	return out, hit, nil
+}
+
+func (e *Engine) runPath(ctx context.Context, pj *PathJob) (*sta.PathResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	p := pj.Path
+	if p == nil {
+		if pj.Load == nil {
+			return nil, false, fmt.Errorf("batch: path job has neither Path nor Load")
+		}
+		loaded, err := pj.Load()
+		if err != nil {
+			return nil, false, err
+		}
+		p = loaded
+	}
+	var src sta.MomentSource
+	hit := false
+	if e.Cache != nil {
+		// The source runs synchronously inside this job, so the hit
+		// flag needs no synchronization.
+		src = func(ctx context.Context, t *rctree.Tree, order int) (*moments.Set, error) {
+			ms, h, err := e.Cache.Moments(t, order)
+			if h {
+				hit = true
+			}
+			return ms, err
+		}
+	}
+	res, err := sta.AnalyzePathMoments(ctx, *p, src)
+	return res, hit, err
+}

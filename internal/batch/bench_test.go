@@ -1,0 +1,66 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+// benchJobs builds n distinct small nets (distinct topologies and
+// seeds, so a moment cache cannot collapse the work) and wraps each in
+// a net job. Built outside the timed region.
+func benchJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		tree := topo.Random(int64(i)+1, topo.RandomOptions{N: 24 + i%17})
+		jobs[i] = Job{ID: fmt.Sprintf("n%d", i), Net: &NetJob{Tree: tree}}
+	}
+	return jobs
+}
+
+// BenchmarkBatch10kNets measures the worker-pool scaling the engine
+// exists for: the same 10k-net batch at 1, 2, 4, and 8 workers.
+// Near-linear scaling shows up as ns/op dropping ~1/workers; the
+// acceptance bar is >= 4x at 8 workers over 1.
+func BenchmarkBatch10kNets(b *testing.B) {
+	jobs := benchJobs(10000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			eng := &Engine{Workers: workers}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				res := eng.Run(context.Background(), jobs)
+				if len(res) != len(jobs) {
+					b.Fatalf("got %d results, want %d", len(res), len(jobs))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchCached measures the shared-cache fast path: every job
+// is the same circuit (fresh clones, so fingerprint lookup — not
+// pointer identity — is what deduplicates), and all but one job reuse
+// the single computed moment set.
+func BenchmarkBatchCached(b *testing.B) {
+	base := topo.Chain(64, 100, 1e-13)
+	jobs := make([]Job, 2000)
+	clones := make([]*rctree.Tree, len(jobs))
+	for i := range jobs {
+		clones[i] = base.Clone()
+		jobs[i] = Job{ID: fmt.Sprintf("c%d", i), Net: &NetJob{Tree: clones[i]}}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		eng := &Engine{Workers: 8, Cache: NewCache()}
+		res := eng.Run(context.Background(), jobs)
+		if len(res) != len(jobs) {
+			b.Fatalf("got %d results, want %d", len(res), len(jobs))
+		}
+	}
+}

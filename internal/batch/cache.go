@@ -1,0 +1,81 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+
+	"elmore/internal/moments"
+	"elmore/internal/rctree"
+	"elmore/internal/telemetry"
+)
+
+// cacheOrder is the moment order cached sets are computed at: order 3
+// serves every consumer in this repository (core bounds need 3, sta
+// slew propagation needs 2).
+const cacheOrder = 3
+
+// Cache is a shared moment-set cache keyed by tree fingerprint
+// (rctree.Tree.Fingerprint). Entries are immutable once computed — a
+// moments.Set is never written after Compute returns — so one set may
+// be handed to any number of concurrent workers. Each circuit is
+// computed exactly once: goroutines that race on a missing entry block
+// until the first one finishes, instead of duplicating work.
+//
+// The cache trusts fingerprints: callers must not mutate a tree (SetR/
+// SetC) between jobs that share it. As a cheap collision guard, a hit
+// whose stored set disagrees with the requesting tree's node count is
+// reported as an error rather than returned.
+type Cache struct {
+	mu sync.Mutex
+	m  map[uint64]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	ms   *moments.Set
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[uint64]*cacheEntry)} }
+
+// Moments returns the moment set for the circuit t describes, computing
+// it on first use. hit reports whether the set was already present (or
+// being computed by another goroutine). Requests above the cached order
+// compute a fresh uncached set rather than poisoning shared entries.
+func (c *Cache) Moments(t *rctree.Tree, order int) (*moments.Set, bool, error) {
+	if order > cacheOrder {
+		ms, err := moments.Compute(t, order)
+		return ms, false, err
+	}
+	key := t.Fingerprint()
+	c.mu.Lock()
+	e, hit := c.m[key]
+	if !hit {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	if hit {
+		telemetry.C("batch.cache_hits").Inc()
+	} else {
+		telemetry.C("batch.cache_misses").Inc()
+	}
+	e.once.Do(func() {
+		e.ms, e.err = moments.Compute(t, cacheOrder)
+	})
+	if e.err != nil {
+		return nil, hit, e.err
+	}
+	if e.ms.Tree().N() != t.N() {
+		return nil, hit, fmt.Errorf("batch: fingerprint collision: cached set has %d nodes, tree has %d", e.ms.Tree().N(), t.N())
+	}
+	return e.ms, hit, nil
+}
+
+// Len returns the number of distinct circuits cached so far.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,178 @@
+package batch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"elmore/internal/gate"
+	"elmore/internal/sta"
+)
+
+// ResultRecord is the NDJSON form of one Result, as streamed by the
+// -jobs mode of boundstat and sta: one JSON object per line, in job
+// order. Exactly one of Sinks or Path is present on success; Error is
+// set on failure (and both payloads are absent). All times are seconds.
+type ResultRecord struct {
+	Index     int          `json:"index"`
+	ID        string       `json:"id,omitempty"`
+	Error     string       `json:"error,omitempty"`
+	CacheHit  bool         `json:"cache_hit,omitempty"`
+	ElapsedNS int64        `json:"elapsed_ns"`
+	Sinks     []SinkRecord `json:"sinks,omitempty"`
+	Path      *PathRecord  `json:"path,omitempty"`
+}
+
+// SinkRecord reports the paper's step-input bounds at one node, plus
+// the generalized-input window when the job asked for a ramp.
+type SinkRecord struct {
+	Node     string       `json:"node"`
+	Elmore   float64      `json:"elmore"`
+	Lower    float64      `json:"lower"`
+	PRHTmin  float64      `json:"prh_tmin"`
+	PRHTmax  float64      `json:"prh_tmax"`
+	Sigma    float64      `json:"sigma"`
+	Skewness float64      `json:"skewness"`
+	RiseTime float64      `json:"rise_time"`
+	Input    *InputRecord `json:"input,omitempty"`
+}
+
+// InputRecord is the generalized-input delay window (Theorem 2 /
+// Corollary 2 terms) for a non-step excitation.
+type InputRecord struct {
+	Upper       float64 `json:"upper"`
+	Lower       float64 `json:"lower"`
+	OutputSigma float64 `json:"output_sigma"`
+	OutputSkew  float64 `json:"output_skew"`
+}
+
+// PathRecord reports an STA path walk.
+type PathRecord struct {
+	ArrivalUB float64       `json:"arrival_ub"`
+	ArrivalLB float64       `json:"arrival_lb"`
+	Stages    []StageRecord `json:"stages"`
+}
+
+// StageRecord is one stage of a PathRecord.
+type StageRecord struct {
+	Cell       string  `json:"cell"`
+	Sink       string  `json:"sink"`
+	Ceff       float64 `json:"ceff"`
+	GateDelay  float64 `json:"gate_delay"`
+	OutputSlew float64 `json:"output_slew"`
+	NetElmore  float64 `json:"net_elmore"`
+	NetLower   float64 `json:"net_lower"`
+	SinkSlew   float64 `json:"sink_slew"`
+	ArrivalUB  float64 `json:"arrival_ub"`
+	ArrivalLB  float64 `json:"arrival_lb"`
+}
+
+// Record converts an engine Result into its NDJSON form.
+func Record(r Result) ResultRecord {
+	rec := ResultRecord{
+		Index:     r.Index,
+		ID:        r.ID,
+		CacheHit:  r.CacheHit,
+		ElapsedNS: r.Elapsed.Nanoseconds(),
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		return rec
+	}
+	if r.Net != nil {
+		for _, s := range r.Net.Sinks {
+			rec.Sinks = append(rec.Sinks, sinkRecord(s))
+		}
+	}
+	if r.Path != nil {
+		p := &PathRecord{ArrivalUB: r.Path.ArrivalUB, ArrivalLB: r.Path.ArrivalLB}
+		for _, st := range r.Path.Stages {
+			p.Stages = append(p.Stages, stageRecord(st))
+		}
+		rec.Path = p
+	}
+	return rec
+}
+
+func sinkRecord(s SinkBounds) SinkRecord {
+	out := SinkRecord{
+		Node:     s.Node,
+		Elmore:   s.Bounds.Elmore,
+		Lower:    s.Bounds.Lower,
+		PRHTmin:  s.Bounds.PRHTmin,
+		PRHTmax:  s.Bounds.PRHTmax,
+		Sigma:    s.Bounds.Sigma,
+		Skewness: s.Bounds.Skewness,
+		RiseTime: s.Bounds.RiseTime,
+	}
+	if s.Input != nil {
+		out.Input = &InputRecord{
+			Upper:       s.Input.Upper,
+			Lower:       s.Input.Lower,
+			OutputSigma: s.Input.OutputSigma,
+			OutputSkew:  s.Input.OutputSkew,
+		}
+	}
+	return out
+}
+
+func stageRecord(st sta.StageResult) StageRecord {
+	return StageRecord{
+		Cell:       st.Cell,
+		Sink:       st.Sink,
+		Ceff:       st.Ceff,
+		GateDelay:  st.GateDelay,
+		OutputSlew: st.OutputSlew,
+		NetElmore:  st.NetElmore,
+		NetLower:   st.NetLower,
+		SinkSlew:   st.SinkSlew,
+		ArrivalUB:  st.ArrivalUB,
+		ArrivalLB:  st.ArrivalLB,
+	}
+}
+
+// WriteResult writes one Result as an NDJSON line. A value the JSON
+// encoder rejects (NaN/Inf should not escape the bound engines, but a
+// batch must not die on one) degrades to an error record for that job.
+func WriteResult(w io.Writer, r Result) error {
+	rec := Record(r)
+	b, err := json.Marshal(rec)
+	if err != nil {
+		b, err = json.Marshal(ResultRecord{Index: rec.Index, ID: rec.ID, ElapsedNS: rec.ElapsedNS,
+			Error: fmt.Sprintf("batch: encode result: %v", err)})
+		if err != nil {
+			return err
+		}
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// RunSpecs is the -jobs entry point shared by the CLIs: it decodes the
+// NDJSON job stream from r, materializes the jobs (lib and defaultSlew
+// as in JobSpec.Job), evaluates them on the engine, and streams one
+// NDJSON result line per job to w, in job order. failed counts per-job
+// error records (the batch itself still completes: fail-soft); err is
+// reserved for an unreadable spec stream or a failing writer.
+func RunSpecs(ctx context.Context, e *Engine, r io.Reader, lib *gate.Library, defaultSlew float64, w io.Writer) (failed, total int, err error) {
+	specs, err := ReadSpecs(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	jobs := make([]Job, len(specs))
+	for i, s := range specs {
+		jobs[i] = s.Job(lib, defaultSlew)
+	}
+	var werr error
+	e.RunFunc(ctx, jobs, func(res Result) {
+		if res.Err != nil {
+			failed++
+		}
+		if werr == nil {
+			werr = WriteResult(w, res)
+		}
+	})
+	return failed, len(jobs), werr
+}

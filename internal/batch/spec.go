@@ -1,0 +1,179 @@
+package batch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"elmore/internal/gate"
+	"elmore/internal/netlist"
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/sta"
+)
+
+// JobSpec is one NDJSON job line, as read by the -jobs flag of
+// boundstat and sta. A spec is either a net job,
+//
+//	{"id":"n1","net":"nets/n1.sp","sinks":["out"],"rise":"1n"}
+//
+// or a path job,
+//
+//	{"id":"p1","slew":"30p","stages":[{"cell":"inv_x1","net":"nets/n1.sp","sink":"out"}]}
+//
+// Sinks defaults to every node of the net; rise defaults to "step" (a
+// duration such as "0.5n" selects a saturated ramp, "0" degenerates to
+// the step); slew defaults to the CLI's -slew value.
+type JobSpec struct {
+	ID string `json:"id,omitempty"`
+
+	// Net jobs.
+	Net   string   `json:"net,omitempty"` // netlist file
+	Sinks []string `json:"sinks,omitempty"`
+	Rise  string   `json:"rise,omitempty"`
+
+	// Path jobs.
+	Slew   string      `json:"slew,omitempty"` // input transition time
+	Stages []StageSpec `json:"stages,omitempty"`
+}
+
+// StageSpec is one stage of a path job: the driving cell, the driven
+// net's file, and the sink node feeding the next stage.
+type StageSpec struct {
+	Cell string `json:"cell"`
+	Net  string `json:"net"`
+	Sink string `json:"sink"`
+}
+
+// ReadSpecs decodes an NDJSON job stream: one JSON object per line,
+// blank lines and #-comment lines skipped. Decode errors carry the line
+// number.
+func ReadSpecs(r io.Reader) ([]JobSpec, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var specs []JobSpec
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var s JobSpec
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("batch: jobs line %d: %w", lineNo, err)
+		}
+		specs = append(specs, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("batch: jobs: %w", err)
+	}
+	return specs, nil
+}
+
+// ParseRise converts a -rise style token into a signal: "" or "step"
+// yields the ideal step, a duration yields a saturated ramp (a zero
+// duration degenerates to the step; negative durations are rejected).
+func ParseRise(tok string) (signal.Signal, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" || tok == "step" {
+		return signal.Step{}, nil
+	}
+	tr, err := rctree.ParseValue(tok)
+	if err != nil {
+		return nil, fmt.Errorf("rise %q: %w", tok, err)
+	}
+	s := signal.SaturatedRamp{Tr: tr}
+	if err := signal.Validate(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Job materializes a spec. Spec-level problems (no kind, bad rise or
+// slew, unknown cell, missing library) come back as a pre-failed Job —
+// never a hard error — so one bad line costs one error record in the
+// batch output, in keeping with the engine's fail-soft policy. Netlist
+// files are opened lazily inside the worker for the same reason.
+// defaultSlew is the path-job input slew used when the spec leaves
+// "slew" empty; lib may be nil when no path jobs occur.
+func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
+	j := Job{ID: s.ID}
+	isNet := s.Net != ""
+	isPath := len(s.Stages) > 0
+	switch {
+	case isNet && isPath:
+		j.Err = fmt.Errorf("batch: spec sets both net and stages")
+	case !isNet && !isPath:
+		j.Err = fmt.Errorf("batch: spec sets neither net nor stages")
+	case isNet:
+		input, err := ParseRise(s.Rise)
+		if err != nil {
+			j.Err = fmt.Errorf("batch: spec: %w", err)
+			return j
+		}
+		file := s.Net
+		j.Net = &NetJob{
+			Load:  func() (*rctree.Tree, error) { return loadNet(file) },
+			Sinks: s.Sinks,
+			Input: input,
+		}
+	default: // path job
+		slew := defaultSlew
+		if s.Slew != "" {
+			v, err := rctree.ParseValue(s.Slew)
+			if err != nil {
+				j.Err = fmt.Errorf("batch: spec slew: %w", err)
+				return j
+			}
+			slew = v
+		}
+		if lib == nil {
+			j.Err = fmt.Errorf("batch: path job needs a cell library")
+			return j
+		}
+		cells := make([]*gate.Cell, len(s.Stages))
+		for i, st := range s.Stages {
+			cell, err := lib.Get(st.Cell)
+			if err != nil {
+				j.Err = fmt.Errorf("batch: spec stage %d: %w", i, err)
+				return j
+			}
+			cells[i] = cell
+		}
+		stages := s.Stages
+		j.Path = &PathJob{
+			Load: func() (*sta.Path, error) {
+				p := sta.Path{InputSlew: slew}
+				for i, st := range stages {
+					tree, err := loadNet(st.Net)
+					if err != nil {
+						return nil, fmt.Errorf("stage %d: %w", i, err)
+					}
+					p.Stages = append(p.Stages, sta.Stage{Cell: cells[i], Net: tree, Sink: st.Sink})
+				}
+				return &p, nil
+			},
+		}
+	}
+	return j
+}
+
+// loadNet parses one netlist file into its RC tree.
+func loadNet(path string) (*rctree.Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	deck, err := netlist.Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return deck.Tree, nil
+}

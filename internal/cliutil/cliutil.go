@@ -34,6 +34,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"context"
 
@@ -56,6 +57,25 @@ func Add(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060)")
 	fs.BoolVar(&f.Version, "version", false, "print version information and exit")
 	return f
+}
+
+// BatchFlags holds the batch-mode flags shared by boundstat and sta:
+// -jobs switches the tool from its single-shot mode to streaming
+// NDJSON batch evaluation on the internal/batch engine.
+type BatchFlags struct {
+	Jobs    string        // -jobs: NDJSON job stream file; "" means no batch mode
+	Workers int           // -workers: max concurrent jobs; 0 means GOMAXPROCS
+	Timeout time.Duration // -timeout: per-job limit; 0 means none
+}
+
+// AddBatch registers the batch-mode flags on fs and returns the value
+// holder.
+func AddBatch(fs *flag.FlagSet) *BatchFlags {
+	b := &BatchFlags{}
+	fs.StringVar(&b.Jobs, "jobs", "", "evaluate the NDJSON job stream in `file` and emit NDJSON results")
+	fs.IntVar(&b.Workers, "workers", 0, "max concurrent batch jobs (0 = GOMAXPROCS)")
+	fs.DurationVar(&b.Timeout, "timeout", 0, "per-job time limit, e.g. 30s (0 = none)")
+	return b
 }
 
 // Version returns a one-line version string for the named tool from

@@ -32,6 +32,12 @@ import (
 // Bounds collects every closed-form delay metric the paper derives or
 // compares against, for one node, under step excitation. All times in
 // seconds.
+//
+// Zero-variance contract: at a node with mu2 == 0 (degenerate trees,
+// e.g. every capacitance zeroed after construction) no field is NaN —
+// Skewness is 0, Sigma and RiseTime are 0, Lower clamps to
+// max(mu-sigma, 0) = mu, and the PRH bounds collapse to the
+// instantaneous response.
 type Bounds struct {
 	Node string // node name
 
@@ -74,14 +80,43 @@ func Analyze(t *rctree.Tree) (*Analysis, error) {
 
 // AnalyzeContext is Analyze under a context: when the context carries a
 // telemetry tracer the analysis is recorded as a span, and the node
-// count flows into the metrics registry.
+// count flows into the metrics registry. A canceled or expired context
+// aborts before any computation.
 func AnalyzeContext(ctx context.Context, t *rctree.Tree) (*Analysis, error) {
+	return analyze(ctx, t, nil)
+}
+
+// AnalyzeWithMoments is AnalyzeContext with a precomputed moment set of
+// order >= 3 — the seam through which batch engines share one
+// moments.Set across repeated identical nets. ms may have been computed
+// for a different *Tree value as long as it describes the same circuit
+// (equal rctree fingerprints); only node indices are read from it.
+func AnalyzeWithMoments(ctx context.Context, t *rctree.Tree, ms *moments.Set) (*Analysis, error) {
+	if ms == nil {
+		return nil, fmt.Errorf("core: AnalyzeWithMoments needs a non-nil moment set")
+	}
+	if ms.Order() < 3 {
+		return nil, fmt.Errorf("core: bounds need moments of order >= 3, got %d", ms.Order())
+	}
+	if ms.Tree().N() != t.N() {
+		return nil, fmt.Errorf("core: moment set covers %d nodes, tree has %d", ms.Tree().N(), t.N())
+	}
+	return analyze(ctx, t, ms)
+}
+
+func analyze(ctx context.Context, t *rctree.Tree, ms *moments.Set) (*Analysis, error) {
 	_, sp := telemetry.Start(ctx, "core.analyze")
 	sp.AttrInt("nodes", int64(t.N()))
 	defer sp.End()
-	ms, err := moments.Compute(t, 3)
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if ms == nil {
+		var err error
+		ms, err = moments.Compute(t, 3)
+		if err != nil {
+			return nil, err
+		}
 	}
 	prh := moments.ComputePRH(t)
 	a := &Analysis{
@@ -131,11 +166,16 @@ func (a *Analysis) PRH() *moments.PRHTerms { return a.prh }
 
 // PRHTmin evaluates the Penfield-Rubinstein-Horowitz lower waveform
 // bound t_min(v) (paper eq. 15) for threshold v in [0, 1), given
-// T_P, T_D(i) and T_R(i).
+// T_P, T_D(i) and T_R(i). A degenerate tree with T_P = 0 (no
+// capacitance anywhere, hence a zero-variance impulse response) has an
+// instantaneous step response, so every threshold is crossed at t = 0
+// rather than the 0/0 = NaN the raw formula would produce.
 func PRHTmin(tp, td, tr, v float64) float64 {
 	switch {
 	case v < 0 || v >= 1:
 		return math.NaN()
+	case tp <= 0:
+		return 0
 	case v <= 1-td/tp:
 		return 0
 	case v <= 1-tr/tp:
@@ -153,10 +193,14 @@ func PRHTmin(tp, td, tr, v float64) float64 {
 // point v = 1 - T_D/T_P and falls below the exact response; the form
 // here is continuous there and reduces to the exact RC ln(1/(1-v)) for
 // a single-pole circuit, where T_P = T_D = T_R.)
+// Like PRHTmin it defines the capacitance-free T_P = 0 case as an
+// instantaneous response: every threshold is crossed at t = 0.
 func PRHTmax(tp, td, tr, v float64) float64 {
 	switch {
 	case v < 0 || v >= 1:
 		return math.NaN()
+	case tp <= 0:
+		return 0
 	case v <= 1-td/tp:
 		return td/(1-v) - tr
 	default:

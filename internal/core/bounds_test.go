@@ -399,3 +399,54 @@ func TestWindowAt(t *testing.T) {
 		t.Errorf("v=1 should error")
 	}
 }
+
+// TestDegenerateZeroVarianceTree drives core.Analyze with a tree whose
+// capacitances have all been zeroed after construction (mu2 == 0 and
+// T_P == 0 at every node). Every bound must stay finite and obey the
+// zero-variance contract: skewness 0, sigma/rise time 0, lower bound
+// clamped to mu, PRH bounds collapsed to the instantaneous response.
+func TestDegenerateZeroVarianceTree(t *testing.T) {
+	b := rctree.NewBuilder()
+	n1 := b.MustRoot("n1", 100, 1e-12)
+	b.MustAttach(n1, "n2", 50, 1e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tree.N(); i++ {
+		if err := tree.SetC(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := Analyze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bd := range a.Bounds {
+		for name, v := range map[string]float64{
+			"Elmore": bd.Elmore, "Sigma": bd.Sigma, "Skewness": bd.Skewness,
+			"Lower": bd.Lower, "SinglePole": bd.SinglePole,
+			"PRHTmin": bd.PRHTmin, "PRHTmax": bd.PRHTmax, "RiseTime": bd.RiseTime,
+		} {
+			if math.IsNaN(v) {
+				t.Errorf("node %s: %s is NaN", bd.Node, name)
+			}
+		}
+		if bd.Skewness != 0 {
+			t.Errorf("node %s: zero-variance skewness = %v, want 0", bd.Node, bd.Skewness)
+		}
+		if bd.Sigma != 0 || math.Signbit(bd.Sigma) {
+			t.Errorf("node %s: zero-variance sigma = %v, want +0", bd.Node, bd.Sigma)
+		}
+		if bd.Lower != bd.Elmore {
+			t.Errorf("node %s: lower bound %v, want mu = %v", bd.Node, bd.Lower, bd.Elmore)
+		}
+	}
+	lo, hi, err := a.WindowAt(0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Errorf("WindowAt on degenerate tree: [%v, %v]", lo, hi)
+	}
+}

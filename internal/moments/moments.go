@@ -4,6 +4,10 @@
 // Elmore delay, the Gupta-Tutuianu-Pileggi delay bounds, the
 // Penfield-Rubinstein-Horowitz waveform bounds, and AWE approximations.
 //
+// Edge-case contracts: M panics on an out-of-range node index (a
+// programming error, not a data error); a zero-variance node (mu2 == 0,
+// e.g. a capacitance-free tree) has Sigma == +0, never NaN.
+//
 // Sign convention (paper eq. 9): the transfer function at node i is
 // expanded as H_i(s) = sum_q m_q(i) s^q, so that
 //
@@ -79,10 +83,15 @@ func (s *Set) Tree() *rctree.Tree { return s.tree }
 // Order returns the highest computed moment order.
 func (s *Set) Order() int { return s.order }
 
-// M returns the coefficient moment m_q at node i.
+// M returns the coefficient moment m_q at node i. It panics with a
+// descriptive message when q exceeds the computed order or i is not a
+// valid node index of the underlying tree.
 func (s *Set) M(q, i int) float64 {
 	if q < 0 || q > s.order {
 		panic(fmt.Sprintf("moments: order %d out of range [0,%d]", q, s.order))
+	}
+	if i < 0 || i >= len(s.m[q]) {
+		panic(fmt.Sprintf("moments: node index %d out of range [0,%d)", i, len(s.m[q])))
 	}
 	return s.m[q][i]
 }
@@ -120,10 +129,12 @@ func (s *Set) Mu3(i int) float64 {
 
 // Sigma returns the standard deviation sqrt(mu2) of the impulse
 // response at node i. Lemma 2 guarantees mu2 >= 0 for RC trees; tiny
-// negative values from roundoff are clamped to zero.
+// negative values from roundoff are clamped to zero, and the
+// zero-variance case (degenerate trees, e.g. no capacitance anywhere
+// on the node's branch) returns exactly +0, never -0.
 func (s *Set) Sigma(i int) float64 {
 	mu2 := s.Mu2(i)
-	if mu2 < 0 {
+	if mu2 <= 0 {
 		return 0
 	}
 	return math.Sqrt(mu2)

@@ -1,7 +1,9 @@
 package moments
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -264,5 +266,35 @@ func TestOrderAndTreeAccessors(t *testing.T) {
 	}
 	if s.Order() != 3 || s.Tree() != tree {
 		t.Errorf("accessors wrong")
+	}
+}
+
+func TestMRejectsBadNodeIndex(t *testing.T) {
+	tree := twoNodeChain(t, 100, 1e-12, 50, 1e-12)
+	ms, err := Compute(tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: expected panic", name)
+				return
+			}
+			msg := fmt.Sprint(r)
+			if !strings.Contains(msg, "node index") || !strings.Contains(msg, "out of range") {
+				t.Errorf("%s: unhelpful panic message %q", name, msg)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative index", func() { ms.M(1, -1) })
+	mustPanic("index == N", func() { ms.M(1, tree.N()) })
+	mustPanic("index past N", func() { ms.M(0, tree.N()+7) })
+	// In-range lookups still work after the check.
+	if got := ms.M(0, tree.N()-1); got != 1 {
+		t.Errorf("M(0, last) = %v, want 1", got)
 	}
 }

@@ -497,6 +497,36 @@ func (t *Tree) computeOrders() {
 	}
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash of the tree's complete
+// electrical identity: node count, names, parent links, and the exact
+// bit patterns of every resistance and capacitance. Two trees with
+// equal fingerprints are — up to hash collision — the same circuit, so
+// derived artifacts (moment sets, analyses) may be shared between them.
+// SetR/SetC mutate element values, so a cached fingerprint is stale
+// after in-place edits; recompute it.
+func (t *Tree) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (x >> s) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(len(t.nodes)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		for j := 0; j < len(n.name); j++ {
+			h ^= uint64(n.name[j])
+			h *= prime
+		}
+		mix(uint64(n.parent) + 1) // +1 keeps Source (-1) distinct cheaply
+		mix(math.Float64bits(n.r))
+		mix(math.Float64bits(n.c))
+	}
+	return h
+}
+
 // SortedNames returns all node names sorted lexicographically; useful for
 // deterministic report output.
 func (t *Tree) SortedNames() []string {

@@ -352,3 +352,49 @@ func TestSortedNames(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	build := func() *Tree {
+		b := NewBuilder()
+		n1 := b.MustRoot("n1", 100, 1e-12)
+		b.MustAttach(n1, "n2", 50, 2e-12)
+		tr, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("identical circuits must share a fingerprint")
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Errorf("clone must share the fingerprint")
+	}
+	// Any element edit must change it.
+	c := build()
+	if err := c.SetR(0, 101); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Errorf("R edit did not change the fingerprint")
+	}
+	d := build()
+	if err := d.SetC(1, 3e-12); err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint() == a.Fingerprint() {
+		t.Errorf("C edit did not change the fingerprint")
+	}
+	// Different topology with the same element multiset.
+	bb := NewBuilder()
+	bb.MustRoot("n1", 100, 1e-12)
+	bb.MustRoot("n2", 50, 2e-12)
+	e, err := bb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Fingerprint() == a.Fingerprint() {
+		t.Errorf("different topology must change the fingerprint")
+	}
+}

@@ -85,9 +85,17 @@ func (p *PWL) RiseTime() float64 {
 	return p.Points[len(p.Points)-1].T - p.Points[0].T
 }
 
-// Cross implements Signal.
+// Cross implements Signal. A level the waveform never reaches — which
+// can only happen on a truncated or non-saturating PWL whose last value
+// stays below the level (such a PWL fails Validate but can be built as
+// a raw struct literal) — returns NaN rather than a misleading finite
+// time. A level hit exactly at the final breakpoint returns that
+// breakpoint's time.
 func (p *PWL) Cross(level float64) float64 {
 	pts := p.Points
+	if math.IsNaN(level) || level > pts[len(pts)-1].V {
+		return math.NaN()
+	}
 	for i := 1; i < len(pts); i++ {
 		if pts[i].V >= level {
 			a, b := pts[i-1], pts[i]
@@ -184,6 +192,9 @@ func ToPWL(s Signal, n int) (*PWL, error) {
 	case Step:
 		return nil, fmt.Errorf("signal: a step has no PWL representation; use the step response directly")
 	case SaturatedRamp:
+		if v.Tr <= 0 {
+			return nil, fmt.Errorf("signal: a ramp with rise time %g is a step and has no PWL representation; use the step response directly", v.Tr)
+		}
 		return NewPWL([]Point{{0, 0}, {v.Tr, 1}})
 	}
 	if n < 2 {

@@ -3,6 +3,11 @@
 // a smooth raised-cosine ramp, the RC-exponential edge, and general
 // monotone piecewise-linear transitions.
 //
+// Edge-case contracts: a SaturatedRamp with Tr == 0 degenerates to the
+// ideal Step (never NaN); negative or non-finite rise times are
+// rejected by Validate; PWL.Cross returns NaN — not a misleading
+// time — for levels the waveform never reaches.
+//
 // Each signal is a normalized 0 -> 1 voltage transition starting at
 // t = 0. Beyond evaluation, every signal reports the distribution
 // statistics of its time derivative — the quantities that drive
@@ -82,12 +87,22 @@ func (Step) String() string { return "step" }
 // Its derivative is the uniform density on [0, Tr]: unimodal and
 // symmetric, with variance Tr^2/12 — the paper's canonical generalized
 // input.
+//
+// Tr == 0 is a valid degenerate ramp: Eval, Cross and the derivative
+// moments coincide exactly with Step's. Negative Tr is invalid and is
+// rejected by Validate.
 type SaturatedRamp struct {
-	Tr float64 // 0-100% rise time, > 0
+	Tr float64 // 0-100% rise time, >= 0 (0 degenerates to a step)
 }
 
-// Eval implements Signal.
+// Eval implements Signal. With Tr == 0 it is exactly Step.Eval.
 func (r SaturatedRamp) Eval(t float64) float64 {
+	if r.Tr == 0 {
+		if t < 0 {
+			return 0
+		}
+		return 1
+	}
 	switch {
 	case t <= 0:
 		return 0
@@ -101,7 +116,8 @@ func (r SaturatedRamp) Eval(t float64) float64 {
 // RiseTime implements Signal.
 func (r SaturatedRamp) RiseTime() float64 { return r.Tr }
 
-// Cross implements Signal.
+// Cross implements Signal. With Tr == 0 every level is crossed at
+// t = 0, matching Step.Cross.
 func (r SaturatedRamp) Cross(level float64) float64 { return level * r.Tr }
 
 // DerivMean implements Signal: uniform density mean Tr/2.
@@ -214,8 +230,10 @@ func Validate(s Signal) error {
 	case Step:
 		return nil
 	case SaturatedRamp:
-		if !(v.Tr > 0) || math.IsInf(v.Tr, 0) {
-			return fmt.Errorf("signal: ramp rise time must be positive and finite, got %v", v.Tr)
+		// Tr == 0 is the legal step-degenerate ramp; only negative or
+		// non-finite rise times are invalid.
+		if v.Tr < 0 || math.IsNaN(v.Tr) || math.IsInf(v.Tr, 0) {
+			return fmt.Errorf("signal: ramp rise time must be nonnegative and finite, got %v", v.Tr)
 		}
 	case RaisedCosine:
 		if !(v.Tr > 0) || math.IsInf(v.Tr, 0) {

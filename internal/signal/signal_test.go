@@ -49,8 +49,10 @@ func TestSaturatedRamp(t *testing.T) {
 	if err := Validate(r); err != nil {
 		t.Errorf("Validate = %v", err)
 	}
-	if err := Validate(SaturatedRamp{Tr: 0}); err == nil {
-		t.Errorf("zero rise time should be invalid")
+	// Tr == 0 is the legal step-degenerate ramp; only negative rise
+	// times are invalid (see TestSaturatedRampZeroRiseIsStep).
+	if err := Validate(SaturatedRamp{Tr: -1e-9}); err == nil {
+		t.Errorf("negative rise time should be invalid")
 	}
 }
 
@@ -294,5 +296,74 @@ func TestStrings(t *testing.T) {
 	p, _ := NewPWL([]Point{{0, 0}, {1, 1}})
 	if p.String() == "" {
 		t.Errorf("empty String for PWL")
+	}
+}
+
+func TestSaturatedRampZeroRiseIsStep(t *testing.T) {
+	r := SaturatedRamp{Tr: 0}
+	s := Step{}
+	for _, tt := range []float64{-1e-9, -1e-300, 0, 1e-300, 1e-9, 1} {
+		got, want := r.Eval(tt), s.Eval(tt)
+		if got != want || math.IsNaN(got) {
+			t.Errorf("Eval(%v) = %v, want step value %v", tt, got, want)
+		}
+	}
+	for _, level := range []float64{0.1, 0.5, 0.9} {
+		if got := r.Cross(level); got != 0 || math.IsNaN(got) {
+			t.Errorf("Cross(%v) = %v, want 0", level, got)
+		}
+	}
+	if r.DerivMean() != 0 || r.DerivMu2() != 0 || r.DerivMu3() != 0 {
+		t.Errorf("derivative moments not zero: %v %v %v", r.DerivMean(), r.DerivMu2(), r.DerivMu3())
+	}
+	if !r.SymmetricDerivative() || !r.UnimodalDerivative() {
+		t.Errorf("degenerate ramp should keep step's derivative properties")
+	}
+	if err := Validate(r); err != nil {
+		t.Errorf("Validate(zero-rise ramp) = %v, want nil", err)
+	}
+}
+
+func TestValidateRejectsNegativeRamp(t *testing.T) {
+	for _, tr := range []float64{-1e-9, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := Validate(SaturatedRamp{Tr: tr}); err == nil {
+			t.Errorf("Validate(ramp tr=%v) accepted an invalid rise time", tr)
+		}
+	}
+}
+
+func TestToPWLZeroRiseRampErrors(t *testing.T) {
+	if _, err := ToPWL(SaturatedRamp{Tr: 0}, 8); err == nil {
+		t.Errorf("ToPWL of a zero-rise ramp should error like a step")
+	}
+}
+
+func TestPWLCrossNeverReached(t *testing.T) {
+	// A truncated, non-saturating PWL built as a raw literal: tops out
+	// at V = 0.6, so levels above that are never crossed.
+	p := &PWL{Points: []Point{{0, 0}, {1, 0.3}, {2, 0.6}}}
+	for _, level := range []float64{0.7, 0.9, 1, math.NaN()} {
+		if got := p.Cross(level); !math.IsNaN(got) {
+			t.Errorf("Cross(%v) = %v, want NaN for a never-reached level", level, got)
+		}
+	}
+	// Exactly at the final endpoint: crossed at the endpoint's time.
+	if got := p.Cross(0.6); got != 2 {
+		t.Errorf("Cross(0.6) = %v, want 2 (final breakpoint)", got)
+	}
+	// Levels below the top interpolate as before.
+	if !approx(p.Cross(0.3), 1, 1e-12) || !approx(p.Cross(0.45), 1.5, 1e-12) {
+		t.Errorf("Cross below the top changed: %v %v", p.Cross(0.3), p.Cross(0.45))
+	}
+	// A valid saturating PWL still crosses every level in (0, 1].
+	q, err := NewPWL([]Point{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Cross(1); got != 1 {
+		t.Errorf("Cross(1) = %v, want 1 (exactly at the endpoint)", got)
+	}
+	if got := q.Cross(0.5); !approx(got, 0.5, 1e-12) {
+		t.Errorf("Cross(0.5) = %v", got)
 	}
 }

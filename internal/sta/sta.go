@@ -70,11 +70,24 @@ func AnalyzePath(p Path) (*PathResult, error) {
 	return AnalyzePathContext(context.Background(), p)
 }
 
+// MomentSource supplies the moment set (of at least the given order)
+// for one net. It is the seam through which a batch engine injects a
+// shared, fingerprint-keyed cache; when nil, moments.Compute runs per
+// stage as before.
+type MomentSource func(ctx context.Context, t *rctree.Tree, order int) (*moments.Set, error)
+
 // AnalyzePathContext is AnalyzePath under a context: when the context
 // carries a telemetry tracer the path walk is recorded as a span with
 // one child span per stage, and path/stage counts flow into the metrics
-// registry.
+// registry. Cancellation/expiry of the context is observed at stage
+// boundaries.
 func AnalyzePathContext(ctx context.Context, p Path) (*PathResult, error) {
+	return AnalyzePathMoments(ctx, p, nil)
+}
+
+// AnalyzePathMoments is AnalyzePathContext with an optional moment
+// source for the per-net moment sets (nil means compute them fresh).
+func AnalyzePathMoments(ctx context.Context, p Path, src MomentSource) (*PathResult, error) {
 	if len(p.Stages) == 0 {
 		return nil, fmt.Errorf("sta: path needs at least one stage")
 	}
@@ -88,13 +101,16 @@ func AnalyzePathContext(ctx context.Context, p Path) (*PathResult, error) {
 	slew := p.InputSlew
 	var ub, lb float64
 	for si, st := range p.Stages {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+		}
 		if st.Net == nil || st.Cell == nil {
 			return nil, fmt.Errorf("sta: stage %d incomplete", si)
 		}
-		_, ssp := telemetry.Start(ctx, "sta.stage")
+		sctx, ssp := telemetry.Start(ctx, "sta.stage")
 		ssp.AttrInt("index", int64(si))
 		ssp.AttrString("sink", st.Sink)
-		stageRes, err := analyzeStage(si, st, slew)
+		stageRes, err := analyzeStage(sctx, si, st, slew, src)
 		if stageRes != nil {
 			ssp.AttrString("cell", stageRes.Cell)
 		}
@@ -118,7 +134,7 @@ func AnalyzePathContext(ctx context.Context, p Path) (*PathResult, error) {
 
 // analyzeStage computes one stage's timing contributions; arrival
 // bounds are accumulated by the caller.
-func analyzeStage(si int, st Stage, slew float64) (*StageResult, error) {
+func analyzeStage(ctx context.Context, si int, st Stage, slew float64, src MomentSource) (*StageResult, error) {
 	sink, ok := st.Net.Index(st.Sink)
 	if !ok {
 		return nil, fmt.Errorf("sta: stage %d: net has no node %q", si, st.Sink)
@@ -132,9 +148,17 @@ func analyzeStage(si int, st Stage, slew float64) (*StageResult, error) {
 		return nil, fmt.Errorf("sta: stage %d: %w", si, err)
 	}
 
-	ms, err := moments.Compute(st.Net, 2)
+	var ms *moments.Set
+	if src != nil {
+		ms, err = src(ctx, st.Net, 2)
+	} else {
+		ms, err = moments.Compute(st.Net, 2)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sta: stage %d: %w", si, err)
+	}
+	if ms == nil || ms.Order() < 2 || ms.Tree().N() != st.Net.N() {
+		return nil, fmt.Errorf("sta: stage %d: moment source returned an unusable set", si)
 	}
 	td := ms.Elmore(sink)
 	mu2 := ms.Mu2(sink)
