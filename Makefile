@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: check build test vet race bench fmt
+# Benchmarks folded into BENCH_3.json by `make bench-json`.
+BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|SimTransient|SimPlanReuse|TableI$$
+
+.PHONY: check build test vet race bench bench-json bench-smoke fmt
 
 check: vet build race
 
@@ -18,6 +21,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the scaling benchmarks and merge them into BENCH_3.json as the
+# "after" side (pipe a saved baseline through
+# `go run ./cmd/benchjson -label before -o BENCH_3.json` first).
+bench-json:
+	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -timeout 90m . \
+	  && $(GO) test -run '^$$' -bench 'Batch10kNets' -benchmem -timeout 30m ./internal/batch ) \
+		| $(GO) run ./cmd/benchjson -label after -merge -o BENCH_3.json
+
+# One iteration of every benchmark: exercises the bench code paths in
+# CI without measuring anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
 
 fmt:
 	gofmt -l .

@@ -207,6 +207,44 @@ func BenchmarkSimTransient(b *testing.B) {
 	}
 }
 
+// BenchmarkSimPlanReuse measures the steady-state cost of re-running a
+// prebuilt simulation plan: compile/stamp/factor are paid once outside
+// the loop and RunInto reuses one Result, so each op is the bare step
+// loop and must not allocate.
+func BenchmarkSimPlanReuse(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		tree := topo.Chain(n, 1, 1e-15)
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			// Same horizon/step policy Simulate defaults to.
+			tEnd := 0.0
+			for _, d := range elmore.ElmoreDelays(tree) {
+				if 10*d > tEnd {
+					tEnd = 10 * d
+				}
+			}
+			plan, err := elmore.NewSimPlan(tree, elmore.SimPlanOptions{DT: tEnd / 4096})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runner := plan.Runner()
+			res := new(elmore.SimResult)
+			opts := elmore.SimRunOptions{TEnd: tEnd, Probes: []int{n - 1}}
+			// Warm-up populates res's buffers so the timed loop is the
+			// pure steady state even at -benchtime=1x.
+			if err := runner.RunInto(nil, opts, res); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := runner.RunInto(nil, opts, res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAWEFitOrder3(b *testing.B) {
 	b.ReportAllocs()
 	tree := topo.Random(42, topo.RandomOptions{N: 200})

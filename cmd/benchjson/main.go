@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// JSON ledger committed next to the code, so performance numbers are
+// diffable across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -label after -merge -o BENCH_3.json
+//
+// Each benchmark line becomes an entry keyed by its name with the
+// "Benchmark" prefix stripped (the rest is kept verbatim — a
+// -GOMAXPROCS suffix is indistinguishable from a sub-benchmark name
+// like workers-8, so before and after must be measured with the same
+// GOMAXPROCS) holding ns/op, B/op and allocs/op under the chosen label
+// ("before" or "after"). With -merge, entries already in the output
+// file are kept, so a before ledger can be filled in with after
+// numbers later. When an entry has both sides,
+// speedup = before.ns_op / after.ns_op is recorded.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// metrics is one measured side of a benchmark entry.
+type metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// entry pairs the two sides of a benchmark and their ratio.
+type entry struct {
+	Before  *metrics `json:"before,omitempty"`
+	After   *metrics `json:"after,omitempty"`
+	Speedup float64  `json:"speedup,omitempty"`
+}
+
+// ledger is the on-disk document. Map keys are sorted by
+// encoding/json, so the file is stable under re-runs.
+type ledger struct {
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]*entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkMomentsOrder6/n=100000  62  19508668 ns/op  3207309 B/op  11 allocs/op
+//
+// The B/op and allocs/op columns are optional (-benchmem may be off).
+var benchLine = regexp.MustCompile(
+	`^Benchmark(\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func run(args []string, stdin io.Reader, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "BENCH_3.json", "output JSON `file`")
+	label := fs.String("label", "after", "which side the piped numbers are: before or after")
+	merge := fs.Bool("merge", false, "load the output file first and merge into it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *label != "before" && *label != "after" {
+		return fmt.Errorf("-label must be before or after, got %q", *label)
+	}
+
+	doc := &ledger{Benchmarks: map[string]*entry{}}
+	if *merge {
+		raw, err := os.ReadFile(*out)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to merge.
+		case err != nil:
+			return err
+		default:
+			if err := json.Unmarshal(raw, doc); err != nil {
+				return fmt.Errorf("%s: %w", *out, err)
+			}
+			if doc.Benchmarks == nil {
+				doc.Benchmarks = map[string]*entry{}
+			}
+		}
+	}
+
+	parsed := 0
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		met := &metrics{}
+		met.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			met.BOp, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+		if m[4] != "" {
+			met.AllocsOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		e := doc.Benchmarks[m[1]]
+		if e == nil {
+			e = &entry{}
+			doc.Benchmarks[m[1]] = e
+		}
+		if *label == "before" {
+			e.Before = met
+		} else {
+			e.After = met
+		}
+		parsed++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if parsed == 0 {
+		return errors.New("no benchmark lines on stdin")
+	}
+
+	for _, e := range doc.Benchmarks {
+		if e.Before != nil && e.After != nil && e.After.NsOp > 0 {
+			e.Speedup = math.Round(100*e.Before.NsOp/e.After.NsOp) / 100
+		}
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "benchjson: %d %s entries -> %s (%d total)\n",
+		parsed, *label, *out, len(doc.Benchmarks))
+	return nil
+}

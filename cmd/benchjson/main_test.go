@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const beforeOut = `goos: linux
+goarch: amd64
+pkg: elmore
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkMomentsOrder6/n=100000         	      62	  20000000 ns/op	 3207309 B/op	      11 allocs/op
+BenchmarkSimTransient/chain=1000         	      18	  69064603 ns/op	  561923 B/op	      21 allocs/op
+ok  	elmore	12.3s
+`
+
+const afterOut = `cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkMomentsOrder6/n=100000         	     120	  10000000 ns/op	 3207309 B/op	      11 allocs/op
+BenchmarkSimPlanReuse/chain=1000-8      	     300	   4000000 ns/op	       0 B/op	       0 allocs/op
+`
+
+// A before pipe then an after merge must yield one document with both
+// sides, speedups, names kept verbatim (sub-benchmark suffixes like
+// workers-8 must not be collapsed), and the cpu line.
+func TestRunMergeRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-label", "before", "-o", out},
+		strings.NewReader(beforeOut), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-label", "after", "-merge", "-o", out},
+		strings.NewReader(afterOut), os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc ledger
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(doc.Benchmarks))
+	}
+	mo := doc.Benchmarks["MomentsOrder6/n=100000"]
+	if mo == nil || mo.Before == nil || mo.After == nil {
+		t.Fatalf("MomentsOrder6 entry incomplete: %+v", mo)
+	}
+	if mo.Speedup != 2 {
+		t.Fatalf("speedup = %v, want 2", mo.Speedup)
+	}
+	if mo.Before.BOp != 3207309 || mo.Before.AllocsOp != 11 {
+		t.Fatalf("before metrics = %+v", mo.Before)
+	}
+	st := doc.Benchmarks["SimTransient/chain=1000"]
+	if st == nil || st.Before == nil || st.After != nil || st.Speedup != 0 {
+		t.Fatalf("before-only entry = %+v", st)
+	}
+	pr := doc.Benchmarks["SimPlanReuse/chain=1000-8"]
+	if pr == nil || pr.After == nil || pr.After.AllocsOp != 0 {
+		t.Fatalf("after-only entry = %+v", pr)
+	}
+}
+
+// Empty input and a bad label are errors; a merge against a missing
+// file is not.
+func TestRunErrors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-o", out}, strings.NewReader("no benches here\n"), os.Stderr); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if err := run([]string{"-label", "sideways", "-o", out},
+		strings.NewReader(beforeOut), os.Stderr); err == nil {
+		t.Fatal("want error on bad label")
+	}
+	if err := run([]string{"-merge", "-o", out},
+		strings.NewReader(beforeOut), os.Stderr); err != nil {
+		t.Fatalf("merge with missing file: %v", err)
+	}
+}

@@ -127,6 +127,28 @@ func SimulateAdaptive(t *Tree, opts SimOptions, tol float64) (*SimResult, error)
 	return sim.RunAdaptive(t, opts, tol)
 }
 
+// SimPlan is a reusable transient-simulation plan: the tree is
+// compiled to its execution layout, the theta-method system stamped,
+// and the tree LU factored exactly once per (tree, dt, method) triple.
+// Executing the plan on many inputs then skips all of that setup. Like
+// fingerprints, plans snapshot element values: mutate the tree with
+// SetR/SetC and build a fresh plan.
+type SimPlan = sim.Plan
+
+// SimPlanOptions configures NewSimPlan.
+type SimPlanOptions = sim.PlanOptions
+
+// SimRunOptions configures one execution of a SimPlan.
+type SimRunOptions = sim.RunOptions
+
+// SimRunner executes a SimPlan with reusable per-run workspaces; see
+// SimPlan.Runner.
+type SimRunner = sim.Runner
+
+// NewSimPlan compiles, stamps and factors a simulation plan for the
+// tree. Options.DT must be positive.
+func NewSimPlan(t *Tree, opts SimPlanOptions) (*SimPlan, error) { return sim.NewPlan(t, opts) }
+
 // Signal is a normalized 0->1 input transition.
 type Signal = signal.Signal
 

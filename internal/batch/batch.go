@@ -61,15 +61,16 @@ type PathJob struct {
 	Load func() (*sta.Path, error)
 }
 
-// Job is one unit of batch work: exactly one of Net or Path must be
-// set. A Job with Err set is dead on arrival — the engine reports it as
-// a per-job error record, which is how spec-level failures (bad rise
+// Job is one unit of batch work: exactly one of Net, Path or Tran must
+// be set. A Job with Err set is dead on arrival — the engine reports it
+// as a per-job error record, which is how spec-level failures (bad rise
 // time, unknown cell) flow through the fail-soft policy.
 type Job struct {
 	ID   string // caller-chosen label, echoed in the Result
 	Err  error  // pre-failed job (e.g. an invalid spec)
 	Net  *NetJob
 	Path *PathJob
+	Tran *TranJob
 }
 
 // SinkBounds carries one reported node of a net job.
@@ -85,16 +86,17 @@ type NetResult struct {
 	Sinks    []SinkBounds
 }
 
-// Result is the outcome of one job. Exactly one of Net/Path is non-nil
-// on success; Err is set on failure (and both payloads are nil).
+// Result is the outcome of one job. Exactly one of Net/Path/Tran is
+// non-nil on success; Err is set on failure (and all payloads are nil).
 type Result struct {
 	Index    int    // position in the submitted job slice
 	ID       string // echoed Job.ID
 	Err      error
-	CacheHit bool // a shared moment set was reused
+	CacheHit bool // a shared moment set or simulation plan was reused
 	Elapsed  time.Duration
 	Net      *NetResult
 	Path     *sta.PathResult
+	Tran     *TranResult
 }
 
 // Engine runs batches. The zero value is usable: GOMAXPROCS workers, no
@@ -195,7 +197,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 	}
 	defer func() {
 		if p := recover(); p != nil {
-			res.Net, res.Path = nil, nil
+			res.Net, res.Path, res.Tran = nil, nil, nil
 			res.Err = fmt.Errorf("batch: job %d (%s) panicked: %v", idx, j.ID, p)
 		}
 		res.Elapsed = time.Since(start)
@@ -209,12 +211,14 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 	switch {
 	case j.Err != nil:
 		res.Err = j.Err
-	case j.Net != nil && j.Path == nil:
+	case j.Net != nil && j.Path == nil && j.Tran == nil:
 		res.Net, res.CacheHit, res.Err = e.runNet(jctx, j.Net)
-	case j.Path != nil && j.Net == nil:
+	case j.Path != nil && j.Net == nil && j.Tran == nil:
 		res.Path, res.CacheHit, res.Err = e.runPath(jctx, j.Path)
+	case j.Tran != nil && j.Net == nil && j.Path == nil:
+		res.Tran, res.CacheHit, res.Err = e.runTran(jctx, j.Tran)
 	default:
-		res.Err = fmt.Errorf("batch: job %d (%s): exactly one of Net or Path must be set", idx, j.ID)
+		res.Err = fmt.Errorf("batch: job %d (%s): exactly one of Net, Path or Tran must be set", idx, j.ID)
 	}
 	return res
 }

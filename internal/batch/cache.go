@@ -2,10 +2,12 @@ package batch
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"elmore/internal/moments"
 	"elmore/internal/rctree"
+	"elmore/internal/sim"
 	"elmore/internal/telemetry"
 )
 
@@ -14,10 +16,12 @@ import (
 // slew propagation needs 2).
 const cacheOrder = 3
 
-// Cache is a shared moment-set cache keyed by tree fingerprint
-// (rctree.Tree.Fingerprint). Entries are immutable once computed — a
-// moments.Set is never written after Compute returns — so one set may
-// be handed to any number of concurrent workers. Each circuit is
+// Cache is a shared cache of per-circuit derived artifacts, keyed by
+// tree fingerprint (rctree.Tree.Fingerprint): moment sets, and
+// compiled simulation plans keyed additionally by (dt, method).
+// Entries are immutable once computed — a moments.Set or sim.Plan is
+// never written after construction — so one entry may be handed to any
+// number of concurrent workers. Each circuit is
 // computed exactly once: goroutines that race on a missing entry block
 // until the first one finishes, instead of duplicating work.
 //
@@ -26,8 +30,9 @@ const cacheOrder = 3
 // whose stored set disagrees with the requesting tree's node count is
 // reported as an error rather than returned.
 type Cache struct {
-	mu sync.Mutex
-	m  map[uint64]*cacheEntry
+	mu    sync.Mutex
+	m     map[uint64]*cacheEntry
+	plans map[planKey]*planEntry
 }
 
 type cacheEntry struct {
@@ -36,8 +41,29 @@ type cacheEntry struct {
 	err  error
 }
 
+// planKey identifies one compiled simulation plan: the circuit
+// fingerprint plus the exact step size (by bit pattern — plans for
+// 1e-12 and the nearest representable neighbor are distinct) and the
+// integration method.
+type planKey struct {
+	fp     uint64
+	dtBits uint64
+	method sim.Method
+}
+
+type planEntry struct {
+	once sync.Once
+	plan *sim.Plan
+	err  error
+}
+
 // NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{m: make(map[uint64]*cacheEntry)} }
+func NewCache() *Cache {
+	return &Cache{
+		m:     make(map[uint64]*cacheEntry),
+		plans: make(map[planKey]*planEntry),
+	}
+}
 
 // Moments returns the moment set for the circuit t describes, computing
 // it on first use. hit reports whether the set was already present (or
@@ -73,9 +99,56 @@ func (c *Cache) Moments(t *rctree.Tree, order int) (*moments.Set, bool, error) {
 	return e.ms, hit, nil
 }
 
-// Len returns the number of distinct circuits cached so far.
+// Plan returns a compiled simulation plan for the circuit t describes,
+// under the given fixed step and method, building it (compile + stamp +
+// factor) on first use. hit reports whether the plan was already
+// present or being built by another goroutine. Plans are immutable and
+// shared: each worker must take its own sim.Runner from the returned
+// plan. The same fingerprint-trust caveat as Moments applies — a tree
+// mutated with SetR/SetC gets a new fingerprint and therefore a new
+// plan, but mutating a tree mid-batch while another job holds its plan
+// is a caller bug.
+func (c *Cache) Plan(t *rctree.Tree, dt float64, method sim.Method) (*sim.Plan, bool, error) {
+	key := planKey{fp: t.Fingerprint(), dtBits: math.Float64bits(dt), method: method}
+	c.mu.Lock()
+	if c.plans == nil {
+		c.plans = make(map[planKey]*planEntry)
+	}
+	e, hit := c.plans[key]
+	if !hit {
+		e = &planEntry{}
+		c.plans[key] = e
+	}
+	c.mu.Unlock()
+	if hit {
+		telemetry.C("batch.plan_cache_hits").Inc()
+	} else {
+		telemetry.C("batch.plan_cache_misses").Inc()
+	}
+	e.once.Do(func() {
+		e.plan, e.err = sim.NewPlan(t, sim.PlanOptions{DT: dt, Method: method})
+	})
+	if e.err != nil {
+		return nil, hit, e.err
+	}
+	if e.plan.Tree().N() != t.N() {
+		return nil, hit, fmt.Errorf("batch: fingerprint collision: cached plan has %d nodes, tree has %d", e.plan.Tree().N(), t.N())
+	}
+	return e.plan, hit, nil
+}
+
+// Len returns the number of distinct circuits cached so far (moment
+// sets; plans are keyed separately — see PlanLen).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// PlanLen returns the number of distinct (circuit, dt, method) plans
+// cached so far.
+func (c *Cache) PlanLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.plans)
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"elmore/internal/rctree"
+	"elmore/internal/signal"
+	"elmore/internal/topo"
+)
+
+// The paper's guarantee, checked end to end: on every tree the
+// simulated 50% delay must fall inside [max(mu-sigma,0), T_D] at every
+// node, for the step and for a monotone saturated-ramp input.
+func TestVerifySimWindows(t *testing.T) {
+	trees := map[string]*rctree.Tree{
+		"fig1":   topo.Fig1Tree(),
+		"line25": topo.Line25Tree(),
+		"rand":   topo.Random(3, topo.RandomOptions{N: 150}),
+	}
+	inputs := []signal.Signal{nil, signal.SaturatedRamp{Tr: 1e-9}}
+	for name, tree := range trees {
+		for _, in := range inputs {
+			a, err := Analyze(tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checks, err := a.VerifySim(context.Background(), VerifyOptions{Input: in})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(checks) != tree.N() {
+				t.Fatalf("%s: %d checks, want %d", name, len(checks), tree.N())
+			}
+			for _, c := range checks {
+				if !c.Within {
+					t.Errorf("%s input %v node %s: measured %v outside [%v, %v] (slack %v)",
+						name, in, c.Node, c.Measured, c.Lower, c.Upper, c.Slack)
+				}
+			}
+		}
+	}
+}
+
+// A sparse probe set verifies only the requested nodes.
+func TestVerifySimSubset(t *testing.T) {
+	tree := topo.Fig1Tree()
+	a, err := Analyze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := tree.Index("C5")
+	checks, err := a.VerifySim(context.Background(), VerifyOptions{Nodes: []int{i}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 1 || checks[0].Node != "C5" {
+		t.Fatalf("checks = %+v, want one entry for C5", checks)
+	}
+	if !checks[0].Within {
+		t.Fatalf("C5 outside window: %+v", checks[0])
+	}
+}

@@ -40,16 +40,35 @@ func CapAdmittance(c float64) Admittance {
 // DownstreamAdmittances returns, for every node i, the admittance
 // moments looking downstream into node i: the local capacitor C(i) in
 // parallel with every child subtree seen through its series resistance.
-// Computed with a single post-order traversal.
+// Computed with a single upward traversal on the compiled plan.
 func DownstreamAdmittances(t *rctree.Tree) []Admittance {
-	out := make([]Admittance, t.N())
-	for _, i := range t.PostOrder() {
-		y := CapAdmittance(t.C(i))
-		for _, ch := range t.Children(i) {
-			y = y.Parallel(out[ch].SeriesR(t.R(ch)))
+	cp := rctree.Compile(t)
+	n := cp.N()
+	acc := make([]Admittance, n) // compiled-order
+	out := make([]Admittance, n) // user-order
+	if !cp.ParallelOK() {
+		// Plain loop: the closure form below escapes to the heap, and
+		// small nets should not pay that allocation.
+		for i := n - 1; i >= 0; i-- {
+			y := CapAdmittance(cp.C[i])
+			for ch := cp.ChildStart[i]; ch < cp.ChildStart[i+1]; ch++ {
+				y = y.Parallel(acc[ch].SeriesR(cp.R[ch]))
+			}
+			acc[i] = y
+			out[cp.ToUser[i]] = y
 		}
-		out[i] = y
+		return out
 	}
+	cp.EachLevelUp(true, func(lo, hi int) {
+		for i := hi - 1; i >= lo; i-- {
+			y := CapAdmittance(cp.C[i])
+			for ch := cp.ChildStart[i]; ch < cp.ChildStart[i+1]; ch++ {
+				y = y.Parallel(acc[ch].SeriesR(cp.R[ch]))
+			}
+			acc[i] = y
+			out[cp.ToUser[i]] = y
+		}
+	})
 	return out
 }
 

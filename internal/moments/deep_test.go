@@ -1,0 +1,79 @@
+package moments
+
+import (
+	"testing"
+
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+// The compiled moment kernels must handle the degenerate extremes — a
+// million-level chain and a hundred-thousand-wide star — and the
+// forced level-parallel schedule must reproduce the serial sweep
+// bit-for-bit on both.
+func TestComputeDegenerateExtremes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep-topology stress test")
+	}
+	for _, tc := range []struct {
+		name  string
+		tree  *rctree.Tree
+		order int
+	}{
+		{"chain1M", topo.Chain(1_000_000, 1, 1e-15), 2},
+		{"star100k", topo.Star(100_000, 1, 50, 2e-14), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := rctree.Compile(tc.tree)
+			mk := func(parallel bool) *Set {
+				s := &Set{tree: tc.tree, order: tc.order, m: make([][]float64, tc.order+1)}
+				for q := range s.m {
+					s.m[q] = make([]float64, tc.tree.N())
+				}
+				computeCompiled(cp, s, parallel)
+				return s
+			}
+			serial, par := mk(false), mk(true)
+			for q := 1; q <= tc.order; q++ {
+				for i := 0; i < tc.tree.N(); i++ {
+					if serial.m[q][i] != par.m[q][i] {
+						t.Fatalf("m[%d][%d]: serial %v != parallel %v",
+							q, i, serial.m[q][i], par.m[q][i])
+					}
+				}
+			}
+			tdS := make([]float64, tc.tree.N())
+			tdP := make([]float64, tc.tree.N())
+			elmoreCompiled(cp, tdS, false)
+			elmoreCompiled(cp, tdP, true)
+			for i := range tdS {
+				if tdS[i] != tdP[i] {
+					t.Fatalf("td[%d]: serial %v != parallel %v", i, tdS[i], tdP[i])
+				}
+			}
+			// Anchor the Elmore delays against closed forms (the O(N^2)
+			// definitional oracle is too slow at this scale). For the
+			// uniform chain, R_ki = min(i,k)+1 gives
+			// T_D(i) = c*(i(i+1)/2 + (N-i)(i+1)); for the star every
+			// leaf sees T_D = r_hub*C_total + r_leaf*c_leaf.
+			n := tc.tree.N()
+			anchor := func(i int, want float64) {
+				t.Helper()
+				got := tdS[i]
+				if diff := got - want; diff > 1e-9*want || diff < -1e-9*want {
+					t.Fatalf("node %d: Elmore %v, want %v", i, got, want)
+				}
+			}
+			if tc.name == "chain1M" {
+				for _, i := range []int{0, n / 2, n - 1} {
+					fi, fn := float64(i), float64(n)
+					anchor(i, 1e-15*(fi*(fi+1)/2+(fn-fi)*(fi+1)))
+				}
+			} else {
+				ctotal := float64(n) * 2e-14
+				anchor(0, 50*ctotal)            // hub
+				anchor(n-1, 50*ctotal+50*2e-14) // any leaf
+			}
+		})
+	}
+}

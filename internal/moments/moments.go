@@ -34,6 +34,14 @@ type Set struct {
 
 // Compute returns the transfer-function moments m_0..m_order at every
 // node of the tree. order must be >= 1. Cost is O(order * N).
+//
+// The recurrences run on the tree's compiled structure-of-arrays plan
+// (rctree.Compile): contiguous value arrays in breadth-first order,
+// with no permutation indirection in either traversal direction. On
+// large trees with wide levels the per-order passes execute in
+// parallel across depth levels; the kernels are written in gather form
+// (each node reads only its children or its parent), so the parallel
+// schedule is bit-identical to the serial sweep.
 func Compute(t *rctree.Tree, order int) (*Set, error) {
 	if order < 1 {
 		return nil, fmt.Errorf("moments: order must be >= 1, got %d", order)
@@ -46,35 +54,90 @@ func Compute(t *rctree.Tree, order int) (*Set, error) {
 	for i := 0; i < n; i++ {
 		s.m[0][i] = 1 // m_0 = DC gain = 1 at every node of an RC tree
 	}
-
-	// Recurrence (from KCL in the Laplace domain):
-	//   m_q(i) = - sum_k R_ki * C_k * m_{q-1}(k)
-	// computed per order with one upward pass (subtree sums of the
-	// "moment weights" w_k = C_k m_{q-1}(k)) and one downward pass
-	// (accumulate R_i * subtreeSum along each path).
-	down := make([]float64, n)
-	acc := make([]float64, n)
-	for q := 1; q <= order; q++ {
-		prev := s.m[q-1]
-		for _, i := range t.PostOrder() {
-			down[i] = t.C(i) * prev[i]
-			for _, ch := range t.Children(i) {
-				down[i] += down[ch]
-			}
-		}
-		for _, i := range t.PreOrder() {
-			parentAcc := 0.0
-			if p := t.Parent(i); p != rctree.Source {
-				parentAcc = acc[p]
-			}
-			acc[i] = parentAcc + t.R(i)*down[i]
-			s.m[q][i] = -acc[i]
-		}
-	}
+	cp := rctree.Compile(t)
+	computeCompiled(cp, s, cp.ParallelOK())
 	telemetry.C("moments.computes").Inc()
 	telemetry.C("moments.traversals").Add(2 * int64(order))
 	telemetry.C("moments.node_visits").Add(2 * int64(order) * int64(n))
 	return s, nil
+}
+
+// computeCompiled fills s.m[1..order] (user-indexed) from the compiled
+// plan. Split out so tests can force both the serial and the parallel
+// schedule and compare bit-for-bit.
+//
+// Recurrence (from KCL in the Laplace domain):
+//
+//	m_q(i) = - sum_k R_ki * C_k * m_{q-1}(k)
+//
+// computed per order with one upward pass (subtree sums of the "moment
+// weights" w_k = C_k m_{q-1}(k)) and one downward pass that accumulates
+// m_q(i) = m_q(parent) - R(i) * subtreeSum(i) along each path.
+func computeCompiled(cp *rctree.Compiled, s *Set, parallel bool) {
+	n := cp.N()
+	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
+	// Two swap buffers: prev holds m_{q-1}; work accumulates the
+	// downstream sums and is then rewritten in place with m_q (slot i is
+	// read before it is written, and a parent's slot is final — level
+	// barrier — before any child reads it), becoming the next prev.
+	prev := make([]float64, n)
+	work := make([]float64, n)
+	for i := range prev {
+		prev[i] = 1
+	}
+	if !parallel {
+		// Plain loops: the closure forms below escape to the heap, and
+		// small nets should not pay those allocations.
+		for q := 1; q <= s.order; q++ {
+			for i := n - 1; i >= 0; i-- {
+				d := c[i] * prev[i]
+				for ch := cs[i]; ch < cs[i+1]; ch++ {
+					d += work[ch]
+				}
+				work[i] = d
+			}
+			for i := 0; i < n; i++ {
+				m := -(r[i] * work[i])
+				if p := par[i]; p != rctree.Source {
+					m += work[p]
+				}
+				work[i] = m
+			}
+			mq := s.m[q]
+			for i := 0; i < n; i++ {
+				mq[toUser[i]] = work[i]
+			}
+			prev, work = work, prev
+		}
+		return
+	}
+	up := func(lo, hi int) {
+		for i := hi - 1; i >= lo; i-- {
+			d := c[i] * prev[i]
+			for ch := cs[i]; ch < cs[i+1]; ch++ {
+				d += work[ch]
+			}
+			work[i] = d
+		}
+	}
+	dn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := -(r[i] * work[i])
+			if p := par[i]; p != rctree.Source {
+				m += work[p]
+			}
+			work[i] = m
+		}
+	}
+	for q := 1; q <= s.order; q++ {
+		cp.EachLevelUp(true, up)
+		cp.EachLevelDown(true, dn)
+		mq := s.m[q]
+		for i := 0; i < n; i++ {
+			mq[toUser[i]] = work[i]
+		}
+		prev, work = work, prev
+	}
 }
 
 // Tree returns the tree the moments were computed for.
@@ -162,19 +225,65 @@ func factorial(n int) float64 {
 
 // ElmoreDelays computes the Elmore delay at every node with the classic
 // two-traversal algorithm (downstream capacitances up, delay
-// accumulation down), without allocating a full moment Set.
+// accumulation down), without allocating a full moment Set. Both
+// traversals run on the compiled structure-of-arrays plan, level-
+// parallel on large bushy trees.
 func ElmoreDelays(t *rctree.Tree) []float64 {
-	n := t.N()
-	down := t.DownstreamC()
-	td := make([]float64, n)
-	for _, i := range t.PreOrder() {
-		parent := 0.0
-		if p := t.Parent(i); p != rctree.Source {
-			parent = td[p]
-		}
-		td[i] = parent + t.R(i)*down[i]
-	}
+	cp := rctree.Compile(t)
+	td := make([]float64, cp.N())
+	elmoreCompiled(cp, td, cp.ParallelOK())
 	return td
+}
+
+// elmoreCompiled fills td (user-indexed) with Elmore delays. The
+// downward pass accumulates into the down buffer in place: down[i] is
+// read before slot i is overwritten, and a parent's slot is fully
+// rewritten (level barrier) before any child reads it. The serial path
+// runs plain loops so small nets pay no closure allocations.
+func elmoreCompiled(cp *rctree.Compiled, td []float64, parallel bool) {
+	n := cp.N()
+	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
+	down := make([]float64, n)
+	acc := down // acc[i] overwrites down[i] only after it is consumed
+	if !parallel {
+		// Plain loops: the closure forms below escape to the heap, and
+		// small nets should not pay those allocations.
+		for i := n - 1; i >= 0; i-- {
+			d := c[i]
+			for ch := cs[i]; ch < cs[i+1]; ch++ {
+				d += down[ch]
+			}
+			down[i] = d
+		}
+		for i := 0; i < n; i++ {
+			a := r[i] * down[i]
+			if p := par[i]; p != rctree.Source {
+				a += acc[p]
+			}
+			acc[i] = a
+			td[toUser[i]] = a
+		}
+		return
+	}
+	cp.EachLevelUp(true, func(lo, hi int) {
+		for i := hi - 1; i >= lo; i-- {
+			d := c[i]
+			for ch := cs[i]; ch < cs[i+1]; ch++ {
+				d += down[ch]
+			}
+			down[i] = d
+		}
+	})
+	cp.EachLevelDown(true, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := r[i] * down[i]
+			if p := par[i]; p != rctree.Source {
+				a += acc[p]
+			}
+			acc[i] = a
+			td[toUser[i]] = a
+		}
+	})
 }
 
 // ElmoreDelayDirect computes T_D(i) = sum_k R_ki C_k by the O(N^2)

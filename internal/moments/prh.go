@@ -23,7 +23,10 @@ type PRHTerms struct {
 	down []float64 // downstream capacitance per node
 }
 
-// ComputePRH computes the PRH bound terms for a tree.
+// ComputePRH computes the PRH bound terms for a tree. The path-
+// resistance accumulation runs on the compiled plan like the other
+// O(N) traversals; the T_P reduction keeps the historical pre-order
+// summation order so results are reproducible across releases.
 func ComputePRH(t *rctree.Tree) *PRHTerms {
 	n := t.N()
 	p := &PRHTerms{
@@ -32,12 +35,32 @@ func ComputePRH(t *rctree.Tree) *PRHTerms {
 		rkk:  make([]float64, n),
 		down: t.DownstreamC(),
 	}
-	for _, i := range t.PreOrder() {
-		parent := 0.0
-		if pa := t.Parent(i); pa != rctree.Source {
-			parent = p.rkk[pa]
+	cp := rctree.Compile(t)
+	rkkC := make([]float64, n) // compiled-order workspace
+	if !cp.ParallelOK() {
+		// Plain loop: the closure form below escapes to the heap, and
+		// small nets should not pay that allocation.
+		for i := 0; i < n; i++ {
+			a := cp.R[i]
+			if pa := cp.Parent[i]; pa != rctree.Source {
+				a += rkkC[pa]
+			}
+			rkkC[i] = a
+			p.rkk[cp.ToUser[i]] = a
 		}
-		p.rkk[i] = parent + t.R(i)
+	} else {
+		cp.EachLevelDown(true, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := cp.R[i]
+				if pa := cp.Parent[i]; pa != rctree.Source {
+					a += rkkC[pa]
+				}
+				rkkC[i] = a
+				p.rkk[cp.ToUser[i]] = a
+			}
+		})
+	}
+	for _, i := range t.PreOrder() {
 		p.TP += p.rkk[i] * t.C(i)
 	}
 	return p

@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Source is the pseudo-index used for the voltage-source node. It appears
@@ -42,6 +43,15 @@ type Tree struct {
 	byName map[string]int
 	post   []int // cached post-order
 	pre    []int // cached pre-order (parents before children)
+	roots  []int // cached root indices (parent == Source), in index order
+
+	// gen counts element-value mutations (SetR/SetC); compiled caches
+	// the current structure-of-arrays plan for that generation. Both
+	// are atomic so concurrent readers (Compile from parallel workers)
+	// never race with each other; mutating a tree concurrently with
+	// readers remains unsupported, as documented on SetR/SetC.
+	gen      atomic.Uint64
+	compiled atomic.Pointer[Compiled]
 }
 
 // N returns the number of nodes in the tree (excluding the source).
@@ -67,16 +77,10 @@ func (t *Tree) Depth(i int) int { return t.nodes[i].depth }
 // owned by the tree and must not be modified.
 func (t *Tree) Children(i int) []int { return t.nodes[i].children }
 
-// Roots returns the indices of all nodes attached directly to the source.
-func (t *Tree) Roots() []int {
-	var roots []int
-	for i := range t.nodes {
-		if t.nodes[i].parent == Source {
-			roots = append(roots, i)
-		}
-	}
-	return roots
-}
+// Roots returns the indices of all nodes attached directly to the
+// source. The slice is computed once at Build time and owned by the
+// tree; it must not be modified.
+func (t *Tree) Roots() []int { return t.roots }
 
 // Leaves returns the indices of all childless nodes, in index order.
 func (t *Tree) Leaves() []int {
@@ -106,24 +110,29 @@ func (t *Tree) MustIndex(name string) int {
 }
 
 // SetR updates the resistance of node i. It returns an error if r is not
-// a positive finite value.
+// a positive finite value. SetR invalidates cached derived artifacts:
+// fingerprints computed earlier are stale, and compiled execution plans
+// (Compile) rebuild on next use.
 func (t *Tree) SetR(i int, r float64) error {
 	if err := checkR(r); err != nil {
 		return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
 	}
 	t.nodes[i].r = r
+	t.gen.Add(1)
 	return nil
 }
 
 // SetC updates the grounded capacitance of node i. It returns an error if
 // c is negative or not finite. A zero capacitance is allowed (a pure
 // resistive junction), though at least one node in the tree must carry
-// nonzero capacitance for the circuit to have dynamics.
+// nonzero capacitance for the circuit to have dynamics. Like SetR it
+// invalidates cached fingerprints and compiled plans.
 func (t *Tree) SetC(i int, c float64) error {
 	if err := checkC(c); err != nil {
 		return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
 	}
 	t.nodes[i].c = c
+	t.gen.Add(1)
 	return nil
 }
 
@@ -135,6 +144,7 @@ func (t *Tree) Clone() *Tree {
 		byName: make(map[string]int, len(t.byName)),
 		post:   append([]int(nil), t.post...),
 		pre:    append([]int(nil), t.pre...),
+		roots:  append([]int(nil), t.roots...),
 	}
 	copy(cp.nodes, t.nodes)
 	for i := range cp.nodes {
@@ -220,16 +230,38 @@ func (t *Tree) SharedPathResistance(i, k int) float64 {
 
 // DownstreamC returns, for every node i, the total capacitance of the
 // subtree rooted at i (including C(i) itself). This is the one-pass
-// upward traversal used by the O(N) Elmore computation.
+// upward traversal used by the O(N) Elmore computation; it runs on the
+// compiled structure-of-arrays plan, level-parallel on large bushy
+// trees.
 func (t *Tree) DownstreamC() []float64 {
-	down := make([]float64, len(t.nodes))
-	for _, i := range t.post {
-		down[i] = t.nodes[i].c
-		for _, ch := range t.nodes[i].children {
-			down[i] += down[ch]
+	cp := Compile(t)
+	out := make([]float64, len(t.nodes))
+	n := cp.N()
+	down := make([]float64, n)
+	if !cp.ParallelOK() {
+		// Plain loop: the closure form below escapes to the heap, and
+		// small nets should not pay that allocation.
+		for i := n - 1; i >= 0; i-- {
+			d := cp.C[i]
+			for ch := cp.ChildStart[i]; ch < cp.ChildStart[i+1]; ch++ {
+				d += down[ch]
+			}
+			down[i] = d
+			out[cp.ToUser[i]] = d
 		}
+		return out
 	}
-	return down
+	cp.EachLevelUp(true, func(lo, hi int) {
+		for i := hi - 1; i >= lo; i-- {
+			d := cp.C[i]
+			for ch := cp.ChildStart[i]; ch < cp.ChildStart[i+1]; ch++ {
+				d += down[ch]
+			}
+			down[i] = d
+			out[cp.ToUser[i]] = d
+		}
+	})
+	return out
 }
 
 // Subtree returns a new Tree consisting of node i and all its
@@ -469,6 +501,11 @@ func (b *Builder) Build() (*Tree, error) {
 
 func (t *Tree) computeOrders() {
 	n := len(t.nodes)
+	for i := range t.nodes {
+		if t.nodes[i].parent == Source {
+			t.roots = append(t.roots, i)
+		}
+	}
 	t.pre = make([]int, 0, n)
 	t.post = make([]int, 0, n)
 	// Iterative DFS to keep very deep chains (used in benches) from
@@ -516,6 +553,13 @@ func (t *Tree) Fingerprint() uint64 {
 	mix(uint64(len(t.nodes)))
 	for i := range t.nodes {
 		n := &t.nodes[i]
+		// Length-prefix the name so its bytes cannot be confused with
+		// the fixed-width fields that follow: without it, shifting
+		// bytes between a name and the adjacent mixed fields (or an
+		// adjacent name) can produce the same byte stream for two
+		// different circuits — a cache-poisoning hazard for consumers
+		// that share derived artifacts by fingerprint.
+		mix(uint64(len(n.name)))
 		for j := 0; j < len(n.name); j++ {
 			h ^= uint64(n.name[j])
 			h *= prime

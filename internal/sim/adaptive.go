@@ -13,20 +13,24 @@ import (
 // stepper advances the per-row θ-method by one fixed step; it owns the
 // assembled matrices for one step size and can be rebuilt cheaply
 // (O(N)) when the step changes — the property that makes adaptive
-// stepping on trees inexpensive.
+// stepping on trees inexpensive. All state vectors are in compiled
+// index order.
 type stepper struct {
-	tree  *rctree.Tree
-	in    signal.Signal
-	theta []float64
-	g     []float64
-	bvec  []float64
-	dt    float64
-	f     *treeLU
-	gv    []float64
+	tree     *rctree.Tree
+	cpl      *rctree.Compiled
+	in       signal.Signal
+	parallel bool
+	theta    []float64
+	omTheta  []float64
+	g        []float64
+	bvec     []float64
+	dt       float64
+	f        *treeLU
+	// stamping workspaces, reused across refactorizations
+	diag, rowChild, rowParent []float64
 }
 
 func newStepper(t *rctree.Tree, in signal.Signal, method Method) (*stepper, error) {
-	n := t.N()
 	var aMethod float64
 	switch method {
 	case Trapezoidal:
@@ -36,22 +40,30 @@ func newStepper(t *rctree.Tree, in signal.Signal, method Method) (*stepper, erro
 	default:
 		return nil, fmt.Errorf("sim: unknown method %v", method)
 	}
+	cpl := rctree.Compile(t)
+	n := cpl.N()
 	s := &stepper{
-		tree:  t,
-		in:    in,
-		theta: make([]float64, n),
-		g:     make([]float64, n),
-		bvec:  make([]float64, n),
-		gv:    make([]float64, n),
+		tree:      t,
+		cpl:       cpl,
+		in:        in,
+		parallel:  cpl.ParallelOK(),
+		theta:     make([]float64, n),
+		omTheta:   make([]float64, n),
+		g:         make([]float64, n),
+		bvec:      make([]float64, n),
+		diag:      make([]float64, n),
+		rowChild:  make([]float64, n),
+		rowParent: make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
-		if t.C(i) == 0 {
+		if cpl.C[i] == 0 {
 			s.theta[i] = 1
 		} else {
 			s.theta[i] = aMethod
 		}
-		s.g[i] = 1 / t.R(i)
-		if t.Parent(i) == rctree.Source {
+		s.omTheta[i] = 1 - s.theta[i]
+		s.g[i] = 1 / cpl.R[i]
+		if cpl.Parent[i] == rctree.Source {
 			s.bvec[i] = s.g[i]
 		}
 	}
@@ -60,52 +72,52 @@ func newStepper(t *rctree.Tree, in signal.Signal, method Method) (*stepper, erro
 
 // refactor assembles and factors the system matrix for step size dt.
 func (s *stepper) refactor(dt float64) error {
-	t := s.tree
-	n := t.N()
-	diag := make([]float64, n)
-	rowChild := make([]float64, n)
-	rowParent := make([]float64, n)
+	n := s.cpl.N()
+	cOverDt := s.diag // reuse: stampCompiled overwrites diag anyway
+	c := s.cpl.C
 	for i := 0; i < n; i++ {
-		diag[i] += t.C(i)/dt + s.theta[i]*s.g[i]
-		if p := t.Parent(i); p != rctree.Source {
-			diag[p] += s.theta[p] * s.g[i]
-			rowChild[i] = -s.theta[i] * s.g[i]
-			rowParent[i] = -s.theta[p] * s.g[i]
-		}
+		cOverDt[i] = c[i] / dt
 	}
-	f, err := factorTree(t, diag, rowChild, rowParent)
+	// cOverDt aliases diag; stampCompiled reads cOverDt[i] before
+	// writing diag[i], and only at the same index, so the alias is safe.
+	stampCompiled(s.cpl, s.theta, s.g, cOverDt, s.diag, s.rowChild, s.rowParent, s.parallel)
+	f, err := factorCompiled(s.cpl, s.diag, s.rowChild, s.rowParent, s.tree.Name, s.parallel)
 	if err != nil {
 		return err
 	}
+	// factorCompiled retains rowChild; detach it so the next refactor
+	// does not scribble over the factorization still in use.
+	s.rowChild = make([]float64, n)
 	s.f = f
 	s.dt = dt
 	return nil
 }
 
-// step advances v (in place, via out) from tPrev by the factored dt.
-// v and out may alias distinct slices; out receives the new state.
+// step advances v (compiled order) from tPrev by the factored dt; out
+// receives the new state. v and out must be distinct slices.
 func (s *stepper) step(v, out []float64, tPrev float64) {
-	t := s.tree
-	n := t.N()
-	for i := range s.gv {
-		s.gv[i] = 0
-	}
-	for i := 0; i < n; i++ {
-		if p := t.Parent(i); p != rctree.Source {
-			cur := s.g[i] * (v[i] - v[p])
-			s.gv[i] += cur
-			s.gv[p] -= cur
-		} else {
-			s.gv[i] += s.g[i] * v[i]
-		}
-	}
+	cpl := s.cpl
+	n := cpl.N()
+	cs, par, c := cpl.ChildStart, cpl.Parent, cpl.C
+	g, bvec, theta, omTheta := s.g, s.bvec, s.theta, s.omTheta
 	uPrev := s.in.Eval(tPrev)
 	uCur := s.in.Eval(tPrev + s.dt)
+	dt := s.dt
 	for i := 0; i < n; i++ {
-		uTerm := s.theta[i]*uCur + (1-s.theta[i])*uPrev
-		out[i] = t.C(i)/s.dt*v[i] - (1-s.theta[i])*s.gv[i] + s.bvec[i]*uTerm
+		var cur float64
+		if pa := par[i]; pa != rctree.Source {
+			cur = g[i] * (v[i] - v[pa])
+		} else {
+			cur = g[i] * v[i]
+		}
+		gv := cur
+		for ch := cs[i]; ch < cs[i+1]; ch++ {
+			gv -= g[ch] * (v[ch] - v[i])
+		}
+		uTerm := theta[i]*uCur + omTheta[i]*uPrev
+		out[i] = c[i]/dt*v[i] - omTheta[i]*gv + bvec[i]*uTerm
 	}
-	s.f.solve(out)
+	s.f.solve(out, s.parallel)
 }
 
 // RunAdaptive integrates with step-doubling local error control: each
@@ -157,6 +169,7 @@ func RunAdaptiveContext(ctx context.Context, t *rctree.Tree, opts Options, tol f
 	if err != nil {
 		return nil, err
 	}
+	fromUser := st.cpl.FromUser
 
 	probes := opts.Probes
 	if len(probes) == 0 {
@@ -166,21 +179,24 @@ func RunAdaptiveContext(ctx context.Context, t *rctree.Tree, opts Options, tol f
 		}
 	}
 	res := &Result{probes: make(map[int]int, len(probes)), values: make([][]float64, len(probes))}
+	src := make([]int32, len(probes)) // row -> compiled index
 	for row, node := range probes {
 		if node < 0 || node >= n {
 			return nil, fmt.Errorf("sim: probe index %d out of range [0,%d)", node, n)
 		}
 		res.probes[node] = row
+		src[row] = fromUser[node]
 	}
 
+	// State vectors live in compiled order; probes read through src.
 	v := make([]float64, n)
 	full := make([]float64, n)
 	half := make([]float64, n)
 	half2 := make([]float64, n)
 	record := func(tm float64) {
 		res.Times = append(res.Times, tm)
-		for row, node := range probes {
-			res.values[row] = append(res.values[row], v[node])
+		for row := range probes {
+			res.values[row] = append(res.values[row], v[src[row]])
 		}
 	}
 	record(0)

@@ -9,8 +9,9 @@ import (
 	"elmore/internal/topo"
 )
 
-// The tree LDL^T solver must match a dense LU solve on the same matrix.
-func TestTreeLDLMatchesDense(t *testing.T) {
+// The compiled tree solver must match a dense LU solve on the same
+// matrix, through the user->compiled permutation and back.
+func TestTreeLUMatchesDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 30; trial++ {
 		tree := topo.RandomSmall(rng.Int63(), 25)
@@ -39,16 +40,49 @@ func TestTreeLDLMatchesDense(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: dense solve: %v", trial, err)
 		}
-		f, err := factorTree(tree, diag, offd, offd)
-		if err != nil {
-			t.Fatalf("trial %d: factorTree: %v", trial, err)
+		// Permute the user-indexed system into compiled order.
+		cp := rctree.Compile(tree)
+		diagC := make([]float64, n)
+		offdC := make([]float64, n)
+		rhsC := make([]float64, n)
+		for ci := 0; ci < n; ci++ {
+			ui := cp.ToUser[ci]
+			diagC[ci] = diag[ui]
+			offdC[ci] = offd[ui]
+			rhsC[ci] = rhs[ui]
 		}
-		got := append([]float64(nil), rhs...)
-		f.solve(got)
-		for i := range want {
-			if !approx(got[i], want[i], 1e-8) {
-				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+		for _, parallel := range []bool{false, true} {
+			f, err := factorCompiled(cp, diagC, offdC, offdC, tree.Name, parallel)
+			if err != nil {
+				t.Fatalf("trial %d: factorCompiled: %v", trial, err)
 			}
+			got := append([]float64(nil), rhsC...)
+			f.solve(got, parallel)
+			for i := range want {
+				if !approx(got[cp.FromUser[i]], want[i], 1e-8) {
+					t.Fatalf("trial %d (parallel=%v): x[%d] = %v, want %v",
+						trial, parallel, i, got[cp.FromUser[i]], want[i])
+				}
+			}
+		}
+	}
+}
+
+// A non-positive pivot must be reported with the offending node's name,
+// under both the serial and the level-parallel factorization.
+func TestFactorRejectsBadPivot(t *testing.T) {
+	tree := topo.Chain(4, 1, 1e-15)
+	cp := rctree.Compile(tree)
+	n := cp.N()
+	diag := make([]float64, n)
+	offd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = -1 // every pivot negative
+	}
+	for _, parallel := range []bool{false, true} {
+		_, err := factorCompiled(cp, diag, offd, offd, tree.Name, parallel)
+		if err == nil {
+			t.Fatalf("parallel=%v: factorCompiled accepted a negative diagonal", parallel)
 		}
 	}
 }

@@ -11,12 +11,17 @@
 // stable on algebraic constraints (it rings forever), so those rows are
 // always integrated with the backward-Euler weight — a per-row
 // θ-method. Rows with capacitance use the selected method.
+//
+// All kernels run on the compiled structure-of-arrays plan from
+// rctree.Compile. One-shot runs go through Run; repeated runs over the
+// same tree and step (characterization sweeps, batch verification)
+// should build a Plan once and execute it many times — see Plan,
+// Runner, and Runner.RunInto for the zero-allocation path.
 package sim
 
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
@@ -61,11 +66,15 @@ type Options struct {
 	Probes []int
 }
 
-// Result holds the sampled node voltages of a transient run.
+// Result holds the sampled node voltages of a transient run. A Result
+// is not safe for concurrent use: Cross and Waveform build and memoize
+// per-node waveforms on first access.
 type Result struct {
 	Times  []float64
-	probes map[int]int // node index -> row in values
-	values [][]float64 // values[row][step]
+	probes map[int]int          // node index -> row in values
+	values [][]float64          // values[row][step]
+	srcRow []int32              // row -> compiled index sampled by plan runs
+	wfs    []*waveform.Waveform // row -> lazily built waveform (Cross cache)
 }
 
 // Voltages returns the recorded samples for a probed node (the slice is
@@ -78,18 +87,40 @@ func (r *Result) Voltages(node int) ([]float64, error) {
 	return r.values[row], nil
 }
 
-// Waveform returns the recorded response at a probed node.
-func (r *Result) Waveform(node int) (*waveform.Waveform, error) {
-	v, err := r.Voltages(node)
+// waveformRow returns the memoized waveform for a probe row, building
+// it on first access. Repeated Cross/Waveform calls on the same node
+// reuse the one monotone-time validation and sample copy.
+func (r *Result) waveformRow(node int) (*waveform.Waveform, error) {
+	row, ok := r.probes[node]
+	if !ok {
+		return nil, fmt.Errorf("sim: node %d was not probed", node)
+	}
+	if r.wfs == nil {
+		r.wfs = make([]*waveform.Waveform, len(r.values))
+	}
+	if w := r.wfs[row]; w != nil {
+		return w, nil
+	}
+	w, err := waveform.New(r.Times, r.values[row])
 	if err != nil {
 		return nil, err
 	}
-	return waveform.New(r.Times, v)
+	r.wfs[row] = w
+	return w, nil
+}
+
+// Waveform returns the recorded response at a probed node. The
+// waveform is built once per node and shared between calls (and with
+// Cross); treat it as read-only.
+func (r *Result) Waveform(node int) (*waveform.Waveform, error) {
+	return r.waveformRow(node)
 }
 
 // Cross returns the first time a probed node's sampled waveform
 // reaches the level in the upward direction, linearly interpolated
-// between samples.
+// between samples. The node's waveform is built lazily on the first
+// call and reused by subsequent calls, so sweeping many levels over
+// one node costs one waveform construction.
 //
 // Error contract:
 //   - a node that was not probed returns an error immediately;
@@ -103,11 +134,7 @@ func (r *Result) Waveform(node int) (*waveform.Waveform, error) {
 //     returned, even if the waveform later falls back below the level;
 //     later crossings are not reported.
 func (r *Result) Cross(node int, level float64) (float64, error) {
-	v, err := r.Voltages(node)
-	if err != nil {
-		return 0, err
-	}
-	w, err := waveform.New(r.Times, v)
+	w, err := r.waveformRow(node)
 	if err != nil {
 		return 0, err
 	}
@@ -116,60 +143,6 @@ func (r *Result) Cross(node int, level float64) (float64, error) {
 		return 0, fmt.Errorf("sim: node %d never crosses %v within the horizon", node, level)
 	}
 	return x, nil
-}
-
-// treeLU is the zero-fill-in LU factorization of a (possibly
-// asymmetric) matrix with the tree's sparsity: a diagonal plus, for
-// every node i with parent p, the entries M[i][p] (rowChildCoef) and
-// M[p][i] (rowParentCoef). Eliminating children before parents
-// (post-order) touches only the parent's diagonal, so there is no
-// fill-in and no pivoting — safe for the diagonally dominant M-matrices
-// produced by MNA stamping.
-type treeLU struct {
-	tree *rctree.Tree
-	d    []float64 // eliminated pivots
-	mult []float64 // per-child multiplier: M[p][i] / d[i]
-	cp   []float64 // original M[i][parent] entries
-}
-
-func factorTree(t *rctree.Tree, diag, rowChildCoef, rowParentCoef []float64) (*treeLU, error) {
-	n := t.N()
-	f := &treeLU{
-		tree: t,
-		d:    append([]float64(nil), diag...),
-		mult: make([]float64, n),
-		cp:   rowChildCoef,
-	}
-	for _, i := range t.PostOrder() {
-		if f.d[i] <= 0 {
-			return nil, fmt.Errorf("sim: non-positive pivot %g at node %q", f.d[i], t.Name(i))
-		}
-		if p := t.Parent(i); p != rctree.Source {
-			f.mult[i] = rowParentCoef[i] / f.d[i]
-			f.d[p] -= f.mult[i] * rowChildCoef[i]
-		}
-	}
-	return f, nil
-}
-
-// solve solves M x = rhs in place (rhs is overwritten with x).
-func (f *treeLU) solve(rhs []float64) {
-	t := f.tree
-	// Forward elimination in post-order.
-	for _, i := range t.PostOrder() {
-		if p := t.Parent(i); p != rctree.Source {
-			rhs[p] -= f.mult[i] * rhs[i]
-		}
-	}
-	// Back substitution in pre-order: each child row still couples to
-	// its parent's (already computed) solution.
-	for _, i := range t.PreOrder() {
-		x := rhs[i]
-		if p := t.Parent(i); p != rctree.Source {
-			x -= f.cp[i] * rhs[p]
-		}
-		rhs[i] = x / f.d[i]
-	}
 }
 
 // Run integrates the tree's node equations over [0, TEnd].
@@ -181,6 +154,10 @@ func Run(t *rctree.Tree, opts Options) (*Result, error) {
 // the run is recorded as a span (node count, step count, dt, method),
 // and step/factorization counts and the horizon flow into the metrics
 // registry. With telemetry disabled the overhead is a few nil checks.
+//
+// RunContext builds a one-shot Plan (compile + stamp + factor) and
+// executes it. Callers that simulate the same tree with the same step
+// repeatedly should hold a Plan instead and amortize that setup.
 func RunContext(ctx context.Context, t *rctree.Tree, opts Options) (*Result, error) {
 	n := t.N()
 	_, sp := telemetry.Start(ctx, "sim.run")
@@ -202,126 +179,18 @@ func RunContext(ctx context.Context, t *rctree.Tree, opts Options) (*Result, err
 	if dt <= 0 {
 		dt = tEnd / 4096
 	}
-	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
-		return nil, fmt.Errorf("sim: invalid time step %v", dt)
-	}
-	// The 1e-9 slack absorbs float division noise (20ns/10ps must be
-	// 2000 steps, not 2001).
-	steps := int(math.Ceil(tEnd/dt - 1e-9))
-	if steps < 1 {
-		return nil, fmt.Errorf("sim: horizon %v shorter than step %v", tEnd, dt)
-	}
-	sp.AttrInt("steps", int64(steps))
-	sp.AttrFloat("dt_seconds", dt)
-
-	// Per-row θ-method: row i solves
-	//   C_i/dt v' + θ_i (G v')_i = C_i/dt v - (1-θ_i)(G v)_i + b_i u_i
-	// with u_i = θ_i u(t') + (1-θ_i) u(t). Capacitive rows use the
-	// selected method's weight; zero-capacitance rows always use θ = 1.
-	var aMethod float64
-	switch opts.Method {
-	case Trapezoidal:
-		aMethod = 0.5
-	case BackwardEuler:
-		aMethod = 1
-	default:
-		return nil, fmt.Errorf("sim: unknown method %v", opts.Method)
-	}
-	theta := make([]float64, n)
-	for i := 0; i < n; i++ {
-		if t.C(i) == 0 {
-			theta[i] = 1
-		} else {
-			theta[i] = aMethod
-		}
-	}
-
-	// Assemble the tree-sparse system matrix.
-	g := make([]float64, n) // series conductance of each node's resistor
-	diag := make([]float64, n)
-	rowChild := make([]float64, n)  // M[i][parent(i)]
-	rowParent := make([]float64, n) // M[parent(i)][i]
-	bvec := make([]float64, n)      // source coupling
-	for i := 0; i < n; i++ {
-		g[i] = 1 / t.R(i)
-		diag[i] += t.C(i)/dt + theta[i]*g[i]
-		if p := t.Parent(i); p != rctree.Source {
-			diag[p] += theta[p] * g[i]
-			rowChild[i] = -theta[i] * g[i]
-			rowParent[i] = -theta[p] * g[i]
-		} else {
-			bvec[i] = g[i]
-		}
-	}
-	f, err := factorTree(t, diag, rowChild, rowParent)
+	p, err := NewPlan(t, PlanOptions{DT: dt, Method: opts.Method})
 	if err != nil {
 		return nil, err
 	}
-
-	probes := opts.Probes
-	if len(probes) == 0 {
-		probes = make([]int, n)
-		for i := range probes {
-			probes[i] = i
-		}
+	res := &Result{}
+	if err := p.Runner().RunInto(in, RunOptions{TEnd: tEnd, Probes: opts.Probes}, res); err != nil {
+		return nil, err
 	}
-	res := &Result{
-		Times:  make([]float64, steps+1),
-		probes: make(map[int]int, len(probes)),
-		values: make([][]float64, len(probes)),
-	}
-	for row, node := range probes {
-		if node < 0 || node >= n {
-			return nil, fmt.Errorf("sim: probe index %d out of range [0,%d)", node, n)
-		}
-		res.probes[node] = row
-		res.values[row] = make([]float64, steps+1)
-	}
-
-	v := make([]float64, n)   // current node voltages (start relaxed at 0)
-	gv := make([]float64, n)  // G*v workspace
-	rhs := make([]float64, n) // RHS / solution workspace
-	record := func(step int) {
-		for row, node := range probes {
-			res.values[row][step] = v[node]
-		}
-	}
-	record(0)
-
-	for step := 1; step <= steps; step++ {
-		tPrev := float64(step-1) * dt
-		tCur := float64(step) * dt
-		res.Times[step] = tCur
-
-		// gv = G * v (tree-sparse matvec).
-		for i := range gv {
-			gv[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			if p := t.Parent(i); p != rctree.Source {
-				cur := g[i] * (v[i] - v[p])
-				gv[i] += cur
-				gv[p] -= cur
-			} else {
-				gv[i] += g[i] * v[i]
-			}
-		}
-		uPrev := in.Eval(tPrev)
-		uCur := in.Eval(tCur)
-		for i := 0; i < n; i++ {
-			uTerm := theta[i]*uCur + (1-theta[i])*uPrev
-			rhs[i] = t.C(i)/dt*v[i] - (1-theta[i])*gv[i] + bvec[i]*uTerm
-		}
-		f.solve(rhs)
-		copy(v, rhs)
-		record(step)
-	}
-	for step := 0; step <= steps; step++ {
-		res.Times[step] = float64(step) * dt
-	}
+	steps := len(res.Times) - 1
+	sp.AttrInt("steps", int64(steps))
+	sp.AttrFloat("dt_seconds", dt)
 	telemetry.C("sim.runs").Inc()
-	telemetry.C("sim.steps").Add(int64(steps))
-	telemetry.C("sim.lu_factorizations").Inc()
 	telemetry.G("sim.horizon_seconds").Set(tEnd)
 	telemetry.Default().Histogram("sim.steps_per_run", stepsBuckets).Observe(float64(steps))
 	return res, nil
@@ -334,18 +203,5 @@ var stepsBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536}
 // Elmore delay (a conservative multiple of the dominant time constant)
 // plus the input rise time.
 func defaultHorizon(t *rctree.Tree, in signal.Signal) float64 {
-	maxTD := 0.0
-	down := t.DownstreamC()
-	td := make([]float64, t.N())
-	for _, i := range t.PreOrder() {
-		parent := 0.0
-		if p := t.Parent(i); p != rctree.Source {
-			parent = td[p]
-		}
-		td[i] = parent + t.R(i)*down[i]
-		if td[i] > maxTD {
-			maxTD = td[i]
-		}
-	}
-	return 10*maxTD + 2*in.RiseTime()
+	return 10*maxElmore(rctree.Compile(t)) + 2*in.RiseTime()
 }
