@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks folded into BENCH_3.json by `make bench-json`.
 BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|SimTransient|SimPlanReuse|TableI$$
 
-.PHONY: check build test vet race bench bench-json bench-smoke fmt
+.PHONY: check build test vet race health-strict bench bench-json bench-smoke fmt
 
 check: vet build race
 
@@ -18,6 +18,11 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# The full suite with a strict numerical-health monitor installed:
+# any NaN/Inf, Lemma 2, or bound-ordering violation fails the run.
+health-strict:
+	ELMORE_STRICT_NUMERICS=1 $(GO) test ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -68,13 +68,18 @@ func quantiles(xs []float64) [5]float64 {
 // jobs only: boundstat has no cell library, so path specs fail soft
 // (one error record each). A nonzero number of failed jobs fails the
 // run after every result has been emitted.
-func runBatch(ctx context.Context, bf *cliutil.BatchFlags, stdout io.Writer) error {
+func runBatch(ctx context.Context, bf *cliutil.BatchFlags, stdout, stderr io.Writer) error {
 	f, err := os.Open(bf.Jobs)
 	if err != nil {
 		return fmt.Errorf("-jobs: %w", err)
 	}
 	defer f.Close()
-	eng := &batch.Engine{Workers: bf.Workers, Timeout: bf.Timeout, Cache: batch.NewCache()}
+	eng := &batch.Engine{
+		Workers: bf.Workers,
+		Timeout: bf.Timeout,
+		Cache:   batch.NewCache(),
+		Report:  bf.Reporter(stderr),
+	}
 	failed, total, err := batch.RunSpecs(ctx, eng, f, nil, 0, stdout)
 	if err != nil {
 		return err
@@ -118,7 +123,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if bf.Jobs != "" {
 		// Batch mode replaces the Monte-Carlo study: net jobs from the
 		// NDJSON stream, results streamed to stdout in job order.
-		return runBatch(sess.Context(), bf, stdout)
+		return runBatch(sess.Context(), bf, stdout, stderr)
 	}
 	ctx, root := telemetry.Start(sess.Context(), "boundstat.run")
 	root.AttrInt("trees", int64(*nTrees))

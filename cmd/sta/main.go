@@ -103,7 +103,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			return fmt.Errorf("-jobs: %w", err)
 		}
 		defer jobsFile.Close()
-		eng := &batch.Engine{Workers: bf.Workers, Timeout: bf.Timeout, Cache: batch.NewCache()}
+		eng := &batch.Engine{
+			Workers: bf.Workers,
+			Timeout: bf.Timeout,
+			Cache:   batch.NewCache(),
+			Report:  bf.Reporter(stderr),
+		}
 		failed, total, err := batch.RunSpecs(ctx, eng, jobsFile, lib, inSlew, stdout)
 		if err != nil {
 			return err

@@ -1,0 +1,278 @@
+// Command tracestat analyzes a JSON-lines span trace produced by the
+// -trace flag of the elmore CLIs (see internal/telemetry). It answers
+// "where did the time go": a per-phase aggregate table with counts,
+// total and self time (duration minus time attributed to child spans)
+// and latency percentiles, plus an optional parent/child rollup tree.
+//
+// Usage:
+//
+//	tracestat trace.ndjson
+//	tracestat -top 10 trace.ndjson
+//	tracestat -rollup trace.ndjson
+//	boundstat -trace /dev/stdout ... | tracestat -
+//
+// The final line reports the trace wall time (last span end minus
+// first span start) and the fraction of it accounted for by self time
+// — a sanity check that the instrumentation covers the run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+// span mirrors the telemetry spanRecord schema; attrs are ignored.
+type span struct {
+	Span    uint64 `json:"span"`
+	Parent  uint64 `json:"parent"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 0, "show only the N phases with the most self time (0 = all)")
+	rollup := fs.Bool("rollup", false, "print the parent/child rollup tree instead of the flat table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracestat [-top N] [-rollup] <trace.ndjson | ->")
+	}
+	in := stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spans, skipped, err := readSpans(in)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(stderr, "tracestat: skipped %d malformed line(s)\n", skipped)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans in trace")
+	}
+	t := analyze(spans)
+	if *rollup {
+		t.writeRollup(stdout)
+	} else {
+		t.writeTable(stdout, *top)
+	}
+	return nil
+}
+
+func readSpans(in io.Reader) ([]span, int, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var spans []span
+	skipped := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var s span
+		if err := json.Unmarshal([]byte(line), &s); err != nil || s.Span == 0 || s.Name == "" {
+			skipped++
+			continue
+		}
+		spans = append(spans, s)
+	}
+	return spans, skipped, sc.Err()
+}
+
+// trace is the analyzed form: per-span self times plus the wall span.
+type trace struct {
+	spans   []span
+	self    map[uint64]int64 // span id -> self ns (dur minus child durs, clamped >= 0)
+	byName  map[string]*phase
+	wallNS  int64
+	roots   []uint64
+	childOf map[uint64][]uint64
+}
+
+type phase struct {
+	name    string
+	count   int
+	totalNS int64
+	selfNS  int64
+	durs    []int64
+}
+
+func analyze(spans []span) *trace {
+	t := &trace{
+		spans:   spans,
+		self:    make(map[uint64]int64, len(spans)),
+		byName:  make(map[string]*phase),
+		childOf: make(map[uint64][]uint64),
+	}
+	ids := make(map[uint64]*span, len(spans))
+	for i := range spans {
+		ids[spans[i].Span] = &spans[i]
+	}
+	minStart, maxEnd := spans[0].StartNS, spans[0].StartNS+spans[0].DurNS
+	childDur := make(map[uint64]int64, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		if s.StartNS < minStart {
+			minStart = s.StartNS
+		}
+		if end := s.StartNS + s.DurNS; end > maxEnd {
+			maxEnd = end
+		}
+		// An orphan parent id (span not present in the file — e.g. a
+		// truncated trace) makes the span a root rather than losing it.
+		if _, ok := ids[s.Parent]; s.Parent != 0 && ok {
+			childDur[s.Parent] += s.DurNS
+			t.childOf[s.Parent] = append(t.childOf[s.Parent], s.Span)
+		} else {
+			t.roots = append(t.roots, s.Span)
+		}
+	}
+	t.wallNS = maxEnd - minStart
+	for i := range spans {
+		s := &spans[i]
+		self := s.DurNS - childDur[s.Span]
+		if self < 0 {
+			// Children measured on overlapping goroutines can sum past
+			// the parent; self time never goes negative.
+			self = 0
+		}
+		t.self[s.Span] = self
+		p := t.byName[s.Name]
+		if p == nil {
+			p = &phase{name: s.Name}
+			t.byName[s.Name] = p
+		}
+		p.count++
+		p.totalNS += s.DurNS
+		p.selfNS += self
+		p.durs = append(p.durs, s.DurNS)
+	}
+	return t
+}
+
+func (t *trace) selfAccountedNS() int64 {
+	var sum int64
+	for _, s := range t.self {
+		sum += s
+	}
+	return sum
+}
+
+// pct returns the nearest-rank percentile of sorted ns durations.
+func pct(durs []int64, q float64) int64 {
+	i := int(math.Ceil(q*float64(len(durs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(durs) {
+		i = len(durs) - 1
+	}
+	return durs[i]
+}
+
+func dur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func (t *trace) writeTable(w io.Writer, top int) {
+	phases := make([]*phase, 0, len(t.byName))
+	for _, p := range t.byName {
+		sort.Slice(p.durs, func(i, j int) bool { return p.durs[i] < p.durs[j] })
+		phases = append(phases, p)
+	}
+	sort.Slice(phases, func(i, j int) bool { return phases[i].selfNS > phases[j].selfNS })
+	if top > 0 && top < len(phases) {
+		phases = phases[:top]
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "PHASE\tCOUNT\tTOTAL\tSELF\tP50\tP95")
+	for _, p := range phases {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n",
+			p.name, p.count, dur(p.totalNS), dur(p.selfNS),
+			dur(pct(p.durs, 0.50)), dur(pct(p.durs, 0.95)))
+	}
+	tw.Flush()
+	acc := 0.0
+	if t.wallNS > 0 {
+		acc = 100 * float64(t.selfAccountedNS()) / float64(t.wallNS)
+	}
+	fmt.Fprintf(w, "wall %s, %d spans, self time accounts for %.1f%% of wall\n",
+		dur(t.wallNS), len(t.spans), acc)
+}
+
+// writeRollup prints the span forest aggregated by name path: all
+// spans sharing the same chain of ancestor names fold into one row.
+func (t *trace) writeRollup(w io.Writer) {
+	type node struct {
+		count    int
+		totalNS  int64
+		children map[string]*node
+		order    []string
+	}
+	root := &node{children: make(map[string]*node)}
+	ids := make(map[uint64]*span, len(t.spans))
+	for i := range t.spans {
+		ids[t.spans[i].Span] = &t.spans[i]
+	}
+	var add func(n *node, id uint64)
+	add = func(n *node, id uint64) {
+		s := ids[id]
+		c := n.children[s.Name]
+		if c == nil {
+			c = &node{children: make(map[string]*node)}
+			n.children[s.Name] = c
+			n.order = append(n.order, s.Name)
+		}
+		c.count++
+		c.totalNS += s.DurNS
+		for _, kid := range t.childOf[id] {
+			add(c, kid)
+		}
+	}
+	// Roots in start order for a stable, chronological tree.
+	sort.Slice(t.roots, func(i, j int) bool {
+		return ids[t.roots[i]].StartNS < ids[t.roots[j]].StartNS
+	})
+	for _, r := range t.roots {
+		add(root, r)
+	}
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "PHASE\tCOUNT\tTOTAL")
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		for _, name := range n.order {
+			c := n.children[name]
+			fmt.Fprintf(tw, "%s%s\t%d\t%s\n",
+				strings.Repeat("  ", depth), name, c.count, dur(c.totalNS))
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	tw.Flush()
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"elmore/internal/telemetry"
+)
+
+// synthetic trace: one root (100us) with two children (60us + 30us),
+// so root self = 10us, wall = 100us, and self time accounts for 100%.
+const sampleTrace = `{"span":1,"parent":0,"name":"batch.run","start_ns":0,"dur_ns":100000}
+{"span":2,"parent":1,"name":"batch.job","start_ns":1000,"dur_ns":60000}
+{"span":3,"parent":1,"name":"batch.job","start_ns":62000,"dur_ns":30000}
+
+not json
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, strings.NewReader(stdin), &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestTableFromStdin(t *testing.T) {
+	out, errOut := runCLI(t, []string{"-"}, sampleTrace)
+	if !strings.Contains(errOut, "skipped 1 malformed line") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	if !strings.Contains(out, "batch.job") || !strings.Contains(out, "batch.run") {
+		t.Errorf("missing phases:\n%s", out)
+	}
+	// batch.job: 2 spans, total 90us, all self. batch.run self = 10us.
+	if !strings.Contains(out, "90ms") && !strings.Contains(out, "90µs") {
+		t.Errorf("missing batch.job total:\n%s", out)
+	}
+	if !strings.Contains(out, "wall 100µs") {
+		t.Errorf("missing wall line:\n%s", out)
+	}
+	if !strings.Contains(out, "accounts for 100.0%") {
+		t.Errorf("self-time accounting wrong:\n%s", out)
+	}
+	// Sorted by self time: batch.job (90us) before batch.run (10us).
+	if strings.Index(out, "batch.job") > strings.Index(out, "batch.run") {
+		t.Errorf("phases not sorted by self time:\n%s", out)
+	}
+}
+
+func TestTopLimitsRows(t *testing.T) {
+	out, _ := runCLI(t, []string{"-top", "1", "-"}, sampleTrace)
+	if strings.Contains(out, "batch.run\t") || strings.Count(out, "batch.") != 1 {
+		t.Errorf("-top 1 left extra rows:\n%s", out)
+	}
+}
+
+func TestRollupTree(t *testing.T) {
+	out, _ := runCLI(t, []string{"-rollup", "-"}, sampleTrace)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + batch.run + nested batch.job
+		t.Fatalf("rollup rows = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "batch.run") {
+		t.Errorf("root row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  batch.job") {
+		t.Errorf("child row not indented: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "2") {
+		t.Errorf("child rollup should fold 2 spans: %q", lines[2])
+	}
+}
+
+func TestOrphanParentBecomesRoot(t *testing.T) {
+	trace := `{"span":7,"parent":99,"name":"lonely","start_ns":0,"dur_ns":5000}`
+	out, _ := runCLI(t, []string{"-rollup", "-"}, trace)
+	if !strings.Contains(out, "lonely") {
+		t.Errorf("orphan span lost:\n%s", out)
+	}
+}
+
+func TestEmptyTraceFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-"}, strings.NewReader(""), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "no spans") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// End-to-end: a real tracer's output must parse and account for ~all
+// of the wall time (the root span covers the whole run by construction).
+func TestRealTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := telemetry.NewTracer(telemetry.WriterSink{W: &buf})
+	ctx := telemetry.WithTracer(context.Background(), tr)
+	ctx, root := telemetry.Start(ctx, "root")
+	for i := 0; i < 5; i++ {
+		_, sp := telemetry.Start(ctx, fmt.Sprintf("phase%d", i%2))
+		sp.End()
+	}
+	root.End()
+	out, _ := runCLI(t, []string{"-"}, buf.String())
+	for _, want := range []string{"root", "phase0", "phase1", "wall "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

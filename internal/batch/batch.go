@@ -106,6 +106,7 @@ type Engine struct {
 	Workers int           // max concurrent jobs; <= 0 means runtime.GOMAXPROCS(0)
 	Timeout time.Duration // per-job limit; <= 0 means none
 	Cache   *Cache        // shared moment-set cache; nil disables reuse
+	Report  *Reporter     // run reporting (progress, slow log, summary); nil disables
 }
 
 // Run evaluates all jobs and returns one Result per job, in job order.
@@ -137,9 +138,23 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 		return
 	}
 
+	// The queue-depth gauge is driven exclusively through Add deltas on
+	// its own atomic: publishing pending.Add(-1) via Set would let two
+	// workers' loads/stores interleave and write an older depth over a
+	// newer one (the gauge could jump backwards or, across overlapping
+	// Runs, go negative). Every Run adds len(jobs) up front and each
+	// worker subtracts one per job, so concurrent Runs compose and the
+	// gauge lands back exactly where it started.
 	var pending atomic.Int64
 	pending.Store(int64(len(jobs)))
-	telemetry.G("batch.queue_depth").Set(float64(len(jobs)))
+	qd := telemetry.G("batch.queue_depth")
+	qd.Add(float64(len(jobs)))
+
+	var rr *runReport
+	if e.Report != nil {
+		rr = e.Report.begin(len(jobs), &pending)
+		defer rr.finish()
+	}
 
 	idxCh := make(chan int)
 	resCh := make(chan Result, workers)
@@ -149,7 +164,8 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				telemetry.G("batch.queue_depth").Set(float64(pending.Add(-1)))
+				pending.Add(-1)
+				qd.Add(-1)
 				resCh <- e.runJob(bctx, i, jobs[i])
 			}
 		}()
@@ -170,6 +186,9 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 	next := 0
 	for r := range resCh {
 		r := r
+		if rr != nil {
+			rr.observe(r)
+		}
 		buffered[r.Index] = &r
 		for next < len(jobs) && buffered[next] != nil {
 			emit(*buffered[next])
@@ -190,6 +209,15 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 		jctx, cancel = context.WithTimeout(ctx, e.Timeout)
 		defer cancel()
 	}
+	// When the reporter wants slow-job span trees and no ambient tracer
+	// is recording this run, give the job a private in-memory tracer:
+	// its spans are kept if the job turns out slow and dropped for free
+	// otherwise.
+	var slowSpans *memSink
+	if e.Report.captureSpans(jctx) {
+		slowSpans = &memSink{}
+		jctx = telemetry.WithTracer(jctx, telemetry.NewTracer(slowSpans))
+	}
 	jctx, sp := telemetry.Start(jctx, "batch.job")
 	sp.AttrInt("index", int64(idx))
 	if j.ID != "" {
@@ -207,6 +235,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 			sp.AttrString("error", res.Err.Error())
 		}
 		sp.End()
+		e.Report.noteJob(idx, j.ID, res.Err, res.Elapsed, slowSpans)
 	}()
 	switch {
 	case j.Err != nil:

@@ -1,8 +1,9 @@
 // Package cliutil carries the flags and lifecycle shared by every
-// cmd/* tool: observability switches (-trace, -metrics, -debug-addr),
-// the -version flag, and the session object that opens/flushes the
-// trace file, installs the process-wide metrics registry, and serves
-// net/http/pprof + expvar for live inspection.
+// cmd/* tool: observability switches (-trace, -metrics, -debug-addr,
+// -strict-numerics, -health-log), the -version flag, and the session
+// object that opens/flushes the trace file, installs the process-wide
+// metrics registry and numerical-health monitor, and serves
+// net/http/pprof + expvar + Prometheus /metrics for live inspection.
 //
 // The intended wiring inside a tool's run function:
 //
@@ -38,15 +39,19 @@ import (
 
 	"context"
 
+	"elmore/internal/batch"
+	"elmore/internal/health"
 	"elmore/internal/telemetry"
 )
 
 // Flags holds the shared observability/version flags. Create with Add.
 type Flags struct {
-	Trace     string // -trace: JSON-lines span log path
-	Metrics   bool   // -metrics: snapshot to stderr on exit
-	DebugAddr string // -debug-addr: pprof/expvar listen address
-	Version   bool   // -version: print build info and exit
+	Trace          string // -trace: JSON-lines span log path
+	Metrics        bool   // -metrics: snapshot to stderr on exit
+	DebugAddr      string // -debug-addr: pprof/expvar/metrics listen address
+	Version        bool   // -version: print build info and exit
+	StrictNumerics bool   // -strict-numerics: numerical-health violations fail the run
+	HealthLog      string // -health-log: NDJSON health-event log path
 }
 
 // Add registers the shared flags on fs and returns the value holder.
@@ -54,8 +59,10 @@ func Add(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.Trace, "trace", "", "write a JSON-lines span trace to `file`")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot to stderr on exit")
-	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060)")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof, expvar and Prometheus /metrics on `addr` (e.g. localhost:6060)")
 	fs.BoolVar(&f.Version, "version", false, "print version information and exit")
+	fs.BoolVar(&f.StrictNumerics, "strict-numerics", false, "fail the run on any numerical-health violation")
+	fs.StringVar(&f.HealthLog, "health-log", "", "write NDJSON numerical-health events to `file` (default stderr when -strict-numerics)")
 	return f
 }
 
@@ -63,9 +70,12 @@ func Add(fs *flag.FlagSet) *Flags {
 // -jobs switches the tool from its single-shot mode to streaming
 // NDJSON batch evaluation on the internal/batch engine.
 type BatchFlags struct {
-	Jobs    string        // -jobs: NDJSON job stream file; "" means no batch mode
-	Workers int           // -workers: max concurrent jobs; 0 means GOMAXPROCS
-	Timeout time.Duration // -timeout: per-job limit; 0 means none
+	Jobs     string        // -jobs: NDJSON job stream file; "" means no batch mode
+	Workers  int           // -workers: max concurrent jobs; 0 means GOMAXPROCS
+	Timeout  time.Duration // -timeout: per-job limit; 0 means none
+	Progress time.Duration // -progress: progress-line period; 0 disables
+	SlowJobs time.Duration // -slow-jobs: slow-job log threshold; 0 disables
+	Summary  bool          // -summary: final NDJSON run summary
 }
 
 // AddBatch registers the batch-mode flags on fs and returns the value
@@ -75,7 +85,32 @@ func AddBatch(fs *flag.FlagSet) *BatchFlags {
 	fs.StringVar(&b.Jobs, "jobs", "", "evaluate the NDJSON job stream in `file` and emit NDJSON results")
 	fs.IntVar(&b.Workers, "workers", 0, "max concurrent batch jobs (0 = GOMAXPROCS)")
 	fs.DurationVar(&b.Timeout, "timeout", 0, "per-job time limit, e.g. 30s (0 = none)")
+	fs.DurationVar(&b.Progress, "progress", 2*time.Second, "batch progress-line period on stderr (0 = off)")
+	fs.DurationVar(&b.SlowJobs, "slow-jobs", 0, "log batch jobs slower than `duration` as NDJSON to stderr (0 = off)")
+	fs.BoolVar(&b.Summary, "summary", false, "write a final NDJSON batch run summary to stderr")
 	return b
+}
+
+// Reporter builds the batch.Reporter described by the flags, with all
+// outputs multiplexed onto stderr. Returns nil when every report
+// output is disabled, so it can be assigned to Engine.Report directly.
+func (b *BatchFlags) Reporter(stderr io.Writer) *batch.Reporter {
+	if b.Progress <= 0 && b.SlowJobs <= 0 && !b.Summary {
+		return nil
+	}
+	rep := &batch.Reporter{}
+	if b.Progress > 0 {
+		rep.Progress = stderr
+		rep.Interval = b.Progress
+	}
+	if b.SlowJobs > 0 {
+		rep.SlowThreshold = b.SlowJobs
+		rep.Slow = stderr
+	}
+	if b.Summary {
+		rep.Summary = stderr
+	}
+	return rep
 }
 
 // Version returns a one-line version string for the named tool from
@@ -128,6 +163,12 @@ type Session struct {
 	traceBuf  *bufio.Writer
 	traceFile *os.File
 
+	mon        *health.Monitor
+	prevMon    *health.Monitor
+	monStrict  bool
+	healthBuf  *bufio.Writer
+	healthFile *os.File
+
 	ln net.Listener
 }
 
@@ -135,6 +176,11 @@ type Session struct {
 // panics on duplicates). The published Var reads the *current* default
 // registry, so one publication serves every later session.
 var publishOnce sync.Once
+
+// metricsOnce guards the process-wide /metrics route on the default mux
+// (http.Handle panics on duplicates). PromHandler reads the *current*
+// default registry, so one registration serves every later session.
+var metricsOnce sync.Once
 
 // Start opens the session described by the flags. stderr receives the
 // debug-server address line and, at Close, the -metrics snapshot.
@@ -155,8 +201,25 @@ func (f *Flags) Start(stderr io.Writer) (*Session, error) {
 		s.tracer = telemetry.NewTracer(telemetry.WriterSink{W: s.traceBuf})
 		s.ctx = telemetry.WithTracer(s.ctx, s.tracer)
 	}
+	if f.StrictNumerics || f.HealthLog != "" {
+		w := io.Writer(stderr)
+		if f.HealthLog != "" {
+			file, err := os.Create(f.HealthLog)
+			if err != nil {
+				s.rollback()
+				return nil, fmt.Errorf("-health-log: %w", err)
+			}
+			s.healthFile = file
+			s.healthBuf = bufio.NewWriter(file)
+			w = s.healthBuf
+		}
+		s.mon = health.New(w, f.StrictNumerics)
+		s.monStrict = f.StrictNumerics
+		s.prevMon = health.SetDefault(s.mon)
+	}
 	if f.DebugAddr != "" {
 		publishOnce.Do(func() { expvar.Publish("elmore.metrics", telemetry.ExpvarVar{}) })
+		metricsOnce.Do(func() { http.Handle("/metrics", telemetry.PromHandler{}) })
 		ln, err := net.Listen("tcp", f.DebugAddr)
 		if err != nil {
 			s.rollback()
@@ -164,9 +227,10 @@ func (f *Flags) Start(stderr io.Writer) (*Session, error) {
 		}
 		s.ln = ln
 		// The default mux carries /debug/pprof/* and /debug/vars from
-		// the net/http/pprof and expvar imports.
+		// the net/http/pprof and expvar imports, plus the Prometheus
+		// exposition registered above.
 		go func() { _ = http.Serve(ln, nil) }()
-		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/pprof/ (expvar at /debug/vars)\n", ln.Addr())
+		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/pprof/ (expvar at /debug/vars, Prometheus at /metrics)\n", ln.Addr())
 	}
 	return s, nil
 }
@@ -178,6 +242,12 @@ func (s *Session) rollback() {
 	}
 	if s.traceFile != nil {
 		s.traceFile.Close()
+	}
+	if s.mon != nil {
+		health.SetDefault(s.prevMon)
+	}
+	if s.healthFile != nil {
+		s.healthFile.Close()
 	}
 }
 
@@ -206,6 +276,22 @@ func (s *Session) Close() error {
 	}
 	if s.traceFile != nil {
 		errs = append(errs, s.traceFile.Close())
+	}
+	if s.mon != nil {
+		health.SetDefault(s.prevMon)
+		errs = append(errs, s.mon.Err())
+		if s.healthBuf != nil {
+			errs = append(errs, s.healthBuf.Flush())
+		}
+		if s.healthFile != nil {
+			errs = append(errs, s.healthFile.Close())
+		}
+		// Backstop for code paths that report a violation fail-soft
+		// without threading the error out: under -strict-numerics a
+		// dirty monitor fails the run even if every engine returned nil.
+		if s.monStrict && s.mon.Violations() > 0 {
+			errs = append(errs, fmt.Errorf("strict numerics: %d numerical-health violation(s); see health log", s.mon.Violations()))
+		}
 	}
 	if s.metrics {
 		fmt.Fprintln(s.stderr, "--- metrics ---")

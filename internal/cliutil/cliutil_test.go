@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"elmore/internal/health"
 	"elmore/internal/telemetry"
 )
 
@@ -38,10 +40,34 @@ func TestVersionString(t *testing.T) {
 func TestFlagsRegistered(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	Add(fs)
-	for _, name := range []string{"trace", "metrics", "debug-addr", "version"} {
+	for _, name := range []string{"trace", "metrics", "debug-addr", "version", "strict-numerics", "health-log"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
+	}
+}
+
+func TestBatchFlagsRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	AddBatch(fs)
+	for _, name := range []string{"jobs", "workers", "timeout", "progress", "slow-jobs", "summary"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestBatchReporterHelper(t *testing.T) {
+	if rep := (&BatchFlags{}).Reporter(io.Discard); rep != nil {
+		t.Error("all-off BatchFlags must yield a nil Reporter")
+	}
+	b := &BatchFlags{Progress: time.Second, SlowJobs: time.Millisecond, Summary: true}
+	rep := b.Reporter(io.Discard)
+	if rep == nil || rep.Progress == nil || rep.Slow == nil || rep.Summary == nil {
+		t.Fatalf("reporter missing outputs: %+v", rep)
+	}
+	if rep.Interval != time.Second || rep.SlowThreshold != time.Millisecond {
+		t.Errorf("reporter thresholds: %+v", rep)
 	}
 }
 
@@ -135,6 +161,7 @@ func TestDebugServerServesPprofAndExpvar(t *testing.T) {
 		"/debug/vars":               `"dbg.count":1`,
 		"/debug/pprof/":             "goroutine",
 		"/debug/pprof/heap?debug=1": "heap profile",
+		"/metrics":                  "dbg_count 1",
 	} {
 		resp, err := http.Get(base + path)
 		if err != nil {
@@ -159,6 +186,78 @@ func TestTraceErrorSurfacesOnClose(t *testing.T) {
 	}
 	if telemetry.Default() != nil {
 		t.Error("failed Start must not leave a default registry installed")
+	}
+}
+
+func TestHealthLogLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "health.ndjson")
+	cf := parse(t, "-health-log", path)
+	sess, err := cf.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Default() == nil {
+		t.Fatal("-health-log must install a monitor")
+	}
+	if health.Default().Strict() {
+		t.Error("monitor must be fail-soft without -strict-numerics")
+	}
+	if err := health.Violate(health.Event{Check: "test.check", Node: "n1"}); err != nil {
+		t.Fatalf("fail-soft Violate returned %v", err)
+	}
+	// Fail-soft: violations recorded but Close succeeds.
+	if err := sess.Close(); err != nil {
+		t.Fatalf("non-strict Close: %v", err)
+	}
+	if health.Default() != nil {
+		t.Error("Close must restore the previous (nil) default monitor")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(data))), &rec); err != nil {
+		t.Fatalf("health log %q: %v", data, err)
+	}
+	if rec["check"] != "test.check" {
+		t.Errorf("health log record = %v", rec)
+	}
+}
+
+func TestStrictNumericsFailsCloseOnViolation(t *testing.T) {
+	cf := parse(t, "-strict-numerics")
+	var errOut strings.Builder
+	sess, err := cf.Start(&errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !health.Default().Strict() {
+		t.Fatal("-strict-numerics must install a strict monitor")
+	}
+	// A strict Violate returns the error to the caller; even when a
+	// caller drops it, Close's backstop must fail the run.
+	if err := health.Violate(health.Event{Check: "test.check"}); err == nil {
+		t.Fatal("strict Violate must return an error")
+	}
+	err = sess.Close()
+	if err == nil || !strings.Contains(err.Error(), "numerical-health violation") {
+		t.Fatalf("strict Close = %v, want violation backstop", err)
+	}
+	// The event itself landed on stderr (no -health-log).
+	if !strings.Contains(errOut.String(), `"check":"test.check"`) {
+		t.Errorf("stderr missing health event: %q", errOut.String())
+	}
+}
+
+func TestStrictNumericsCleanClose(t *testing.T) {
+	cf := parse(t, "-strict-numerics")
+	sess, err := cf.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("clean strict session must close without error: %v", err)
 	}
 }
 

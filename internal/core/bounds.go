@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"elmore/internal/health"
 	"elmore/internal/moments"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
@@ -126,6 +127,10 @@ func analyze(ctx context.Context, t *rctree.Tree, ms *moments.Set) (*Analysis, e
 		prh:    prh,
 		ms:     ms,
 	}
+	var treeLabel string
+	if health.Enabled() {
+		treeLabel = health.TreeLabel(t.N(), t.Fingerprint())
+	}
 	for i := 0; i < t.N(); i++ {
 		td := ms.Elmore(i)
 		sigma := ms.Sigma(i)
@@ -143,10 +148,76 @@ func analyze(ctx context.Context, t *rctree.Tree, ms *moments.Set) (*Analysis, e
 		b.PRHTmin = PRHTmin(prh.TP, td, prh.TR(i), 0.5)
 		b.PRHTmax = PRHTmax(prh.TP, td, prh.TR(i), 0.5)
 		a.Bounds[i] = b
+		if err := checkBounds(treeLabel, &b); err != nil {
+			return nil, err
+		}
 	}
 	telemetry.C("core.analyses").Inc()
 	telemetry.C("core.nodes_analyzed").Add(int64(t.N()))
 	return a, nil
+}
+
+// checkBounds runs the paper's invariants on one node's freshly
+// computed bounds, reporting health violations fail-soft (hard only
+// under a strict monitor). The passing path is a handful of float
+// comparisons and no allocation, so the checks stay in the hot loop
+// permanently. Lemma 2 guarantees mu2 >= 0 and gamma >= 0 exactly;
+// floating-point evaluation leaves roundoff-sized negatives, so the
+// checks carry small tolerances (relative td^2 scale for mu2, absolute
+// for the dimensionless skewness).
+func checkBounds(tree string, b *Bounds) error {
+	if err := health.CheckFinite("core.nonfinite", tree, b.Node, "elmore", b.Elmore); err != nil {
+		return err
+	}
+	if err := health.CheckFinite("core.nonfinite", tree, b.Node, "mu2", b.Mu2); err != nil {
+		return err
+	}
+	if !(b.Mu2 >= -1e-9*b.Elmore*b.Elmore) { // negated form catches NaN
+		if err := health.Violate(health.Event{
+			Check:  "moments.mu2_negative",
+			Tree:   tree,
+			Node:   b.Node,
+			Detail: "variance negative beyond roundoff (Lemma 2 requires mu2 >= 0)",
+			Values: map[string]health.F{"mu2": health.F(b.Mu2), "elmore": health.F(b.Elmore)},
+		}); err != nil {
+			return err
+		}
+	}
+	if !(b.Skewness >= -1e-6) {
+		if err := health.Violate(health.Event{
+			Check:  "moments.skew_negative",
+			Tree:   tree,
+			Node:   b.Node,
+			Detail: "skewness negative beyond roundoff (Lemma 2 requires gamma >= 0)",
+			Values: map[string]health.F{"skewness": health.F(b.Skewness)},
+		}); err != nil {
+			return err
+		}
+	}
+	tol := 1e-12 * math.Abs(b.Elmore)
+	if !(b.Lower <= b.Elmore+tol) {
+		if err := health.Violate(health.Event{
+			Check:  "bounds.order",
+			Tree:   tree,
+			Node:   b.Node,
+			Detail: "lower bound exceeds the Elmore upper bound",
+			Values: map[string]health.F{"lower": health.F(b.Lower), "elmore": health.F(b.Elmore)},
+		}); err != nil {
+			return err
+		}
+	}
+	if !(b.PRHTmin <= b.PRHTmax+tol) {
+		if err := health.Violate(health.Event{
+			Check:  "bounds.prh_order",
+			Tree:   tree,
+			Node:   b.Node,
+			Detail: "PRH lower waveform bound exceeds the upper bound at v=0.5",
+			Values: map[string]health.F{"prh_tmin": health.F(b.PRHTmin), "prh_tmax": health.F(b.PRHTmax)},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // At returns the bounds for a named node.

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"elmore/internal/health"
+	"elmore/internal/rctree"
+	"elmore/internal/telemetry"
+)
+
+func installHealth(t *testing.T, strict bool) (*health.Monitor, *strings.Builder, *telemetry.Registry) {
+	t.Helper()
+	var sb strings.Builder
+	m := health.New(&sb, strict)
+	prevM := health.SetDefault(m)
+	reg := telemetry.NewRegistry()
+	prevR := telemetry.SetDefault(reg)
+	t.Cleanup(func() {
+		health.SetDefault(prevM)
+		telemetry.SetDefault(prevR)
+	})
+	return m, &sb, reg
+}
+
+// overflowTree passes the rctree element validation (values are finite)
+// but overflows the moment recurrences: m1 = -(sum RC) saturates to
+// -Inf, and everything derived from it goes NaN. This is the ISSUE's
+// "seeded invariant violation" — the realistic way poison enters.
+func overflowTree(t *testing.T) *rctree.Tree {
+	t.Helper()
+	b := rctree.NewBuilder()
+	n1 := b.MustRoot("n1", 1e308, 1e308)
+	b.MustAttach(n1, "n2", 1e308, 1e308)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestAnalyzeSeededNaNFailSoft(t *testing.T) {
+	m, sb, reg := installHealth(t, false)
+	a, err := Analyze(overflowTree(t))
+	if err != nil {
+		t.Fatalf("non-strict monitor must not fail Analyze: %v", err)
+	}
+	if a == nil {
+		t.Fatal("fail-soft Analyze must still return the analysis")
+	}
+	if m.Violations() == 0 {
+		t.Fatal("seeded NaN produced no health violations")
+	}
+	// The poison is caught at the first layer that sees it: the moment
+	// recurrence. Whatever the layer, the aggregate counters and the
+	// NDJSON stream must both see it.
+	if got := reg.Counter("health.violations").Value(); got != m.Violations() {
+		t.Errorf("health.violations counter = %d, monitor = %d", got, m.Violations())
+	}
+	if !strings.Contains(sb.String(), `"severity":"violation"`) {
+		t.Errorf("no violation event emitted: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `"tree":"n2-`) {
+		t.Errorf("event lacks tree label: %s", sb.String())
+	}
+}
+
+func TestAnalyzeSeededNaNStrictFails(t *testing.T) {
+	installHealth(t, true)
+	_, err := Analyze(overflowTree(t))
+	var v *health.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("strict monitor must fail Analyze with *health.Violation, got %v", err)
+	}
+}
+
+func TestAnalyzeHealthyTreeCleanUnderStrict(t *testing.T) {
+	m, _, _ := installHealth(t, true)
+	b := rctree.NewBuilder()
+	n1 := b.MustRoot("n1", 100, 1e-12)
+	n2 := b.MustAttach(n1, "n2", 200, 2e-12)
+	b.MustAttach(n2, "n3", 150, 1e-12)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(tree); err != nil {
+		t.Fatalf("healthy tree failed under strict monitor: %v", err)
+	}
+	if m.Violations() != 0 {
+		t.Errorf("healthy tree logged %d violations", m.Violations())
+	}
+}
+
+// checkBounds is the per-node invariant gate; exercise its branches
+// directly so each check name is pinned.
+func TestCheckBoundsBranches(t *testing.T) {
+	cases := []struct {
+		name  string
+		b     Bounds
+		check string
+	}{
+		{"nan elmore", Bounds{Elmore: nan(), Mu2: 1, Skewness: 1}, "core.nonfinite"},
+		{"negative mu2", Bounds{Elmore: 1, Mu2: -1, Skewness: 1}, "moments.mu2_negative"},
+		{"negative skew", Bounds{Elmore: 1, Mu2: 1, Skewness: -1}, "moments.skew_negative"},
+		{"lower above elmore", Bounds{Elmore: 1, Mu2: 0.1, Skewness: 1, Lower: 2}, "bounds.order"},
+		{"prh inverted", Bounds{Elmore: 1, Mu2: 0.1, Skewness: 1, Lower: 0.5, PRHTmin: 2, PRHTmax: 1}, "bounds.prh_order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			installHealth(t, true)
+			err := checkBounds("test-tree", &tc.b)
+			var v *health.Violation
+			if !errors.As(err, &v) {
+				t.Fatalf("want *health.Violation, got %v", err)
+			}
+			if v.Check != tc.check {
+				t.Errorf("check = %q, want %q", v.Check, tc.check)
+			}
+		})
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"elmore/internal/health"
 	"elmore/internal/signal"
 	"elmore/internal/sim"
 	"elmore/internal/telemetry"
@@ -84,6 +85,10 @@ func (a *Analysis) VerifySim(ctx context.Context, opts VerifyOptions) ([]SimChec
 	if !isStep {
 		in50 = in.Cross(0.5)
 	}
+	var treeLabel string
+	if health.Enabled() {
+		treeLabel = health.TreeLabel(a.Tree.N(), a.Tree.Fingerprint())
+	}
 	sp.AttrInt("nodes", int64(len(nodes)))
 	checks := make([]SimCheck, 0, len(nodes))
 	for _, i := range nodes {
@@ -109,11 +114,38 @@ func (a *Analysis) VerifySim(ctx context.Context, opts VerifyOptions) ([]SimChec
 			c.Slack = hi
 		}
 		c.Within = c.Slack >= -tol
+		// Sim-vs-bound residual: how much of the guaranteed window the
+		// Elmore bound leaves on the table, as a fraction of the bound.
+		// Violations land in the (-inf, 0] bucket, so the histogram
+		// doubles as a cheap violation-rate signal.
+		if c.Upper > 0 {
+			telemetry.Default().Histogram("health.residual_rel", residualBuckets).
+				Observe((c.Upper - c.Measured) / c.Upper)
+		}
+		if !c.Within {
+			if err := health.Violate(health.Event{
+				Check:  "bounds.sim_window",
+				Tree:   treeLabel,
+				Node:   c.Node,
+				Detail: "simulated 50% crossing escapes the guaranteed [lower, upper] window",
+				Values: map[string]health.F{
+					"lower": health.F(c.Lower), "measured": health.F(c.Measured),
+					"upper": health.F(c.Upper), "slack": health.F(c.Slack),
+				},
+			}); err != nil {
+				return nil, err
+			}
+		}
 		checks = append(checks, c)
 	}
 	telemetry.C("core.sim_verifications").Inc()
 	return checks, nil
 }
+
+// residualBuckets bound the relative sim-vs-bound residual
+// (upper - measured) / upper in [0, 1]; the underflow bucket collects
+// violations.
+var residualBuckets = []float64{0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 1}
 
 // defaultVerifyDT mirrors sim.Run's default step: the estimated
 // settling horizon divided by 4096.

@@ -1,0 +1,212 @@
+package health
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"elmore/internal/telemetry"
+)
+
+// withMonitor installs a fresh monitor + registry for one test and
+// restores the previous state afterwards.
+func withMonitor(t *testing.T, strict bool) (*Monitor, *strings.Builder, *telemetry.Registry) {
+	t.Helper()
+	var sb strings.Builder
+	m := New(&sb, strict)
+	prevM := SetDefault(m)
+	reg := telemetry.NewRegistry()
+	prevR := telemetry.SetDefault(reg)
+	t.Cleanup(func() {
+		SetDefault(prevM)
+		telemetry.SetDefault(prevR)
+	})
+	return m, &sb, reg
+}
+
+func TestNoteCountsAndEmits(t *testing.T) {
+	m, sb, reg := withMonitor(t, false)
+	Note(Event{Check: "moments.sigma_degenerate", Tree: "n3-abc", Node: "out",
+		Values: map[string]F{"mu2": 0}})
+	if m.Events() != 1 || m.Violations() != 0 {
+		t.Fatalf("events=%d violations=%d, want 1/0", m.Events(), m.Violations())
+	}
+	if got := reg.Counter("health.events").Value(); got != 1 {
+		t.Errorf("health.events = %d, want 1", got)
+	}
+	if got := reg.Counter("health.moments.sigma_degenerate").Value(); got != 1 {
+		t.Errorf("per-check counter = %d, want 1", got)
+	}
+	if got := reg.Counter("health.violations").Value(); got != 0 {
+		t.Errorf("health.violations = %d, want 0", got)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(sb.String()), &ev); err != nil {
+		t.Fatalf("event line %q: %v", sb.String(), err)
+	}
+	if ev.Severity != SeverityNote || ev.Check != "moments.sigma_degenerate" || ev.Node != "out" {
+		t.Errorf("bad event: %+v", ev)
+	}
+}
+
+func TestViolateNonStrictReturnsNil(t *testing.T) {
+	m, sb, reg := withMonitor(t, false)
+	if err := Violate(Event{Check: "bounds.order", Node: "n1"}); err != nil {
+		t.Fatalf("non-strict violation returned error: %v", err)
+	}
+	if m.Violations() != 1 {
+		t.Errorf("violations = %d, want 1", m.Violations())
+	}
+	if got := reg.Counter("health.violations").Value(); got != 1 {
+		t.Errorf("health.violations = %d, want 1", got)
+	}
+	if !strings.Contains(sb.String(), `"severity":"violation"`) {
+		t.Errorf("event not marked violation: %s", sb.String())
+	}
+}
+
+func TestViolateStrictReturnsViolation(t *testing.T) {
+	withMonitor(t, true)
+	err := Violate(Event{Check: "sim.nonfinite_state", Tree: "n9-x", Node: "mid",
+		Detail: "voltage is NaN", Values: map[string]F{"v": F(math.NaN())}})
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("strict violation must return *Violation, got %v", err)
+	}
+	msg := v.Error()
+	for _, want := range []string{"sim.nonfinite_state", "node=mid", "voltage is NaN", "v=NaN"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestNonFiniteValuesSurviveJSON(t *testing.T) {
+	_, sb, _ := withMonitor(t, false)
+	Note(Event{Check: "x", Values: map[string]F{
+		"nan": F(math.NaN()), "pinf": F(math.Inf(1)), "ninf": F(math.Inf(-1)), "ok": 1.5,
+	}})
+	line := sb.String()
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(line), &parsed); err != nil {
+		t.Fatalf("event with NaN/Inf values must still be valid JSON: %v\n%s", err, line)
+	}
+	for _, want := range []string{`"nan":"NaN"`, `"pinf":"+Inf"`, `"ninf":"-Inf"`, `"ok":1.5`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	m, _, _ := withMonitor(t, true)
+	if err := CheckFinite("core.nonfinite", "t", "n", "td", 1.0); err != nil {
+		t.Fatalf("finite value flagged: %v", err)
+	}
+	if m.Events() != 0 {
+		t.Fatalf("finite value recorded an event")
+	}
+	if err := CheckFinite("core.nonfinite", "t", "n", "td", math.Inf(1)); err == nil {
+		t.Fatal("Inf must violate under strict")
+	}
+	if m.Violations() != 1 {
+		t.Errorf("violations = %d, want 1", m.Violations())
+	}
+}
+
+func TestNilMonitorIsInert(t *testing.T) {
+	prev := SetDefault(nil)
+	defer SetDefault(prev)
+	var m *Monitor
+	m.Note(Event{Check: "x"})
+	if err := m.Violate(Event{Check: "x"}); err != nil {
+		t.Fatal("nil monitor must not error")
+	}
+	if m.Strict() || m.Events() != 0 || m.Violations() != 0 || m.Err() != nil {
+		t.Fatal("nil monitor must report zero state")
+	}
+	Note(Event{Check: "x"})
+	if err := Violate(Event{Check: "x"}); err != nil {
+		t.Fatal("disabled default must not error")
+	}
+	if Enabled() {
+		t.Fatal("Enabled must be false with no monitor")
+	}
+}
+
+func TestConcurrentEvents(t *testing.T) {
+	m, sb, _ := withMonitor(t, false)
+	const g, per = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				Note(Event{Check: "race.note"})
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Events() != g*per {
+		t.Fatalf("events = %d, want %d", m.Events(), g*per)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != g*per {
+		t.Fatalf("emitted %d lines, want %d", len(lines), g*per)
+	}
+	for _, ln := range lines {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("interleaved write produced invalid JSON: %q", ln)
+		}
+	}
+}
+
+func TestWriteErrorIsSticky(t *testing.T) {
+	m := New(failWriter{}, false)
+	m.Note(Event{Check: "x"})
+	if m.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestTreeLabel(t *testing.T) {
+	if got := TreeLabel(20, 0x1a2b); got != "n20-0000000000001a2b" {
+		t.Errorf("TreeLabel = %q", got)
+	}
+}
+
+// BenchmarkDisabledCheck measures the cost hot loops pay when no
+// monitor is installed: the invariant comparison itself plus nothing.
+// Must report 0 allocs/op.
+func BenchmarkDisabledCheck(b *testing.B) {
+	prev := SetDefault(nil)
+	defer SetDefault(prev)
+	b.ReportAllocs()
+	var sink error
+	for i := 0; i < b.N; i++ {
+		sink = CheckFinite("bench.check", "", "", "v", float64(i))
+	}
+	_ = sink
+}
+
+// BenchmarkEnabledCheckPass is the reference cost with a live monitor
+// and a passing check: still allocation-free — events only allocate
+// when an invariant actually breaks.
+func BenchmarkEnabledCheckPass(b *testing.B) {
+	prev := SetDefault(New(nil, false))
+	defer SetDefault(prev)
+	b.ReportAllocs()
+	var sink error
+	for i := 0; i < b.N; i++ {
+		sink = CheckFinite("bench.check", "", "", "v", float64(i))
+	}
+	_ = sink
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"elmore/internal/health"
 	"elmore/internal/rctree"
 	"elmore/internal/telemetry"
 )
@@ -59,7 +60,45 @@ func Compute(t *rctree.Tree, order int) (*Set, error) {
 	telemetry.C("moments.computes").Inc()
 	telemetry.C("moments.traversals").Add(2 * int64(order))
 	telemetry.C("moments.node_visits").Add(2 * int64(order) * int64(n))
+	if err := s.checkFinite(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// checkFinite is the health sentinel on freshly computed moments: a
+// non-finite element value (a NaN capacitance, an Inf resistance)
+// poisons the recurrences and propagates through every downstream
+// bound, so catch it here, at the source. The O(order*N) scan runs only
+// when a health monitor is installed; one violation event summarizes
+// the damage (first poisoned node plus the total count), and under a
+// strict monitor the violation fails the computation.
+func (s *Set) checkFinite() error {
+	if !health.Enabled() {
+		return nil
+	}
+	firstQ, firstI, bad := 0, 0, 0
+	for q := 1; q <= s.order; q++ {
+		for i, v := range s.m[q] {
+			if !health.IsFinite(v) {
+				if bad == 0 {
+					firstQ, firstI = q, i
+				}
+				bad++
+			}
+		}
+	}
+	if bad == 0 {
+		return nil
+	}
+	t := s.tree
+	return health.Violate(health.Event{
+		Check:  "moments.nonfinite",
+		Tree:   health.TreeLabel(t.N(), t.Fingerprint()),
+		Node:   t.Name(firstI),
+		Detail: fmt.Sprintf("%d non-finite moment entries (first: m_%d)", bad, firstQ),
+		Values: map[string]health.F{fmt.Sprintf("m%d", firstQ): health.F(s.m[firstQ][firstI])},
+	})
 }
 
 // computeCompiled fills s.m[1..order] (user-indexed) from the compiled
@@ -194,10 +233,22 @@ func (s *Set) Mu3(i int) float64 {
 // response at node i. Lemma 2 guarantees mu2 >= 0 for RC trees; tiny
 // negative values from roundoff are clamped to zero, and the
 // zero-variance case (degenerate trees, e.g. no capacitance anywhere
-// on the node's branch) returns exactly +0, never -0.
+// on the node's branch) returns exactly +0, never -0. The clamp path
+// reports a health note (moments.sigma_degenerate) so degenerate
+// inputs are countable rather than silent.
 func (s *Set) Sigma(i int) float64 {
 	mu2 := s.Mu2(i)
 	if mu2 <= 0 {
+		if health.Enabled() {
+			t := s.tree
+			health.Note(health.Event{
+				Check:  "moments.sigma_degenerate",
+				Tree:   health.TreeLabel(t.N(), t.Fingerprint()),
+				Node:   t.Name(i),
+				Detail: "mu2 <= 0 clamped to sigma = +0",
+				Values: map[string]health.F{"mu2": health.F(mu2)},
+			})
+		}
 		return 0
 	}
 	return math.Sqrt(mu2)

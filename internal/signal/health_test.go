@@ -1,0 +1,56 @@
+package signal
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"elmore/internal/health"
+	"elmore/internal/telemetry"
+)
+
+// The PR 2 NaN sentinel on PWL.Cross made unreachable levels return
+// NaN instead of a misleading finite time; this locks in the follow-up
+// contract: the NaN path is countable through the health monitor.
+func TestCrossUnreachableEmitsHealthNote(t *testing.T) {
+	var sb strings.Builder
+	prevM := health.SetDefault(health.New(&sb, false))
+	defer health.SetDefault(prevM)
+	reg := telemetry.NewRegistry()
+	prevR := telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(prevR)
+
+	// A truncated PWL (built as a raw literal, bypassing Validate) that
+	// never reaches 0.9.
+	p := &PWL{Points: []Point{{0, 0}, {1, 0.5}}}
+	if x := p.Cross(0.9); !math.IsNaN(x) {
+		t.Fatalf("Cross(0.9) = %v, want NaN", x)
+	}
+	if got := reg.Counter("health.signal.cross_unreachable").Value(); got != 1 {
+		t.Errorf("health.signal.cross_unreachable = %d, want 1", got)
+	}
+	if got := reg.Counter("health.events").Value(); got != 1 {
+		t.Errorf("health.events = %d, want 1", got)
+	}
+	if !strings.Contains(sb.String(), `"check":"signal.cross_unreachable"`) {
+		t.Errorf("missing NDJSON event, got %q", sb.String())
+	}
+
+	// A reachable level must not count.
+	if x := p.Cross(0.25); math.IsNaN(x) {
+		t.Fatalf("Cross(0.25) = NaN, want finite")
+	}
+	if got := reg.Counter("health.events").Value(); got != 1 {
+		t.Errorf("reachable Cross recorded an event (events=%d)", got)
+	}
+}
+
+// Without a monitor the NaN path must stay silent and cheap.
+func TestCrossUnreachableDisabledMonitor(t *testing.T) {
+	prev := health.SetDefault(nil)
+	defer health.SetDefault(prev)
+	p := &PWL{Points: []Point{{0, 0}, {1, 0.5}}}
+	if x := p.Cross(0.9); !math.IsNaN(x) {
+		t.Fatalf("Cross(0.9) = %v, want NaN", x)
+	}
+}

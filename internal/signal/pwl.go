@@ -3,6 +3,8 @@ package signal
 import (
 	"fmt"
 	"math"
+
+	"elmore/internal/health"
 )
 
 // Point is a (time, value) breakpoint of a piecewise-linear signal.
@@ -90,10 +92,20 @@ func (p *PWL) RiseTime() float64 {
 // stays below the level (such a PWL fails Validate but can be built as
 // a raw struct literal) — returns NaN rather than a misleading finite
 // time. A level hit exactly at the final breakpoint returns that
-// breakpoint's time.
+// breakpoint's time. The NaN path also reports a health note
+// (signal.cross_unreachable) so silently degenerate inputs become
+// countable downstream.
 func (p *PWL) Cross(level float64) float64 {
 	pts := p.Points
 	if math.IsNaN(level) || level > pts[len(pts)-1].V {
+		health.Note(health.Event{
+			Check:  "signal.cross_unreachable",
+			Detail: "PWL never reaches the requested level",
+			Values: map[string]health.F{
+				"level": health.F(level),
+				"v_end": health.F(pts[len(pts)-1].V),
+			},
+		})
 		return math.NaN()
 	}
 	for i := 1; i < len(pts); i++ {

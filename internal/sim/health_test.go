@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"elmore/internal/health"
+	"elmore/internal/telemetry"
+	"elmore/internal/topo"
+)
+
+func installHealth(t *testing.T, strict bool) (*health.Monitor, *strings.Builder, *telemetry.Registry) {
+	t.Helper()
+	var sb strings.Builder
+	m := health.New(&sb, strict)
+	prevM := health.SetDefault(m)
+	reg := telemetry.NewRegistry()
+	prevR := telemetry.SetDefault(reg)
+	t.Cleanup(func() {
+		health.SetDefault(prevM)
+		telemetry.SetDefault(prevR)
+	})
+	return m, &sb, reg
+}
+
+// checkFinalState is the one sentinel on the integrated waveforms:
+// poison anywhere upstream propagates into the final state vector, so
+// seeding the state directly exercises exactly what a poisoned run
+// would leave behind.
+func TestCheckFinalStatePoisoned(t *testing.T) {
+	m, sb, reg := installHealth(t, false)
+	plan, err := NewPlan(topo.Fig1Tree(), PlanOptions{DT: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.Runner()
+	r.v[2] = math.NaN()
+	r.v[3] = math.Inf(1)
+	if err := r.checkFinalState(); err != nil {
+		t.Fatalf("non-strict monitor must not fail the run: %v", err)
+	}
+	if got := reg.Counter("health.sim.nonfinite_state").Value(); got != 1 {
+		t.Errorf("health.sim.nonfinite_state = %d, want 1", got)
+	}
+	if m.Violations() != 1 {
+		t.Errorf("violations = %d, want 1 (one event per run, not per node)", m.Violations())
+	}
+	if !strings.Contains(sb.String(), "2 non-finite node voltages") {
+		t.Errorf("event lacks poison count: %s", sb.String())
+	}
+}
+
+func TestCheckFinalStateStrictFails(t *testing.T) {
+	installHealth(t, true)
+	plan, err := NewPlan(topo.Fig1Tree(), PlanOptions{DT: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.Runner()
+	r.v[0] = math.NaN()
+	var v *health.Violation
+	if err := r.checkFinalState(); !errors.As(err, &v) {
+		t.Fatalf("strict monitor must return *health.Violation, got %v", err)
+	} else if v.Check != "sim.nonfinite_state" {
+		t.Errorf("check = %q", v.Check)
+	}
+}
+
+func TestRunCleanUnderStrict(t *testing.T) {
+	m, _, _ := installHealth(t, true)
+	plan, err := NewPlan(topo.Fig1Tree(), PlanOptions{DT: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plan.Run(nil, RunOptions{}); err != nil {
+		t.Fatalf("healthy run failed under strict monitor: %v", err)
+	}
+	if m.Events() != 0 {
+		t.Errorf("healthy run recorded %d events", m.Events())
+	}
+}
+
+func TestCheckFinalStateDisabledMonitor(t *testing.T) {
+	prev := health.SetDefault(nil)
+	defer health.SetDefault(prev)
+	plan, err := NewPlan(topo.Fig1Tree(), PlanOptions{DT: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan.Runner()
+	r.v[0] = math.NaN()
+	if err := r.checkFinalState(); err != nil {
+		t.Fatalf("disabled monitor must be inert: %v", err)
+	}
+}

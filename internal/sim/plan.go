@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"elmore/internal/health"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
 	"elmore/internal/telemetry"
@@ -422,7 +423,42 @@ func (r *Runner) RunInto(in signal.Signal, opts RunOptions, res *Result) error {
 	}
 	telemetry.C("sim.plan_runs").Inc()
 	telemetry.C("sim.steps").Add(int64(steps))
-	return nil
+	return r.checkFinalState()
+}
+
+// checkFinalState is the health sentinel on the integrated waveforms: a
+// NaN or Inf anywhere in the element values or the input poisons the
+// recurrence and — because NaN propagates forward through every later
+// step — is guaranteed to still be present in the final state vector,
+// so one O(N) scan of r.v after the loop catches it without touching
+// the per-step path. The scan runs only when a health monitor is
+// installed; under a strict monitor the violation fails the run.
+func (r *Runner) checkFinalState() error {
+	if !health.Enabled() {
+		return nil
+	}
+	bad, first := 0, -1
+	for i, v := range r.v {
+		if !health.IsFinite(v) {
+			if bad == 0 {
+				first = i
+			}
+			bad++
+		}
+	}
+	if bad == 0 {
+		return nil
+	}
+	p := r.plan
+	t := p.Tree()
+	user := int(p.cp.ToUser[first])
+	return health.Violate(health.Event{
+		Check:  "sim.nonfinite_state",
+		Tree:   health.TreeLabel(t.N(), t.Fingerprint()),
+		Node:   t.Name(user),
+		Detail: fmt.Sprintf("%d non-finite node voltages in the final state", bad),
+		Values: map[string]health.F{"v": health.F(r.v[first])},
+	})
 }
 
 // reset prepares the result for steps+1 samples of the given probes

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry, so any scraper pointed at the cliutil debug server's
+// /metrics endpoint ingests the engines' counters, gauges and
+// histograms directly.
+//
+// Naming: the registry's dotted names ("batch.queue_depth") become
+// underscore-separated Prometheus names ("batch_queue_depth"); any
+// character outside [a-zA-Z0-9_:] maps to '_'. Histograms follow the
+// standard triple — cumulative <name>_bucket{le="..."} series
+// (including the mandatory le="+Inf"), <name>_sum and <name>_count.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName sanitizes a registry metric name into a valid Prometheus
+// metric name.
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a sample value. Prometheus accepts Go's 'g'
+// formatting, with the special spellings +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the text exposition format,
+// sorted by metric name. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name string // sanitized
+		text string // full rendered block
+	}
+	var fams []family
+
+	r.mu.RLock()
+	for name, c := range r.counters {
+		p := PromName(name)
+		fams = append(fams, family{p, fmt.Sprintf(
+			"# HELP %s Counter %s from the elmore metrics registry.\n# TYPE %s counter\n%s %d\n",
+			p, name, p, p, c.Value())})
+	}
+	for name, g := range r.gauges {
+		p := PromName(name)
+		fams = append(fams, family{p, fmt.Sprintf(
+			"# HELP %s Gauge %s from the elmore metrics registry.\n# TYPE %s gauge\n%s %s\n",
+			p, name, p, p, promFloat(g.Value()))})
+	}
+	for name, h := range r.hists {
+		p := PromName(name)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "# HELP %s Histogram %s from the elmore metrics registry.\n# TYPE %s histogram\n", p, name, p)
+		// Buckets are stored per-interval; the exposition format wants
+		// cumulative counts. Load each bucket exactly once so the
+		// cumulative series is internally consistent even while
+		// observations land concurrently.
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n", p, promFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", p, cum)
+		fmt.Fprintf(&sb, "%s_sum %s\n", p, promFloat(h.Sum()))
+		fmt.Fprintf(&sb, "%s_count %d\n", p, cum)
+		fams = append(fams, family{p, sb.String()})
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := io.WriteString(w, f.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromHandler serves the *current* default registry in the Prometheus
+// text format, so it can be registered once on a mux and keep working
+// as registries are swapped in and out (it serves an empty body while
+// metrics are disabled).
+type PromHandler struct{}
+
+// ServeHTTP implements http.Handler.
+func (PromHandler) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	_ = Default().WritePrometheus(w)
+}

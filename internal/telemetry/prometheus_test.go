@@ -1,0 +1,296 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name  string
+	le    string // bucket label, "" for plain samples
+	value float64
+}
+
+var (
+	promNameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]+)"\})? (\S+)$`)
+)
+
+// parseProm is a strict parser for the subset of the text exposition
+// format the registry emits. It validates, per metric family: a single
+// HELP then TYPE comment before any sample; samples named after the
+// family (with the _bucket/_sum/_count suffixes for histograms);
+// cumulative, monotone buckets ending in le="+Inf"; and _count equal to
+// the +Inf bucket. Returning the samples makes the test a true
+// round-trip: values written must be read back identically.
+func parseProm(t *testing.T, text string) map[string][]promSample {
+	t.Helper()
+	families := make(map[string][]promSample)
+	typ := make(map[string]string)
+	var cur string // family currently being parsed
+	sawHelp := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			sawHelp[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, kind := f[2], f[3]
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: invalid metric name %q", ln+1, name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("line %d: invalid type %q", ln+1, kind)
+			}
+			if !sawHelp[name] {
+				t.Fatalf("line %d: TYPE before HELP for %q", ln+1, name)
+			}
+			if _, dup := typ[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			typ[name] = kind
+			cur = name
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: unparsable sample: %q", ln+1, line)
+		}
+		name, le, vals := m[1], m[2], m[3]
+		var v float64
+		switch vals {
+		case "+Inf":
+			v = math.Inf(1)
+		case "-Inf":
+			v = math.Inf(-1)
+		case "NaN":
+			v = math.NaN()
+		default:
+			var err error
+			v, err = strconv.ParseFloat(vals, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", ln+1, vals, err)
+			}
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && typ[strings.TrimSuffix(name, suf)] == "histogram" {
+				family = strings.TrimSuffix(name, suf)
+			}
+		}
+		if family != cur {
+			t.Fatalf("line %d: sample %q outside its family block (current %q)", ln+1, name, cur)
+		}
+		if typ[family] == "" {
+			t.Fatalf("line %d: sample %q with no preceding TYPE", ln+1, name)
+		}
+		if le != "" && (typ[family] != "histogram" || !strings.HasSuffix(name, "_bucket")) {
+			t.Fatalf("line %d: le label on non-bucket sample %q", ln+1, name)
+		}
+		families[family] = append(families[family], promSample{name, le, v})
+	}
+	// Histogram structural invariants.
+	for name, kind := range typ {
+		if kind != "histogram" {
+			continue
+		}
+		var buckets []promSample
+		var count, sum *promSample
+		for i, s := range families[name] {
+			switch {
+			case strings.HasSuffix(s.name, "_bucket"):
+				buckets = append(buckets, s)
+			case strings.HasSuffix(s.name, "_count"):
+				count = &families[name][i]
+			case strings.HasSuffix(s.name, "_sum"):
+				sum = &families[name][i]
+			}
+		}
+		if len(buckets) == 0 || count == nil || sum == nil {
+			t.Fatalf("histogram %s incomplete: %+v", name, families[name])
+		}
+		if buckets[len(buckets)-1].le != "+Inf" {
+			t.Fatalf("histogram %s last bucket is %q, want +Inf", name, buckets[len(buckets)-1].le)
+		}
+		prevBound := math.Inf(-1)
+		prevCum := float64(0)
+		for _, b := range buckets {
+			bound := math.Inf(1)
+			if b.le != "+Inf" {
+				var err error
+				bound, err = strconv.ParseFloat(b.le, 64)
+				if err != nil {
+					t.Fatalf("histogram %s: bad le %q", name, b.le)
+				}
+			}
+			if bound <= prevBound {
+				t.Fatalf("histogram %s: le bounds not increasing (%v after %v)", name, bound, prevBound)
+			}
+			if b.value < prevCum {
+				t.Fatalf("histogram %s: buckets not cumulative (%v after %v)", name, b.value, prevCum)
+			}
+			prevBound, prevCum = bound, b.value
+		}
+		if count.value != prevCum {
+			t.Fatalf("histogram %s: _count %v != +Inf bucket %v", name, count.value, prevCum)
+		}
+	}
+	return families
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.analyses").Add(42)
+	reg.Gauge("batch.queue_depth").Set(17)
+	reg.Gauge("sim.horizon_seconds").Set(2.5e-9)
+	h := reg.Histogram("sim.run_seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseProm(t, sb.String())
+
+	get := func(name string) []promSample {
+		s, ok := fams[name]
+		if !ok {
+			t.Fatalf("family %q missing from:\n%s", name, sb.String())
+		}
+		return s
+	}
+	if s := get("core_analyses"); len(s) != 1 || s[0].value != 42 {
+		t.Errorf("counter: %+v", s)
+	}
+	if s := get("batch_queue_depth"); len(s) != 1 || s[0].value != 17 {
+		t.Errorf("gauge: %+v", s)
+	}
+	if s := get("sim_horizon_seconds"); len(s) != 1 || s[0].value != 2.5e-9 {
+		t.Errorf("gauge: %+v", s)
+	}
+	wantBuckets := map[string]float64{"0.001": 1, "0.01": 1, "0.1": 3, "+Inf": 4}
+	var sum float64
+	for _, s := range get("sim_run_seconds") {
+		switch {
+		case s.le != "":
+			if s.value != wantBuckets[s.le] {
+				t.Errorf("bucket le=%s = %v, want %v", s.le, s.value, wantBuckets[s.le])
+			}
+		case strings.HasSuffix(s.name, "_sum"):
+			sum = s.value
+		}
+	}
+	if math.Abs(sum-5.1005) > 1e-12 {
+		t.Errorf("histogram sum = %v, want 5.1005", sum)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var reg *Registry
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"batch.queue_depth":           "batch_queue_depth",
+		"health.moments.mu2_negative": "health_moments_mu2_negative",
+		"9lives":                      "_lives",
+		"a-b c":                       "a_b_c",
+		"ok_name":                     "ok_name",
+	} {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromHandlerServesDefaultRegistry(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("h.count").Add(3)
+	prev := SetDefault(reg)
+	defer SetDefault(prev)
+
+	rec := httptest.NewRecorder()
+	PromHandler{}.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "h_count 3") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+	parseProm(t, body)
+
+	// With metrics disabled the handler serves an empty body, not an
+	// error.
+	SetDefault(nil)
+	rec = httptest.NewRecorder()
+	PromHandler{}.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Body.Len() != 0 {
+		t.Errorf("disabled registry served %q", rec.Body.String())
+	}
+}
+
+func TestGaugeAddAtomicity(t *testing.T) {
+	const workers = 8
+	const per = 1000
+	g := &Gauge{}
+	g.Set(workers * per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if v := g.Add(-1); v < 0 {
+					t.Errorf("gauge went negative: %v", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("final gauge = %v, want 0", v)
+	}
+}
+
+func TestGaugeAddNil(t *testing.T) {
+	var g *Gauge
+	if v := g.Add(5); v != 0 {
+		t.Fatalf("nil gauge Add = %v", v)
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	reg := NewRegistry()
+	reg.Counter("demo.count").Add(7)
+	var sb strings.Builder
+	_ = reg.WritePrometheus(&sb)
+	fmt.Print(strings.Split(sb.String(), "\n")[2] + "\n")
+	// Output: demo_count 7
+}

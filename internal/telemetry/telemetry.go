@@ -74,6 +74,25 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add atomically adds delta to the gauge and returns the new value.
+// Because the gauge's own atomic is the accumulator, concurrent Adds
+// can interleave in any order without the value ever passing through a
+// state no single operation produced — the property the batch
+// queue-depth gauge relies on (a Set-after-load pattern can publish
+// stale values out of order). No-op returning 0 on a nil gauge.
+func (g *Gauge) Add(delta float64) float64 {
+	if g == nil {
+		return 0
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
 // Value returns the current value (0 on a nil gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {
