@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks folded into BENCH_3.json by `make bench-json`.
 BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|SimTransient|SimPlanReuse|TableI$$
 
-.PHONY: check build test vet race health-strict bench bench-json bench-smoke fmt
+.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke fmt
 
 check: vet build race
 
@@ -23,6 +23,22 @@ race:
 # any NaN/Inf, Lemma 2, or bound-ordering violation fails the run.
 health-strict:
 	ELMORE_STRICT_NUMERICS=1 $(GO) test ./...
+
+# Fault-injection chaos suite under the race detector: thousands of
+# batch jobs with seeded faults in the simulator, moment engine, and
+# dispatcher, plus the journal resume and cancellation-leak tests.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestChaos|TestJournal|TestRunSpecsJournalResume|TestRunFuncStopsEmittingAfterCancel' \
+		./internal/batch
+	$(GO) test -race -count=1 ./internal/faultinject ./internal/resilience ./internal/cliutil
+
+# Short exploratory fuzz runs for the two line-oriented parsers. Go
+# allows one -fuzz pattern per package invocation, hence two commands.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReadSpecs -fuzztime=$(FUZZTIME) ./internal/batch
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/netlist
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

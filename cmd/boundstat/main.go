@@ -19,7 +19,6 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,7 +28,6 @@ import (
 	"sort"
 	"strings"
 
-	"elmore/internal/batch"
 	"elmore/internal/cliutil"
 	"elmore/internal/exact"
 	"elmore/internal/moments"
@@ -64,32 +62,6 @@ func quantiles(xs []float64) [5]float64 {
 	return [5]float64{xs[0], q(0.1), q(0.5), q(0.9), xs[len(xs)-1]}
 }
 
-// runBatch evaluates the -jobs NDJSON stream on the batch engine. Net
-// jobs only: boundstat has no cell library, so path specs fail soft
-// (one error record each). A nonzero number of failed jobs fails the
-// run after every result has been emitted.
-func runBatch(ctx context.Context, bf *cliutil.BatchFlags, stdout, stderr io.Writer) error {
-	f, err := os.Open(bf.Jobs)
-	if err != nil {
-		return fmt.Errorf("-jobs: %w", err)
-	}
-	defer f.Close()
-	eng := &batch.Engine{
-		Workers: bf.Workers,
-		Timeout: bf.Timeout,
-		Cache:   batch.NewCache(),
-		Report:  bf.Reporter(stderr),
-	}
-	failed, total, err := batch.RunSpecs(ctx, eng, f, nil, 0, stdout)
-	if err != nil {
-		return err
-	}
-	if failed > 0 {
-		return fmt.Errorf("%d of %d jobs failed", failed, total)
-	}
-	return nil
-}
-
 func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("boundstat", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -121,9 +93,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	defer func() { err = errors.Join(err, sess.Close()) }()
 	if bf.Jobs != "" {
-		// Batch mode replaces the Monte-Carlo study: net jobs from the
-		// NDJSON stream, results streamed to stdout in job order.
-		return runBatch(sess.Context(), bf, stdout, stderr)
+		// Batch mode replaces the Monte-Carlo study: net and transient
+		// jobs from the NDJSON stream (no cell library, so path specs
+		// fail soft), results streamed to stdout in job order, with
+		// retry/degradation and the -resume journal handled by cliutil.
+		return bf.RunBatch(sess.Context(), nil, 0, stdout, stderr)
 	}
 	ctx, root := telemetry.Start(sess.Context(), "boundstat.run")
 	root.AttrInt("trees", int64(*nTrees))

@@ -27,7 +27,6 @@ import (
 	"os"
 	"strings"
 
-	"elmore/internal/batch"
 	"elmore/internal/cliutil"
 	"elmore/internal/gate"
 	"elmore/internal/netlist"
@@ -96,27 +95,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 
 	if bf.Jobs != "" {
 		psp.End()
-		// Batch mode: path (and net) jobs from the NDJSON stream, -slew
-		// as the default input slew, results streamed in job order.
-		jobsFile, err := os.Open(bf.Jobs)
-		if err != nil {
-			return fmt.Errorf("-jobs: %w", err)
-		}
-		defer jobsFile.Close()
-		eng := &batch.Engine{
-			Workers: bf.Workers,
-			Timeout: bf.Timeout,
-			Cache:   batch.NewCache(),
-			Report:  bf.Reporter(stderr),
-		}
-		failed, total, err := batch.RunSpecs(ctx, eng, jobsFile, lib, inSlew, stdout)
-		if err != nil {
-			return err
-		}
-		if failed > 0 {
-			return fmt.Errorf("%d of %d jobs failed", failed, total)
-		}
-		return nil
+		// Batch mode: path (and net/transient) jobs from the NDJSON
+		// stream, -slew as the default input slew, results streamed in
+		// job order, with retry/degradation and the -resume journal
+		// handled by cliutil.
+		return bf.RunBatch(ctx, lib, inSlew, stdout, stderr)
 	}
 
 	path := sta.Path{InputSlew: inSlew}

@@ -5,27 +5,38 @@
 // combinations per run; this package is the layer that exploits that.
 //
 // A Job is either a net analysis (core.AnalyzeContext plus per-sink
-// Bounds/InputBounds) or an STA path walk (sta.AnalyzePathMoments). The
-// Engine guarantees:
+// Bounds/InputBounds), an STA path walk (sta.AnalyzePathMoments), or a
+// transient characterization sweep (sim.Plan). The Engine guarantees:
 //
 //   - Bounded concurrency: at most Workers jobs run at once (default
 //     GOMAXPROCS).
-//   - Per-job timeout and cancellation: each job runs under a derived
-//     context; expiry or batch-context cancellation is observed at
-//     sink/stage boundaries inside the engines.
+//   - Per-attempt timeout and cancellation: each attempt runs under a
+//     derived context; expiry or batch-context cancellation is observed
+//     at sink/stage boundaries inside the engines.
 //   - Fail-soft error policy: one bad netlist (or a panicking job)
 //     yields a per-job error Result, never a dead batch. Worker panics
 //     are recovered and isolated to the offending job.
 //   - Deterministic ordering: Run returns results in job order, and
 //     RunFunc emits them in job order as soon as each prefix completes,
-//     regardless of which worker finished first.
+//     regardless of which worker finished first. Once the batch context
+//     is cancelled RunFunc stops emitting; Run reports the unemitted
+//     jobs with the context's error.
 //   - Shared moment reuse: an optional immutable Cache keyed by tree
 //     fingerprint lets repeated nets reuse one moments.Set.
+//   - Resilience: an optional retry Policy re-runs transiently failing
+//     attempts with backoff, a Breaker cuts off trees that keep
+//     failing, a Watchdog flags stuck attempts, and — because the
+//     paper guarantees the Elmore delay T_D = m1 bounds the 50% delay
+//     from above and max(mu-sigma, 0) from below — a transient sweep
+//     whose simulation keeps failing degrades gracefully to those
+//     moment bounds instead of erroring (Result.Degraded
+//     "elmore-bound").
 //
 // The engine is instrumented with the telemetry package: a
 // batch.queue_depth gauge, batch.jobs / batch.job_errors /
-// batch.cache_hits / batch.cache_misses counters, and one batch.job
-// span per job nested under the batch.run span.
+// batch.cache_hits / batch.cache_misses / resilience.retries /
+// resilience.degraded counters, and one batch.job span per job nested
+// under the batch.run span.
 package batch
 
 import (
@@ -37,8 +48,11 @@ import (
 	"time"
 
 	"elmore/internal/core"
+	"elmore/internal/faultinject"
+	"elmore/internal/health"
 	"elmore/internal/moments"
 	"elmore/internal/rctree"
+	"elmore/internal/resilience"
 	"elmore/internal/signal"
 	"elmore/internal/sta"
 	"elmore/internal/telemetry"
@@ -86,27 +100,59 @@ type NetResult struct {
 	Sinks    []SinkBounds
 }
 
+// DegradedElmoreBound is the Result.Degraded marker for a transient
+// job whose simulation kept failing and was answered with the paper's
+// closed-form interval [max(mu-sigma, 0), T_D] instead.
+const DegradedElmoreBound = "elmore-bound"
+
 // Result is the outcome of one job. Exactly one of Net/Path/Tran is
 // non-nil on success; Err is set on failure (and all payloads are nil).
+// A degraded result is a success with Degraded set: the simulation
+// failed, but the paper-guaranteed bound interval in Net stands in for
+// it (DegradedFrom preserves the suppressed failure).
 type Result struct {
-	Index    int    // position in the submitted job slice
-	ID       string // echoed Job.ID
-	Err      error
-	CacheHit bool // a shared moment set or simulation plan was reused
-	Elapsed  time.Duration
-	Net      *NetResult
-	Path     *sta.PathResult
-	Tran     *TranResult
+	Index        int    // position in the submitted job slice
+	ID           string // echoed Job.ID
+	Err          error
+	CacheHit     bool // a shared moment set or simulation plan was reused
+	Elapsed      time.Duration
+	Attempts     int    // attempts executed (0 only for never-started jobs)
+	Degraded     string // DegradedElmoreBound when Net stands in for a failed sim
+	DegradedFrom string // the failure Degraded suppressed
+	Net          *NetResult
+	Path         *sta.PathResult
+	Tran         *TranResult
 }
 
 // Engine runs batches. The zero value is usable: GOMAXPROCS workers, no
-// timeout, no cache. An Engine is stateless across Run calls and safe
-// for concurrent use.
+// timeout, no cache, single attempts, no degradation suppression. An
+// Engine is stateless across Run calls and safe for concurrent use.
 type Engine struct {
 	Workers int           // max concurrent jobs; <= 0 means runtime.GOMAXPROCS(0)
-	Timeout time.Duration // per-job limit; <= 0 means none
+	Timeout time.Duration // per-attempt limit; <= 0 means none
 	Cache   *Cache        // shared moment-set cache; nil disables reuse
 	Report  *Reporter     // run reporting (progress, slow log, summary); nil disables
+
+	// Retry re-runs transiently failing attempts; nil means one attempt
+	// per job.
+	Retry *resilience.Policy
+	// Breaker cuts off circuits (keyed by tree fingerprint) that keep
+	// failing transiently; nil disables. Jobs rejected by an open
+	// breaker degrade like any other transient failure.
+	Breaker *resilience.Breaker
+	// Watchdog flags attempts running far past expectations; nil
+	// disables. With CancelStuck set it also cancels them.
+	Watchdog *resilience.Watchdog
+	// NoDegrade turns off graceful degradation: transient jobs whose
+	// simulation exhausts its attempts report the error instead of the
+	// moment-bound interval.
+	NoDegrade bool
+
+	// OnStart, when non-nil, observes each job the moment a worker
+	// picks it up (before any attempt). It is called concurrently from
+	// worker goroutines; the crash-safe journal uses it to record
+	// in-flight jobs.
+	OnStart func(index int, id string)
 }
 
 // Run evaluates all jobs and returns one Result per job, in job order.
@@ -114,7 +160,18 @@ type Engine struct {
 // jobs with ctx's error and returns.
 func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	e.RunFunc(ctx, jobs, func(r Result) { results[r.Index] = r })
+	seen := make([]bool, len(jobs))
+	e.RunFunc(ctx, jobs, func(r Result) {
+		results[r.Index] = r
+		seen[r.Index] = true
+	})
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !seen[i] {
+				results[i] = Result{Index: i, ID: jobs[i].ID, Err: err}
+			}
+		}
+	}
 	return results
 }
 
@@ -122,6 +179,12 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 // order (emit runs on the calling goroutine, so it needs no locking).
 // Results stream: result i is emitted as soon as jobs 0..i have all
 // finished, so a slow job delays — but never reorders — the output.
+//
+// Cancellation contract: once ctx's cancellation is observed, emit is
+// never called again — jobs not yet emitted are simply dropped (Run
+// reports them with ctx's error; a journal re-queues them on resume).
+// Workers still drain to completion, so RunFunc returns only after
+// every in-flight job has finished.
 func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 	workers := e.Workers
 	if workers <= 0 {
@@ -137,6 +200,9 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 	if len(jobs) == 0 {
 		return
 	}
+
+	stopWatch := e.Watchdog.Watch()
+	defer stopWatch()
 
 	// The queue-depth gauge is driven exclusively through Add deltas on
 	// its own atomic: publishing pending.Add(-1) via Set would let two
@@ -166,22 +232,38 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 			for i := range idxCh {
 				pending.Add(-1)
 				qd.Add(-1)
+				if e.OnStart != nil {
+					e.OnStart(i, jobs[i].ID)
+				}
 				resCh <- e.runJob(bctx, i, jobs[i])
 			}
 		}()
 	}
 	go func() {
+		// The dispatcher stops on cancellation instead of force-feeding
+		// the remaining indices: workers drain what is already queued
+		// and exit, and the undispatched jobs settle the gauges here.
+		defer close(idxCh)
 		for i := range jobs {
-			idxCh <- i
+			select {
+			case idxCh <- i:
+			case <-bctx.Done():
+				skipped := int64(len(jobs) - i)
+				pending.Add(-skipped)
+				qd.Add(float64(-skipped))
+				telemetry.C("batch.jobs_cancelled").Add(skipped)
+				return
+			}
 		}
-		close(idxCh)
 	}()
 	go func() {
 		wg.Wait()
 		close(resCh)
 	}()
 
-	// Reorder buffer: emit in job order as each prefix completes.
+	// Reorder buffer: emit in job order as each prefix completes. After
+	// cancellation the loop keeps draining resCh (the reporter still
+	// observes every finished job) but emits nothing more.
 	buffered := make([]*Result, len(jobs))
 	next := 0
 	for r := range resCh {
@@ -189,8 +271,16 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 		if rr != nil {
 			rr.observe(r)
 		}
+		if bctx.Err() != nil {
+			continue
+		}
 		buffered[r.Index] = &r
 		for next < len(jobs) && buffered[next] != nil {
+			if bctx.Err() != nil {
+				// emit itself may have cancelled the batch: stop even
+				// mid-prefix.
+				break
+			}
 			emit(*buffered[next])
 			buffered[next] = nil
 			next++
@@ -198,17 +288,20 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 	}
 }
 
-// runJob executes one job under the per-job timeout with panic
-// isolation. It always returns a Result, never panics.
+// jobLabel names one job for watchdog and health reporting.
+func jobLabel(idx int, id string) string {
+	if id != "" {
+		return id
+	}
+	return fmt.Sprintf("#%d", idx)
+}
+
+// runJob executes one job — attempt loop, breaker, degradation — with
+// panic isolation. It always returns a Result, never panics.
 func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 	res = Result{Index: idx, ID: j.ID}
 	start := time.Now()
 	jctx := ctx
-	if e.Timeout > 0 {
-		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, e.Timeout)
-		defer cancel()
-	}
 	// When the reporter wants slow-job span trees and no ambient tracer
 	// is recording this run, give the job a private in-memory tracer:
 	// its spans are kept if the job turns out slow and dropped for free
@@ -225,6 +318,7 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 	}
 	defer func() {
 		if p := recover(); p != nil {
+			// Backstop only: attempts recover their own panics.
 			res.Net, res.Path, res.Tran = nil, nil, nil
 			res.Err = fmt.Errorf("batch: job %d (%s) panicked: %v", idx, j.ID, p)
 		}
@@ -234,38 +328,187 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 			telemetry.C("batch.job_errors").Inc()
 			sp.AttrString("error", res.Err.Error())
 		}
+		if res.Degraded != "" {
+			sp.AttrString("degraded", res.Degraded)
+		}
 		sp.End()
 		e.Report.noteJob(idx, j.ID, res.Err, res.Elapsed, slowSpans)
 	}()
-	switch {
-	case j.Err != nil:
-		res.Err = j.Err
-	case j.Net != nil && j.Path == nil && j.Tran == nil:
-		res.Net, res.CacheHit, res.Err = e.runNet(jctx, j.Net)
-	case j.Path != nil && j.Net == nil && j.Tran == nil:
-		res.Path, res.CacheHit, res.Err = e.runPath(jctx, j.Path)
-	case j.Tran != nil && j.Net == nil && j.Path == nil:
-		res.Tran, res.CacheHit, res.Err = e.runTran(jctx, j.Tran)
-	default:
-		res.Err = fmt.Errorf("batch: job %d (%s): exactly one of Net, Path or Tran must be set", idx, j.ID)
-	}
+	e.runAttempts(jctx, idx, j, &res)
 	return res
 }
 
-func (e *Engine) runNet(ctx context.Context, nj *NetJob) (*NetResult, bool, error) {
+// runAttempts drives the retry loop for one job and fills res with the
+// final outcome: a payload, a degraded bound interval, or an error.
+func (e *Engine) runAttempts(ctx context.Context, idx int, j Job, res *Result) {
+	if j.Err != nil {
+		res.Err = j.Err
+		return
+	}
+	kinds := 0
+	for _, set := range []bool{j.Net != nil, j.Path != nil, j.Tran != nil} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds != 1 {
+		res.Err = fmt.Errorf("batch: job %d (%s): exactly one of Net, Path or Tran must be set", idx, j.ID)
+		return
+	}
+
+	// The tree resolves once and is memoized across attempts (no
+	// re-parsing per retry); pre-built trees give the breaker its key
+	// before the first attempt, loader-built trees after it. Path jobs
+	// span multiple nets and skip the breaker.
+	var tree *rctree.Tree
+	switch {
+	case j.Net != nil:
+		tree = j.Net.Tree
+	case j.Tran != nil:
+		tree = j.Tran.Tree
+	}
+	var fp uint64
+	haveFP := false
+	if tree != nil {
+		fp, haveFP = tree.Fingerprint(), true
+	}
+
+	attempts := e.Retry.Attempts()
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		if haveFP {
+			if err := e.Breaker.Allow(fp); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		pl, hit, err := e.attemptOnce(ctx, idx, j, &tree)
+		if tree != nil && !haveFP {
+			fp, haveFP = tree.Fingerprint(), true
+		}
+		if err == nil {
+			if haveFP {
+				e.Breaker.Success(fp)
+			}
+			res.CacheHit = hit
+			res.Net, res.Path, res.Tran = pl.net, pl.path, pl.tran
+			return
+		}
+		lastErr = err
+		class := resilience.Classify(err)
+		if class == resilience.Transient || class == resilience.Panicked {
+			if haveFP {
+				e.Breaker.Failure(fp)
+			}
+		}
+		retryable := class == resilience.Transient ||
+			(class == resilience.Panicked && e.Retry != nil && e.Retry.RetryPanics)
+		if !retryable || attempt >= attempts {
+			break
+		}
+		telemetry.C("resilience.retries").Inc()
+		if serr := e.Retry.Sleep(ctx, attempt); serr != nil {
+			// The batch is being torn down mid-backoff: report the
+			// cancellation, not the attempt error, so a journal
+			// re-queues the job instead of recording a failure.
+			lastErr = serr
+			break
+		}
+	}
+
+	// Graceful degradation: a transient sweep whose simulation keeps
+	// failing still has the paper's closed-form answer — one O(N)
+	// moment pass gives [max(mu-sigma, 0), T_D] at every probe.
+	if !e.NoDegrade && j.Tran != nil && tree != nil && resilience.Degradable(lastErr) {
+		if net, _, derr := e.runNet(ctx, &NetJob{Sinks: j.Tran.Probes}, tree); derr == nil {
+			res.Net = net
+			res.Degraded = DegradedElmoreBound
+			res.DegradedFrom = lastErr.Error()
+			telemetry.C("resilience.degraded").Inc()
+			health.Note(health.Event{
+				Check:  "resilience.degraded",
+				Tree:   health.TreeLabel(tree.N(), tree.Fingerprint()),
+				Node:   jobLabel(idx, j.ID),
+				Detail: fmt.Sprintf("sim failed after %d attempts, degraded to elmore-bound: %v", res.Attempts, lastErr),
+			})
+			return
+		}
+	}
+	res.Err = lastErr
+}
+
+// payload carries one attempt's successful outcome.
+type payload struct {
+	net  *NetResult
+	path *sta.PathResult
+	tran *TranResult
+}
+
+// attemptOnce executes one attempt of a job under the per-attempt
+// timeout and watchdog, converting panics into *resilience.PanicError
+// so the retry loop can classify them. tree memoizes Net/Tran net
+// resolution across attempts.
+func (e *Engine) attemptOnce(ctx context.Context, idx int, j Job, tree **rctree.Tree) (pl payload, hit bool, err error) {
+	actx := ctx
+	cancel := context.CancelFunc(func() {})
+	if e.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, e.Timeout)
+	} else if e.Watchdog != nil && e.Watchdog.CancelStuck {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	unregister := e.Watchdog.Register(jobLabel(idx, j.ID), cancel)
+	defer unregister()
+	defer func() {
+		if p := recover(); p != nil {
+			pl = payload{}
+			hit = false
+			err = fmt.Errorf("batch: job %d (%s): %w", idx, j.ID, &resilience.PanicError{Value: p})
+		}
+	}()
+	if err := faultinject.Fire("batch.dispatch"); err != nil {
+		return payload{}, false, err
+	}
+	switch {
+	case j.Net != nil:
+		if *tree == nil {
+			t, lerr := resolveTree(j.Net.Load, "net")
+			if lerr != nil {
+				return payload{}, false, lerr
+			}
+			*tree = t
+		}
+		pl.net, hit, err = e.runNet(actx, j.Net, *tree)
+	case j.Tran != nil:
+		if *tree == nil {
+			t, lerr := resolveTree(j.Tran.Load, "tran")
+			if lerr != nil {
+				return payload{}, false, lerr
+			}
+			*tree = t
+		}
+		pl.tran, hit, err = e.runTran(actx, j.Tran, *tree)
+	default:
+		pl.path, hit, err = e.runPath(actx, j.Path)
+	}
+	if err != nil {
+		return payload{}, false, err
+	}
+	return pl, hit, nil
+}
+
+// resolveTree runs a job's lazy loader.
+func resolveTree(load func() (*rctree.Tree, error), kind string) (*rctree.Tree, error) {
+	if load == nil {
+		return nil, fmt.Errorf("batch: %s job has neither Tree nor Load", kind)
+	}
+	return load()
+}
+
+func (e *Engine) runNet(ctx context.Context, nj *NetJob, tree *rctree.Tree) (*NetResult, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
-	}
-	tree := nj.Tree
-	if tree == nil {
-		if nj.Load == nil {
-			return nil, false, fmt.Errorf("batch: net job has neither Tree nor Load")
-		}
-		var err error
-		tree, err = nj.Load()
-		if err != nil {
-			return nil, false, err
-		}
 	}
 	var (
 		ms  *moments.Set

@@ -7,6 +7,7 @@ import (
 
 	"elmore/internal/moments"
 	"elmore/internal/rctree"
+	"elmore/internal/resilience"
 	"elmore/internal/sim"
 	"elmore/internal/telemetry"
 )
@@ -91,6 +92,18 @@ func (c *Cache) Moments(t *rctree.Tree, order int) (*moments.Set, bool, error) {
 		e.ms, e.err = moments.Compute(t, cacheOrder)
 	})
 	if e.err != nil {
+		// A permanent error (bad element values) is worth memoizing —
+		// recomputation fails identically — but a transient one
+		// (injected fault, cancellation) must not poison the entry for
+		// every later job and retry on this circuit: evict it so the
+		// next caller recomputes.
+		if resilience.Classify(e.err) != resilience.Permanent {
+			c.mu.Lock()
+			if c.m[key] == e {
+				delete(c.m, key)
+			}
+			c.mu.Unlock()
+		}
 		return nil, hit, e.err
 	}
 	if e.ms.Tree().N() != t.N() {
@@ -129,6 +142,15 @@ func (c *Cache) Plan(t *rctree.Tree, dt float64, method sim.Method) (*sim.Plan, 
 		e.plan, e.err = sim.NewPlan(t, sim.PlanOptions{DT: dt, Method: method})
 	})
 	if e.err != nil {
+		// Same eviction policy as Moments: only permanent failures are
+		// worth remembering.
+		if resilience.Classify(e.err) != resilience.Permanent {
+			c.mu.Lock()
+			if c.plans[key] == e {
+				delete(c.plans, key)
+			}
+			c.mu.Unlock()
+		}
 		return nil, hit, e.err
 	}
 	if e.plan.Tree().N() != t.N() {

@@ -1,0 +1,220 @@
+package batch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"elmore/internal/faultinject"
+	"elmore/internal/telemetry"
+)
+
+// Journal is the crash-safe checkpoint log of a batch run: an
+// append-only NDJSON file with one record per state transition,
+//
+//	{"op":"start","key":"17:n17"}
+//	{"op":"done","key":"17:n17"}
+//
+// where the key is the job's position in the spec stream plus its ID
+// (JobKey). "start" is appended the moment a worker picks the job up;
+// "done" only after the job's result line has reached the output
+// writer, so on replay a done job is provably emitted exactly once and
+// a started-but-not-done job was in flight when the process died and
+// must be re-queued.
+//
+// Durability is batched: the file is fsynced every SyncEvery done
+// records (and on Close), bounding both the data-loss window after a
+// crash — at most SyncEvery duplicated result lines, never a lost one —
+// and the per-job fsync cost. A torn final line (the crash happened
+// mid-append) is tolerated on replay; torn interior lines are not, as
+// they indicate corruption rather than an interrupted append.
+//
+// A Journal is safe for concurrent use by the engine's workers.
+type Journal struct {
+	// SyncEvery is the number of done records between fsyncs; <= 0
+	// means 32.
+	SyncEvery int
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	pending int // done records since the last fsync
+}
+
+// journalRecord is one NDJSON journal line.
+type journalRecord struct {
+	Op  string `json:"op"` // "start" or "done"
+	Key string `json:"key"`
+}
+
+// JobKey names one job for the journal: its position in the spec
+// stream plus its caller-chosen ID. The index keeps distinct jobs with
+// duplicate (or empty) IDs distinct; the ID catches a resume against a
+// reordered spec file.
+func JobKey(index int, id string) string {
+	return fmt.Sprintf("%d:%s", index, id)
+}
+
+// Replay is the state recovered from an existing journal.
+type Replay struct {
+	// Done holds the keys of jobs whose results were fully emitted.
+	Done map[string]bool
+	// Started holds the keys of jobs that were picked up but never
+	// finished — in flight when the previous run died. (Keys in Done
+	// are removed from Started.)
+	Started map[string]bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// any existing records, and returns the journal positioned for
+// appending plus the recovered state.
+func OpenJournal(path string) (*Journal, *Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batch: journal: %w", err)
+	}
+	rp, err := readReplay(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Position for appending after the replay scan.
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("batch: journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f)}, rp, nil
+}
+
+// readReplay scans the journal records from r. A torn final line is
+// tolerated (the previous process died mid-append); any other
+// malformed line fails the replay.
+func readReplay(r io.Reader) (*Replay, error) {
+	rp := &Replay{Done: make(map[string]bool), Started: make(map[string]bool)}
+	br := bufio.NewReader(r)
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			// A non-empty remainder without a trailing newline is the
+			// torn tail of an interrupted append: ignore it.
+			return rp, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("batch: journal: %w", err)
+		}
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var rec journalRecord
+		if derr := json.Unmarshal([]byte(line), &rec); derr != nil {
+			// Is this the final line? Peek: EOF right after means the
+			// newline made it but the payload did not decode — still
+			// treat an undecodable *last* line as torn.
+			if _, perr := br.Peek(1); perr == io.EOF {
+				return rp, nil
+			}
+			return nil, fmt.Errorf("batch: journal line %d: %w", lineNo, derr)
+		}
+		switch rec.Op {
+		case "start":
+			if !rp.Done[rec.Key] {
+				rp.Started[rec.Key] = true
+			}
+		case "done":
+			rp.Done[rec.Key] = true
+			delete(rp.Started, rec.Key)
+		default:
+			if _, perr := br.Peek(1); perr == io.EOF {
+				return rp, nil
+			}
+			return nil, fmt.Errorf("batch: journal line %d: unknown op %q", lineNo, rec.Op)
+		}
+	}
+}
+
+// append writes one record; sync forces the fsync batching to count it.
+func (j *Journal) append(op, key string, countSync bool) error {
+	if j == nil {
+		return nil
+	}
+	if err := faultinject.Fire("batch.journal"); err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	b, err := json.Marshal(journalRecord{Op: op, Key: key})
+	if err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(b); err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	if countSync {
+		j.pending++
+		every := j.SyncEvery
+		if every <= 0 {
+			every = 32
+		}
+		if j.pending >= every {
+			return j.syncLocked()
+		}
+	}
+	return nil
+}
+
+// Start records that the job was picked up by a worker.
+func (j *Journal) Start(index int, id string) error {
+	return j.append("start", JobKey(index, id), false)
+}
+
+// Done records that the job's result was emitted. Every SyncEvery done
+// records the journal is flushed and fsynced.
+func (j *Journal) Done(index int, id string) error {
+	return j.append("done", JobKey(index, id), true)
+}
+
+// syncLocked flushes the buffer and fsyncs; callers hold j.mu.
+func (j *Journal) syncLocked() error {
+	j.pending = 0
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	telemetry.C("batch.journal_syncs").Inc()
+	return nil
+}
+
+// Sync flushes the buffer and fsyncs the journal file.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	serr := j.syncLocked()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -6,22 +6,34 @@ import (
 	"fmt"
 	"io"
 
+	"elmore/internal/faultinject"
 	"elmore/internal/gate"
+	"elmore/internal/health"
+	"elmore/internal/resilience"
 	"elmore/internal/sta"
+	"elmore/internal/telemetry"
 )
 
 // ResultRecord is the NDJSON form of one Result, as streamed by the
 // -jobs mode of boundstat and sta: one JSON object per line, in job
-// order. Exactly one of Sinks or Path is present on success; Error is
-// set on failure (and both payloads are absent). All times are seconds.
+// order. Exactly one of Sinks, Path or Tran is present on success;
+// Error is set on failure (and all payloads are absent). A degraded
+// record is a success whose Sinks carry the paper's bound interval in
+// place of the failed simulation — degraded names the substitution
+// ("elmore-bound") and degraded_from the suppressed failure. All times
+// are seconds.
 type ResultRecord struct {
-	Index     int          `json:"index"`
-	ID        string       `json:"id,omitempty"`
-	Error     string       `json:"error,omitempty"`
-	CacheHit  bool         `json:"cache_hit,omitempty"`
-	ElapsedNS int64        `json:"elapsed_ns"`
-	Sinks     []SinkRecord `json:"sinks,omitempty"`
-	Path      *PathRecord  `json:"path,omitempty"`
+	Index        int          `json:"index"`
+	ID           string       `json:"id,omitempty"`
+	Error        string       `json:"error,omitempty"`
+	CacheHit     bool         `json:"cache_hit,omitempty"`
+	ElapsedNS    int64        `json:"elapsed_ns"`
+	Attempts     int          `json:"attempts,omitempty"`
+	Degraded     string       `json:"degraded,omitempty"`
+	DegradedFrom string       `json:"degraded_from,omitempty"`
+	Sinks        []SinkRecord `json:"sinks,omitempty"`
+	Path         *PathRecord  `json:"path,omitempty"`
+	Tran         *TranRecord  `json:"tran,omitempty"`
 }
 
 // SinkRecord reports the paper's step-input bounds at one node, plus
@@ -54,6 +66,26 @@ type PathRecord struct {
 	Stages    []StageRecord `json:"stages"`
 }
 
+// TranRecord reports a transient characterization sweep: one run per
+// input, each carrying the measured threshold crossings.
+type TranRecord struct {
+	Runs []TranRunRecord `json:"runs"`
+}
+
+// TranRunRecord is one input of a TranRecord.
+type TranRunRecord struct {
+	Input     int               `json:"input"`
+	Crossings []TranCrossRecord `json:"crossings"`
+}
+
+// TranCrossRecord is one measured threshold crossing.
+type TranCrossRecord struct {
+	Node    string  `json:"node"`
+	Level   float64 `json:"level"`
+	T       float64 `json:"t,omitempty"`
+	Reached bool    `json:"reached"`
+}
+
 // StageRecord is one stage of a PathRecord.
 type StageRecord struct {
 	Cell       string  `json:"cell"`
@@ -71,10 +103,13 @@ type StageRecord struct {
 // Record converts an engine Result into its NDJSON form.
 func Record(r Result) ResultRecord {
 	rec := ResultRecord{
-		Index:     r.Index,
-		ID:        r.ID,
-		CacheHit:  r.CacheHit,
-		ElapsedNS: r.Elapsed.Nanoseconds(),
+		Index:        r.Index,
+		ID:           r.ID,
+		CacheHit:     r.CacheHit,
+		ElapsedNS:    r.Elapsed.Nanoseconds(),
+		Attempts:     r.Attempts,
+		Degraded:     r.Degraded,
+		DegradedFrom: r.DegradedFrom,
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
@@ -91,6 +126,17 @@ func Record(r Result) ResultRecord {
 			p.Stages = append(p.Stages, stageRecord(st))
 		}
 		rec.Path = p
+	}
+	if r.Tran != nil {
+		tr := &TranRecord{Runs: make([]TranRunRecord, 0, len(r.Tran.Runs))}
+		for _, run := range r.Tran.Runs {
+			rr := TranRunRecord{Input: run.Input, Crossings: make([]TranCrossRecord, 0, len(run.Crossings))}
+			for _, c := range run.Crossings {
+				rr.Crossings = append(rr.Crossings, TranCrossRecord{Node: c.Node, Level: c.Level, T: c.T, Reached: c.Reached})
+			}
+			tr.Runs = append(tr.Runs, rr)
+		}
+		rec.Tran = tr
 	}
 	return rec
 }
@@ -136,6 +182,9 @@ func stageRecord(st sta.StageResult) StageRecord {
 // encoder rejects (NaN/Inf should not escape the bound engines, but a
 // batch must not die on one) degrades to an error record for that job.
 func WriteResult(w io.Writer, r Result) error {
+	if err := faultinject.Fire("batch.write"); err != nil {
+		return fmt.Errorf("batch: write result %d: %w", r.Index, err)
+	}
 	rec := Record(r)
 	b, err := json.Marshal(rec)
 	if err != nil {
@@ -155,24 +204,109 @@ func WriteResult(w io.Writer, r Result) error {
 // as in JobSpec.Job), evaluates them on the engine, and streams one
 // NDJSON result line per job to w, in job order. failed counts per-job
 // error records (the batch itself still completes: fail-soft); err is
-// reserved for an unreadable spec stream or a failing writer.
+// reserved for an unreadable spec stream, a failing writer, or an
+// interrupted run (the batch context's error).
 func RunSpecs(ctx context.Context, e *Engine, r io.Reader, lib *gate.Library, defaultSlew float64, w io.Writer) (failed, total int, err error) {
+	st, err := RunSpecsJournal(ctx, e, r, lib, defaultSlew, w, nil, nil)
+	return st.Failed, st.Total, err
+}
+
+// RunStats summarizes one RunSpecsJournal invocation.
+type RunStats struct {
+	Total    int // spec lines decoded
+	Emitted  int // result lines written this run
+	Failed   int // emitted error records
+	Degraded int // emitted degraded (elmore-bound) records
+	Skipped  int // jobs skipped as already done in the journal
+	Requeued int // jobs re-queued after being in flight at the crash
+}
+
+// RunSpecsJournal is RunSpecs with crash-safe checkpointing: jobs the
+// replayed journal rp marks done are skipped (their results were
+// already emitted by the previous run), jobs it marks started are
+// re-queued, and every job this run completes is journaled to jr —
+// "start" when a worker picks it up, "done" only after its result line
+// reached w — so a kill-and-restart cycle emits every result exactly
+// once across the concatenated outputs. jr and rp may each be nil (no
+// journaling / fresh start). Jobs that ended with the batch context's
+// cancellation are neither emitted nor journaled: the next resume
+// re-queues them. The returned error reports an unreadable spec
+// stream, a failing writer or journal, or an interrupted run.
+func RunSpecsJournal(ctx context.Context, e *Engine, r io.Reader, lib *gate.Library, defaultSlew float64, w io.Writer, jr *Journal, rp *Replay) (RunStats, error) {
 	specs, err := ReadSpecs(r)
 	if err != nil {
-		return 0, 0, err
+		return RunStats{}, err
 	}
-	jobs := make([]Job, len(specs))
+	st := RunStats{Total: len(specs)}
+	jobs := make([]Job, 0, len(specs))
+	orig := make([]int, 0, len(specs)) // submitted index -> spec index
 	for i, s := range specs {
-		jobs[i] = s.Job(lib, defaultSlew)
-	}
-	var werr error
-	e.RunFunc(ctx, jobs, func(res Result) {
-		if res.Err != nil {
-			failed++
+		if rp != nil {
+			key := JobKey(i, s.ID)
+			if rp.Done[key] {
+				st.Skipped++
+				continue
+			}
+			if rp.Started[key] {
+				st.Requeued++
+			}
 		}
-		if werr == nil {
-			werr = WriteResult(w, res)
+		jobs = append(jobs, s.Job(lib, defaultSlew))
+		orig = append(orig, i)
+	}
+	if st.Requeued > 0 {
+		telemetry.C("batch.resumed_jobs").Add(int64(st.Requeued))
+	}
+
+	// Shallow-copy the engine to chain the journal onto OnStart without
+	// mutating the caller's value.
+	eng := *e
+	if jr != nil {
+		prev := eng.OnStart
+		eng.OnStart = func(idx int, id string) {
+			if prev != nil {
+				prev(idx, id)
+			}
+			if jerr := jr.Start(orig[idx], id); jerr != nil {
+				health.Note(health.Event{Check: "batch.journal_error", Detail: jerr.Error()})
+			}
+		}
+	}
+
+	var werr error
+	eng.RunFunc(ctx, jobs, func(res Result) {
+		if res.Err != nil && resilience.Classify(res.Err) == resilience.Canceled {
+			// Torn down, not failed: suppress the record so a resume
+			// re-runs the job instead of trusting a cancellation error.
+			return
+		}
+		res.Index = orig[res.Index]
+		if werr != nil {
+			return
+		}
+		if werr = WriteResult(w, res); werr != nil {
+			return
+		}
+		st.Emitted++
+		if res.Err != nil {
+			st.Failed++
+		}
+		if res.Degraded != "" {
+			st.Degraded++
+		}
+		if jr != nil {
+			if jerr := jr.Done(res.Index, res.ID); jerr != nil {
+				werr = jerr
+			}
 		}
 	})
-	return failed, len(jobs), werr
+	if werr != nil {
+		return st, werr
+	}
+	if jr != nil {
+		if err := jr.Sync(); err != nil {
+			return st, err
+		}
+	}
+	return st, ctx.Err()
 }

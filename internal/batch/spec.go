@@ -12,21 +12,27 @@ import (
 	"elmore/internal/netlist"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
+	"elmore/internal/sim"
 	"elmore/internal/sta"
 )
 
 // JobSpec is one NDJSON job line, as read by the -jobs flag of
-// boundstat and sta. A spec is either a net job,
+// boundstat and sta. A spec is a net job,
 //
 //	{"id":"n1","net":"nets/n1.sp","sinks":["out"],"rise":"1n"}
 //
-// or a path job,
+// a path job,
 //
 //	{"id":"p1","slew":"30p","stages":[{"cell":"inv_x1","net":"nets/n1.sp","sink":"out"}]}
 //
-// Sinks defaults to every node of the net; rise defaults to "step" (a
-// duration such as "0.5n" selects a saturated ramp, "0" degenerates to
-// the step); slew defaults to the CLI's -slew value.
+// or — when "dt" is present alongside "net" — a transient sweep,
+//
+//	{"id":"t1","net":"nets/n1.sp","dt":"1p","sinks":["out"],"levels":[0.5]}
+//
+// Sinks defaults to every node of the net (for transient jobs it names
+// the probes); rise defaults to "step" (a duration such as "0.5n"
+// selects a saturated ramp, "0" degenerates to the step); slew defaults
+// to the CLI's -slew value.
 type JobSpec struct {
 	ID string `json:"id,omitempty"`
 
@@ -38,6 +44,13 @@ type JobSpec struct {
 	// Path jobs.
 	Slew   string      `json:"slew,omitempty"` // input transition time
 	Stages []StageSpec `json:"stages,omitempty"`
+
+	// Transient-sweep jobs (net + dt): run the compiled simulation and
+	// report threshold crossings instead of the closed-form bounds.
+	DT     string    `json:"dt,omitempty"`     // fixed step, e.g. "1p"
+	TEnd   string    `json:"t_end,omitempty"`  // horizon; empty estimates one
+	Method string    `json:"method,omitempty"` // "trap" (default) or "be"
+	Levels []float64 `json:"levels,omitempty"` // thresholds; empty means {0.5}
 }
 
 // StageSpec is one stage of a path job: the driving cell, the driven
@@ -106,11 +119,49 @@ func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 	j := Job{ID: s.ID}
 	isNet := s.Net != ""
 	isPath := len(s.Stages) > 0
+	isTran := s.DT != ""
 	switch {
 	case isNet && isPath:
 		j.Err = fmt.Errorf("batch: spec sets both net and stages")
 	case !isNet && !isPath:
 		j.Err = fmt.Errorf("batch: spec sets neither net nor stages")
+	case !isTran && (s.TEnd != "" || s.Method != "" || len(s.Levels) > 0):
+		j.Err = fmt.Errorf("batch: spec sets transient fields without dt")
+	case isTran && isPath:
+		j.Err = fmt.Errorf("batch: spec sets both dt and stages")
+	case isTran:
+		input, err := ParseRise(s.Rise)
+		if err != nil {
+			j.Err = fmt.Errorf("batch: spec: %w", err)
+			return j
+		}
+		dt, err := rctree.ParseValue(s.DT)
+		if err != nil {
+			j.Err = fmt.Errorf("batch: spec dt: %w", err)
+			return j
+		}
+		var tEnd float64
+		if s.TEnd != "" {
+			if tEnd, err = rctree.ParseValue(s.TEnd); err != nil {
+				j.Err = fmt.Errorf("batch: spec t_end: %w", err)
+				return j
+			}
+		}
+		method, err := parseMethod(s.Method)
+		if err != nil {
+			j.Err = fmt.Errorf("batch: spec method: %w", err)
+			return j
+		}
+		file := s.Net
+		j.Tran = &TranJob{
+			Load:   func() (*rctree.Tree, error) { return loadNet(file) },
+			DT:     dt,
+			TEnd:   tEnd,
+			Method: method,
+			Inputs: []signal.Signal{input},
+			Probes: s.Sinks,
+			Levels: s.Levels,
+		}
 	case isNet:
 		input, err := ParseRise(s.Rise)
 		if err != nil {
@@ -162,6 +213,17 @@ func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 		}
 	}
 	return j
+}
+
+// parseMethod maps a spec "method" token to the integrator.
+func parseMethod(tok string) (sim.Method, error) {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "", "trap", "trapezoidal":
+		return sim.Trapezoidal, nil
+	case "be", "euler", "backward-euler":
+		return sim.BackwardEuler, nil
+	}
+	return sim.Trapezoidal, fmt.Errorf("unknown method %q (want trap or be)", tok)
 }
 
 // loadNet parses one netlist file into its RC tree.

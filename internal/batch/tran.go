@@ -56,20 +56,9 @@ type TranResult struct {
 	Runs []TranRun
 }
 
-func (e *Engine) runTran(ctx context.Context, tj *TranJob) (*TranResult, bool, error) {
+func (e *Engine) runTran(ctx context.Context, tj *TranJob, tree *rctree.Tree) (*TranResult, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
-	}
-	tree := tj.Tree
-	if tree == nil {
-		if tj.Load == nil {
-			return nil, false, fmt.Errorf("batch: tran job has neither Tree nor Load")
-		}
-		var err error
-		tree, err = tj.Load()
-		if err != nil {
-			return nil, false, err
-		}
 	}
 	var (
 		plan *sim.Plan

@@ -32,15 +32,19 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
+	"os/signal"
 	"runtime/debug"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"context"
 
 	"elmore/internal/batch"
+	"elmore/internal/gate"
 	"elmore/internal/health"
+	"elmore/internal/resilience"
 	"elmore/internal/telemetry"
 )
 
@@ -72,10 +76,16 @@ func Add(fs *flag.FlagSet) *Flags {
 type BatchFlags struct {
 	Jobs     string        // -jobs: NDJSON job stream file; "" means no batch mode
 	Workers  int           // -workers: max concurrent jobs; 0 means GOMAXPROCS
-	Timeout  time.Duration // -timeout: per-job limit; 0 means none
+	Timeout  time.Duration // -timeout: per-attempt limit; 0 means none
 	Progress time.Duration // -progress: progress-line period; 0 disables
 	SlowJobs time.Duration // -slow-jobs: slow-job log threshold; 0 disables
 	Summary  bool          // -summary: final NDJSON run summary
+
+	Resume       string        // -resume: crash-safe journal file; "" disables
+	Retries      int           // -retries: extra attempts for transient failures
+	RetryBackoff time.Duration // -retry-backoff: base backoff before a retry
+	Degrade      bool          // -degrade: elmore-bound fallback for exhausted sim jobs
+	Breaker      int           // -breaker: per-net consecutive-failure threshold; 0 disables
 }
 
 // AddBatch registers the batch-mode flags on fs and returns the value
@@ -84,11 +94,111 @@ func AddBatch(fs *flag.FlagSet) *BatchFlags {
 	b := &BatchFlags{}
 	fs.StringVar(&b.Jobs, "jobs", "", "evaluate the NDJSON job stream in `file` and emit NDJSON results")
 	fs.IntVar(&b.Workers, "workers", 0, "max concurrent batch jobs (0 = GOMAXPROCS)")
-	fs.DurationVar(&b.Timeout, "timeout", 0, "per-job time limit, e.g. 30s (0 = none)")
+	fs.DurationVar(&b.Timeout, "timeout", 0, "per-attempt time limit, e.g. 30s (0 = none)")
 	fs.DurationVar(&b.Progress, "progress", 2*time.Second, "batch progress-line period on stderr (0 = off)")
 	fs.DurationVar(&b.SlowJobs, "slow-jobs", 0, "log batch jobs slower than `duration` as NDJSON to stderr (0 = off)")
 	fs.BoolVar(&b.Summary, "summary", false, "write a final NDJSON batch run summary to stderr")
+	fs.StringVar(&b.Resume, "resume", "", "crash-safe journal `file`: skip jobs it marks done, re-queue in-flight ones, record this run's completions")
+	fs.IntVar(&b.Retries, "retries", 0, "retry transiently failing jobs up to `n` extra times with backoff")
+	fs.DurationVar(&b.RetryBackoff, "retry-backoff", 50*time.Millisecond, "base backoff before the first retry (doubles per attempt, jittered)")
+	fs.BoolVar(&b.Degrade, "degrade", true, "answer sim jobs that exhaust their attempts with the closed-form elmore-bound interval instead of an error")
+	fs.IntVar(&b.Breaker, "breaker", 0, "cut off a net after `n` consecutive transient failures (0 = off)")
 	return b
+}
+
+// Validate rejects flag values the engine would otherwise silently
+// coerce, so a typo'd -workers -1 fails loudly instead of running with
+// GOMAXPROCS workers.
+func (b *BatchFlags) Validate() error {
+	if b.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", b.Workers)
+	}
+	if b.Timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", b.Timeout)
+	}
+	if b.Retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", b.Retries)
+	}
+	if b.RetryBackoff < 0 {
+		return fmt.Errorf("-retry-backoff must be >= 0, got %v", b.RetryBackoff)
+	}
+	if b.Breaker < 0 {
+		return fmt.Errorf("-breaker must be >= 0, got %d", b.Breaker)
+	}
+	return nil
+}
+
+// Engine builds the batch engine the flags describe: worker pool,
+// per-attempt timeout, shared cache, reporting, and the resilience
+// layer (retry policy, circuit breaker, degradation switch). Injected
+// panics count as retryable here — the chaos walkthrough drives
+// unmodified binaries through ELMORE_FAULTS.
+func (b *BatchFlags) Engine(stderr io.Writer) *batch.Engine {
+	eng := &batch.Engine{
+		Workers:   b.Workers,
+		Timeout:   b.Timeout,
+		Cache:     batch.NewCache(),
+		Report:    b.Reporter(stderr),
+		NoDegrade: !b.Degrade,
+	}
+	if b.Retries > 0 {
+		eng.Retry = &resilience.Policy{
+			MaxAttempts: b.Retries + 1,
+			BaseDelay:   b.RetryBackoff,
+			MaxDelay:    5 * time.Second,
+			RetryPanics: true,
+		}
+	}
+	if b.Breaker > 0 {
+		eng.Breaker = &resilience.Breaker{Threshold: b.Breaker}
+	}
+	return eng
+}
+
+// RunBatch executes the -jobs batch mode shared by boundstat and sta:
+// it validates the flags, opens the job stream, replays and appends the
+// -resume journal, installs SIGINT/SIGTERM cancellation (a Ctrl-C
+// drains in-flight jobs, keeps the journal consistent, and leaves the
+// rest for the next -resume run), and streams NDJSON results to
+// stdout. A nonzero number of failed jobs fails the run after every
+// result has been emitted.
+func (b *BatchFlags) RunBatch(ctx context.Context, lib *gate.Library, defaultSlew float64, stdout, stderr io.Writer) (err error) {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	f, err := os.Open(b.Jobs)
+	if err != nil {
+		return fmt.Errorf("-jobs: %w", err)
+	}
+	defer f.Close()
+	var (
+		jr *batch.Journal
+		rp *batch.Replay
+	)
+	if b.Resume != "" {
+		jr, rp, err = batch.OpenJournal(b.Resume)
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		defer func() { err = errors.Join(err, jr.Close()) }()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := b.Engine(stderr)
+	st, err := batch.RunSpecsJournal(ctx, eng, f, lib, defaultSlew, stdout, jr, rp)
+	if rp != nil && (st.Skipped > 0 || st.Requeued > 0) {
+		fmt.Fprintf(stderr, "resume: %d done jobs skipped, %d in-flight jobs re-queued\n", st.Skipped, st.Requeued)
+	}
+	if st.Degraded > 0 {
+		fmt.Fprintf(stderr, "degraded: %d jobs answered with the elmore-bound interval\n", st.Degraded)
+	}
+	if err != nil {
+		return err
+	}
+	if st.Failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", st.Failed, st.Total)
+	}
+	return nil
 }
 
 // Reporter builds the batch.Reporter described by the flags, with all

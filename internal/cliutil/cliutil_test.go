@@ -50,7 +50,8 @@ func TestFlagsRegistered(t *testing.T) {
 func TestBatchFlagsRegistered(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	AddBatch(fs)
-	for _, name := range []string{"jobs", "workers", "timeout", "progress", "slow-jobs", "summary"} {
+	for _, name := range []string{"jobs", "workers", "timeout", "progress", "slow-jobs", "summary",
+		"resume", "retries", "retry-backoff", "degrade", "breaker"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}

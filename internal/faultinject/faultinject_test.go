@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"elmore/internal/telemetry"
+)
+
+func install(t *testing.T, inj *Injector) {
+	t.Helper()
+	prev := SetDefault(inj)
+	t.Cleanup(func() { SetDefault(prev) })
+}
+
+func TestDisabledPathIsInert(t *testing.T) {
+	install(t, nil)
+	if Enabled() {
+		t.Fatal("Enabled with no injector")
+	}
+	if err := Fire("sim.step"); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+	if v := Poison("sim.state", 1.5); v != 1.5 {
+		t.Fatalf("disabled Poison altered value: %v", v)
+	}
+}
+
+func TestEveryNthFiresDeterministically(t *testing.T) {
+	install(t, New(1, Rule{Point: "p", Kind: KindError, Every: 3}))
+	var fires []int
+	for i := 1; i <= 12; i++ {
+		if err := Fire("p"); err != nil {
+			fires = append(fires, i)
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != "p" {
+				t.Fatalf("wrong error type/point: %v", err)
+			}
+		}
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fires) != len(want) {
+		t.Fatalf("fired on visits %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired on visits %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	install(t, New(1, Rule{Point: "p", Kind: KindError, Every: 1, After: 5, Limit: 2}))
+	n := 0
+	for i := 0; i < 20; i++ {
+		if Fire("p") != nil {
+			n++
+			if i < 5 {
+				t.Fatalf("fired during the After window at visit %d", i+1)
+			}
+		}
+	}
+	if n != 2 {
+		t.Fatalf("fired %d times, want Limit=2", n)
+	}
+}
+
+func TestProbabilityIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		inj := New(seed, Rule{Point: "p", Kind: KindError, Prob: 0.25})
+		var fires []int
+		for i := 1; i <= 400; i++ {
+			if inj.fire("p") != nil {
+				fires = append(fires, i)
+			}
+		}
+		return fires
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fire counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed fired on different visits: %v vs %v", a, b)
+		}
+	}
+	// Roughly the configured rate (0.25 +- a wide margin).
+	if len(a) < 50 || len(a) > 150 {
+		t.Errorf("p=0.25 over 400 visits fired %d times", len(a))
+	}
+	if c := run(8); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical schedules")
+		}
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	install(t, New(1, Rule{Point: "p", Kind: KindPanic, Every: 1, Limit: 1}))
+	defer func() {
+		p := recover()
+		pv, ok := p.(*Panic)
+		if !ok || pv.Point != "p" {
+			t.Fatalf("recovered %v, want *Panic at p", p)
+		}
+	}()
+	Fire("p")
+	t.Fatal("panic rule did not panic")
+}
+
+func TestDelayKind(t *testing.T) {
+	install(t, New(1, Rule{Point: "p", Kind: KindDelay, Every: 1, Delay: 10 * time.Millisecond}))
+	start := time.Now()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("delay rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delay rule slept %v, want >= 10ms", d)
+	}
+}
+
+func TestPoisonNaN(t *testing.T) {
+	install(t, New(1, Rule{Point: "p", Kind: KindNaN, Every: 2}))
+	if v := Poison("p", 3.0); !(v == 3.0) {
+		t.Fatalf("visit 1 should pass through, got %v", v)
+	}
+	if v := Poison("p", 3.0); !math.IsNaN(v) {
+		t.Fatalf("visit 2 should poison, got %v", v)
+	}
+	// NaN rules never affect Fire, and error rules never affect Poison.
+	if err := Fire("p"); err != nil {
+		t.Fatalf("Fire consumed a NaN rule: %v", err)
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	prevReg := telemetry.SetDefault(reg)
+	defer telemetry.SetDefault(prevReg)
+	install(t, New(1, Rule{Point: "p", Kind: KindError, Every: 1, Limit: 3}))
+	for i := 0; i < 10; i++ {
+		Fire("p")
+	}
+	if got := reg.Counter("faultinject.fired").Value(); got != 3 {
+		t.Errorf("faultinject.fired = %d, want 3", got)
+	}
+	if got := reg.Counter("faultinject.fired.p").Value(); got != 3 {
+		t.Errorf("faultinject.fired.p = %d, want 3", got)
+	}
+}
+
+func TestConcurrentFireIsRaceFreeAndBounded(t *testing.T) {
+	install(t, New(1, Rule{Point: "p", Kind: KindError, Prob: 0.5, Limit: 100}))
+	var wg sync.WaitGroup
+	var fires atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if Fire("p") != nil {
+					fires.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fires.Load(); got > 100 {
+		t.Errorf("Limit=100 exceeded: %d fires", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("sim.step:error:p=0.01,moments.compute:panic:every=100;limit=3, batch.dispatch:delay:p=0.05;delay=50ms ,sim.state:nan:every=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("parsed %d rules, want 4", len(rules))
+	}
+	if r := rules[0]; r.Point != "sim.step" || r.Kind != KindError || r.Prob != 0.01 {
+		t.Errorf("rule 0: %+v", r)
+	}
+	if r := rules[1]; r.Kind != KindPanic || r.Every != 100 || r.Limit != 3 {
+		t.Errorf("rule 1: %+v", r)
+	}
+	if r := rules[2]; r.Kind != KindDelay || r.Delay != 50*time.Millisecond {
+		t.Errorf("rule 2: %+v", r)
+	}
+	if r := rules[3]; r.Kind != KindNaN || r.Every != 500 {
+		t.Errorf("rule 3: %+v", r)
+	}
+	for _, bad := range []string{
+		"nokind",
+		"p:weird:p=0.1",
+		"p:error:p=2",
+		"p:error:p=x",
+		"p:error:every=-1",
+		"p:error:bogus=1",
+		"p:error:p",
+		"p:error", // never fires
+		"p:delay:delay=50ms",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+	if rules, err := ParseSpec(""); err != nil || len(rules) != 0 {
+		t.Errorf("empty spec: %v %v", rules, err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"elmore/internal/faultinject"
 	"elmore/internal/health"
 	"elmore/internal/rctree"
 	"elmore/internal/telemetry"
@@ -44,6 +45,9 @@ type Set struct {
 // (each node reads only its children or its parent), so the parallel
 // schedule is bit-identical to the serial sweep.
 func Compute(t *rctree.Tree, order int) (*Set, error) {
+	if err := faultinject.Fire("moments.compute"); err != nil {
+		return nil, err
+	}
 	if order < 1 {
 		return nil, fmt.Errorf("moments: order must be >= 1, got %d", order)
 	}
@@ -57,6 +61,12 @@ func Compute(t *rctree.Tree, order int) (*Set, error) {
 	}
 	cp := rctree.Compile(t)
 	computeCompiled(cp, s, cp.ParallelOK())
+	if faultinject.Enabled() && n > 0 {
+		// Poisoning the deepest node's m_1 is enough for chaos runs: it
+		// is the Elmore delay every downstream bound reads, and the
+		// checkFinite sentinel below sees it when health is on.
+		s.m[1][n-1] = faultinject.Poison("moments.m1", s.m[1][n-1])
+	}
 	telemetry.C("moments.computes").Inc()
 	telemetry.C("moments.traversals").Add(2 * int64(order))
 	telemetry.C("moments.node_visits").Add(2 * int64(order) * int64(n))

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"elmore/internal/faultinject"
 	"elmore/internal/health"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
@@ -176,6 +177,9 @@ type Plan struct {
 
 // NewPlan compiles, stamps, and factors a transient plan for the tree.
 func NewPlan(t *rctree.Tree, opts PlanOptions) (*Plan, error) {
+	if err := faultinject.Fire("sim.factor"); err != nil {
+		return nil, err
+	}
 	dt := opts.DT
 	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
 		return nil, fmt.Errorf("sim: invalid time step %v", dt)
@@ -394,7 +398,17 @@ func (r *Runner) RunInto(in signal.Signal, opts RunOptions, res *Result) error {
 
 	dt := p.dt
 	parallel := p.parallel
+	inject := faultinject.Enabled()
 	for step := 1; step <= steps; step++ {
+		if inject {
+			if err := faultinject.Fire("sim.step"); err != nil {
+				return err
+			}
+			// Poisoning one state slot is enough: NaN propagates through
+			// every later step and checkFinalState (or the caller's
+			// waveform consumers) will see it.
+			r.v[0] = faultinject.Poison("sim.state", r.v[0])
+		}
 		uPrev := in.Eval(float64(step-1) * dt)
 		uCur := in.Eval(float64(step) * dt)
 		if parallel {
