@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks folded into BENCH_3.json by `make bench-json`.
 BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|SimTransient|SimPlanReuse|TableI$$
 
-.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke fmt
+.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke scaling-smoke fmt
 
 check: vet build race
 
@@ -55,6 +55,22 @@ bench-json:
 # CI without measuring anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem ./...
+
+# Scaling-diagnosis smoke: a small scalestat sweep under the race
+# detector, validated by -check (report must parse, efficiency and
+# attribution fields must be finite, >= 95% of per-worker wall time
+# accounted), plus a profiled batch run that exercises the contention
+# observability path end to end (mutex/block/heap pprof capture and
+# runtime_sample records in the trace).
+scaling-smoke:
+	mkdir -p artifacts
+	$(GO) run -race ./cmd/scalestat -nets 200 -nodes 16 -share 20 -workers 1,2 \
+		-check -o artifacts/scaling-report.json -bench-out artifacts/scaling-bench.json
+	$(GO) run -race ./cmd/boundstat -trees 60 -max-nodes 24 \
+		-profile-dir artifacts/profiles -mutex-profile 5 -block-profile 10000 \
+		-runtime-sample 100ms -trace artifacts/scaling-trace.ndjson \
+		> artifacts/scaling-boundstat.txt
+	$(GO) run ./cmd/tracestat -by-goroutine artifacts/scaling-trace.ndjson
 
 fmt:
 	gofmt -l .

@@ -38,12 +38,16 @@ func main() {
 }
 
 // span mirrors the telemetry spanRecord schema; attrs are ignored.
+// Record is set on non-span NDJSON lines (runtime_sample and friends)
+// that share the trace stream and are skipped without complaint.
 type span struct {
 	Span    uint64 `json:"span"`
 	Parent  uint64 `json:"parent"`
 	Name    string `json:"name"`
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
+	G       uint64 `json:"g"`
+	Record  string `json:"record"`
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -51,6 +55,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	top := fs.Int("top", 0, "show only the N phases with the most self time (0 = all)")
 	rollup := fs.Bool("rollup", false, "print the parent/child rollup tree instead of the flat table")
+	byG := fs.Bool("by-goroutine", false, "print the per-goroutine rollup (one row per worker goroutine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,9 +82,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("no spans in trace")
 	}
 	t := analyze(spans)
-	if *rollup {
+	switch {
+	case *rollup:
 		t.writeRollup(stdout)
-	} else {
+	case *byG:
+		t.writeByGoroutine(stdout)
+	default:
 		t.writeTable(stdout, *top)
 	}
 	return nil
@@ -96,7 +104,16 @@ func readSpans(in io.Reader) ([]span, int, error) {
 			continue
 		}
 		var s span
-		if err := json.Unmarshal([]byte(line), &s); err != nil || s.Span == 0 || s.Name == "" {
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			skipped++
+			continue
+		}
+		if s.Record != "" {
+			// A non-span record (runtime_sample etc.) sharing the trace
+			// stream — expected, not malformed.
+			continue
+		}
+		if s.Span == 0 || s.Name == "" {
 			skipped++
 			continue
 		}
@@ -135,7 +152,7 @@ func analyze(spans []span) *trace {
 		ids[spans[i].Span] = &spans[i]
 	}
 	minStart, maxEnd := spans[0].StartNS, spans[0].StartNS+spans[0].DurNS
-	childDur := make(map[uint64]int64, len(spans))
+	childIvs := make(map[uint64][]interval, len(spans))
 	for i := range spans {
 		s := &spans[i]
 		if s.StartNS < minStart {
@@ -147,7 +164,7 @@ func analyze(spans []span) *trace {
 		// An orphan parent id (span not present in the file — e.g. a
 		// truncated trace) makes the span a root rather than losing it.
 		if _, ok := ids[s.Parent]; s.Parent != 0 && ok {
-			childDur[s.Parent] += s.DurNS
+			childIvs[s.Parent] = append(childIvs[s.Parent], interval{s.StartNS, s.StartNS + s.DurNS})
 			t.childOf[s.Parent] = append(t.childOf[s.Parent], s.Span)
 		} else {
 			t.roots = append(t.roots, s.Span)
@@ -156,10 +173,14 @@ func analyze(spans []span) *trace {
 	t.wallNS = maxEnd - minStart
 	for i := range spans {
 		s := &spans[i]
-		self := s.DurNS - childDur[s.Span]
+		// Self time is the parent's duration minus the UNION of its
+		// children's intervals, not their sum: a batch.run span whose
+		// children execute concurrently on eight workers would otherwise
+		// see Σchild ≈ 8×dur and clamp to zero — or worse, go negative.
+		// Intervals are clamped to the parent, so a child that outlives
+		// its parent (emit races) cannot push self below zero either.
+		self := s.DurNS - unionLen(childIvs[s.Span], s.StartNS, s.StartNS+s.DurNS)
 		if self < 0 {
-			// Children measured on overlapping goroutines can sum past
-			// the parent; self time never goes negative.
 			self = 0
 		}
 		t.self[s.Span] = self
@@ -174,6 +195,51 @@ func analyze(spans []span) *trace {
 		p.durs = append(p.durs, s.DurNS)
 	}
 	return t
+}
+
+// interval is one child occupancy window [start, end).
+type interval struct {
+	start, end int64
+}
+
+// unionLen returns the total length of the union of ivs clamped to
+// [lo, hi]. It mutates ivs (sorts in place).
+func unionLen(ivs []interval, lo, hi int64) int64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	var total int64
+	curLo, curHi := int64(0), int64(0)
+	started := false
+	for _, iv := range ivs {
+		s, e := iv.start, iv.end
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		if e <= s {
+			continue
+		}
+		if !started {
+			curLo, curHi, started = s, e, true
+			continue
+		}
+		if s <= curHi {
+			if e > curHi {
+				curHi = e
+			}
+			continue
+		}
+		total += curHi - curLo
+		curLo, curHi = s, e
+	}
+	if started {
+		total += curHi - curLo
+	}
+	return total
 }
 
 func (t *trace) selfAccountedNS() int64 {
@@ -224,6 +290,59 @@ func (t *trace) writeTable(w io.Writer, top int) {
 	}
 	fmt.Fprintf(w, "wall %s, %d spans, self time accounts for %.1f%% of wall\n",
 		dur(t.wallNS), len(t.spans), acc)
+}
+
+// writeByGoroutine prints one row per goroutine: span count, total and
+// self time, the goroutine's active window (first start to last end)
+// and the busy fraction of that window. On a worker-pool trace each
+// worker goroutine becomes one row, so an idle or starved worker is
+// immediately visible. Spans from traces that predate the g field
+// (g absent = 0) fold into a single "g 0" row.
+func (t *trace) writeByGoroutine(w io.Writer) {
+	type gstat struct {
+		g        uint64
+		count    int
+		totalNS  int64
+		selfNS   int64
+		minStart int64
+		maxEnd   int64
+	}
+	byG := make(map[uint64]*gstat)
+	for i := range t.spans {
+		s := &t.spans[i]
+		gs := byG[s.G]
+		if gs == nil {
+			gs = &gstat{g: s.G, minStart: s.StartNS, maxEnd: s.StartNS + s.DurNS}
+			byG[s.G] = gs
+		}
+		gs.count++
+		gs.totalNS += s.DurNS
+		gs.selfNS += t.self[s.Span]
+		if s.StartNS < gs.minStart {
+			gs.minStart = s.StartNS
+		}
+		if end := s.StartNS + s.DurNS; end > gs.maxEnd {
+			gs.maxEnd = end
+		}
+	}
+	rows := make([]*gstat, 0, len(byG))
+	for _, gs := range byG {
+		rows = append(rows, gs)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].selfNS > rows[j].selfNS })
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "GOROUTINE\tSPANS\tTOTAL\tSELF\tWINDOW\tBUSY%")
+	for _, gs := range rows {
+		window := gs.maxEnd - gs.minStart
+		busy := 0.0
+		if window > 0 {
+			busy = 100 * float64(gs.selfNS) / float64(window)
+		}
+		fmt.Fprintf(tw, "g%d\t%d\t%s\t%s\t%s\t%.1f\n",
+			gs.g, gs.count, dur(gs.totalNS), dur(gs.selfNS), dur(window), busy)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "wall %s, %d goroutines, %d spans\n", dur(t.wallNS), len(rows), len(t.spans))
 }
 
 // writeRollup prints the span forest aggregated by name path: all

@@ -153,6 +153,11 @@ type Engine struct {
 	// worker goroutines; the crash-safe journal uses it to record
 	// in-flight jobs.
 	OnStart func(index int, id string)
+
+	// OnStats, when non-nil, receives the run's per-worker accounting
+	// (PoolStats) once every worker has exited, on the RunFunc goroutine.
+	// cmd/scalestat uses it to build scaling reports.
+	OnStats func(PoolStats)
 }
 
 // Run evaluates all jobs and returns one Result per job, in job order.
@@ -224,20 +229,45 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 
 	idxCh := make(chan int)
 	resCh := make(chan Result, workers)
+	stats := make([]WorkerStats, workers)
+	runStart := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range idxCh {
+			// Per-worker accounting: this goroutine is the only writer
+			// of stats[w]; RunFunc reads it after wg settles. Every
+			// channel operation is bracketed by time.Now so the worker's
+			// wall time tiles into idle (waiting for work), busy (inside
+			// runJob) and stall (reorder backpressure) — the final
+			// blocked receive that observes close counts as idle.
+			ws := &stats[w]
+			ws.Worker = w
+			wctx := withWorkerStats(bctx, ws)
+			wallStart := time.Now()
+			defer func() { ws.WallNS = time.Since(wallStart).Nanoseconds() }()
+			for {
+				t0 := time.Now()
+				i, ok := <-idxCh
+				ws.IdleNS += time.Since(t0).Nanoseconds()
+				if !ok {
+					return
+				}
 				pending.Add(-1)
 				qd.Add(-1)
 				if e.OnStart != nil {
 					e.OnStart(i, jobs[i].ID)
 				}
-				resCh <- e.runJob(bctx, i, jobs[i])
+				t1 := time.Now()
+				r := e.runJob(wctx, i, jobs[i])
+				ws.BusyNS += time.Since(t1).Nanoseconds()
+				ws.Jobs++
+				t2 := time.Now()
+				resCh <- r
+				ws.StallNS += time.Since(t2).Nanoseconds()
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		// The dispatcher stops on cancellation instead of force-feeding
@@ -263,9 +293,15 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 
 	// Reorder buffer: emit in job order as each prefix completes. After
 	// cancellation the loop keeps draining resCh (the reporter still
-	// observes every finished job) but emits nothing more.
+	// observes every finished job) but emits nothing more. Occupancy is
+	// tracked as a gauge (results parked waiting for their prefix) and
+	// every out-of-order arrival counts as a reorder stall — together
+	// they say whether ordered emission is what holds the workers back.
 	buffered := make([]*Result, len(jobs))
 	next := 0
+	occ, peak := 0, 0
+	var stalls int64
+	roGauge := telemetry.G("batch.reorder_occupancy")
 	for r := range resCh {
 		r := r
 		if rr != nil {
@@ -274,7 +310,16 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 		if bctx.Err() != nil {
 			continue
 		}
+		if r.Index != next {
+			stalls++
+			telemetry.C("batch.reorder_stalls").Inc()
+		}
 		buffered[r.Index] = &r
+		occ++
+		roGauge.Add(1)
+		if occ > peak {
+			peak = occ
+		}
 		for next < len(jobs) && buffered[next] != nil {
 			if bctx.Err() != nil {
 				// emit itself may have cancelled the batch: stop even
@@ -284,7 +329,31 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 			emit(*buffered[next])
 			buffered[next] = nil
 			next++
+			occ--
+			roGauge.Add(-1)
 		}
+	}
+	// Workers have exited (resCh closes after wg.Wait), so the stats
+	// slice is quiescent and safe to hand out.
+	rs := PoolStats{
+		Jobs:          len(jobs),
+		Workers:       workers,
+		WallNS:        time.Since(runStart).Nanoseconds(),
+		Worker:        stats,
+		ReorderPeak:   peak,
+		ReorderStalls: stalls,
+	}
+	// Cancellation can leave parked results behind: settle the gauge so
+	// overlapping Runs still compose to zero.
+	if occ > 0 {
+		roGauge.Add(float64(-occ))
+	}
+	rs.publish(telemetry.Default())
+	if rr != nil {
+		rr.stats = &rs
+	}
+	if e.OnStats != nil {
+		e.OnStats(rs)
 	}
 }
 
@@ -516,7 +585,7 @@ func (e *Engine) runNet(ctx context.Context, nj *NetJob, tree *rctree.Tree) (*Ne
 		err error
 	)
 	if e.Cache != nil {
-		ms, hit, err = e.Cache.Moments(tree, 3)
+		ms, hit, err = e.Cache.MomentsCtx(ctx, tree, 3)
 		if err != nil {
 			return nil, false, err
 		}
@@ -579,7 +648,7 @@ func (e *Engine) runPath(ctx context.Context, pj *PathJob) (*sta.PathResult, boo
 		// The source runs synchronously inside this job, so the hit
 		// flag needs no synchronization.
 		src = func(ctx context.Context, t *rctree.Tree, order int) (*moments.Set, error) {
-			ms, h, err := e.Cache.Moments(t, order)
+			ms, h, err := e.Cache.MomentsCtx(ctx, t, order)
 			if h {
 				hit = true
 			}

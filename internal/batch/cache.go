@@ -1,6 +1,7 @@
 package batch
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -71,12 +72,27 @@ func NewCache() *Cache {
 // being computed by another goroutine). Requests above the cached order
 // compute a fresh uncached set rather than poisoning shared entries.
 func (c *Cache) Moments(t *rctree.Tree, order int) (*moments.Set, bool, error) {
+	return c.moments(nil, t, order)
+}
+
+// MomentsCtx is Moments with contention attribution: when ctx carries a
+// batch worker's stats, time blocked on the cache mutex and on another
+// worker's in-flight compute of the same entry is charged to that
+// worker as lock wait, and the hit/miss lands in its per-worker
+// counters. Engines call this; direct users can keep calling Moments.
+func (c *Cache) MomentsCtx(ctx context.Context, t *rctree.Tree, order int) (*moments.Set, bool, error) {
+	return c.moments(workerStatsFrom(ctx), t, order)
+}
+
+func (c *Cache) moments(ws *WorkerStats, t *rctree.Tree, order int) (*moments.Set, bool, error) {
 	if order > cacheOrder {
 		ms, err := moments.Compute(t, order)
 		return ms, false, err
 	}
 	key := t.Fingerprint()
+	t0 := lockStart(ws)
 	c.mu.Lock()
+	lockEnd(ws, t0)
 	e, hit := c.m[key]
 	if !hit {
 		e = &cacheEntry{}
@@ -85,12 +101,28 @@ func (c *Cache) Moments(t *rctree.Tree, order int) (*moments.Set, bool, error) {
 	c.mu.Unlock()
 	if hit {
 		telemetry.C("batch.cache_hits").Inc()
+		if ws != nil {
+			ws.CacheHits++
+		}
 	} else {
 		telemetry.C("batch.cache_misses").Inc()
+		if ws != nil {
+			ws.CacheMisses++
+		}
 	}
+	// Whoever wins the once computes (a "hit" can still win it when the
+	// inserting goroutine hasn't reached its Do yet). Time spent here
+	// without running the closure is time blocked on another worker's
+	// in-flight compute — charged as lock wait.
+	ran := false
+	t1 := lockStart(ws)
 	e.once.Do(func() {
+		ran = true
 		e.ms, e.err = moments.Compute(t, cacheOrder)
 	})
+	if !ran {
+		lockEnd(ws, t1)
+	}
 	if e.err != nil {
 		// A permanent error (bad element values) is worth memoizing —
 		// recomputation fails identically — but a transient one
@@ -122,8 +154,19 @@ func (c *Cache) Moments(t *rctree.Tree, order int) (*moments.Set, bool, error) {
 // plan, but mutating a tree mid-batch while another job holds its plan
 // is a caller bug.
 func (c *Cache) Plan(t *rctree.Tree, dt float64, method sim.Method) (*sim.Plan, bool, error) {
+	return c.plan(nil, t, dt, method)
+}
+
+// PlanCtx is Plan with the same contention attribution as MomentsCtx.
+func (c *Cache) PlanCtx(ctx context.Context, t *rctree.Tree, dt float64, method sim.Method) (*sim.Plan, bool, error) {
+	return c.plan(workerStatsFrom(ctx), t, dt, method)
+}
+
+func (c *Cache) plan(ws *WorkerStats, t *rctree.Tree, dt float64, method sim.Method) (*sim.Plan, bool, error) {
 	key := planKey{fp: t.Fingerprint(), dtBits: math.Float64bits(dt), method: method}
+	t0 := lockStart(ws)
 	c.mu.Lock()
+	lockEnd(ws, t0)
 	if c.plans == nil {
 		c.plans = make(map[planKey]*planEntry)
 	}
@@ -135,12 +178,24 @@ func (c *Cache) Plan(t *rctree.Tree, dt float64, method sim.Method) (*sim.Plan, 
 	c.mu.Unlock()
 	if hit {
 		telemetry.C("batch.plan_cache_hits").Inc()
+		if ws != nil {
+			ws.CacheHits++
+		}
 	} else {
 		telemetry.C("batch.plan_cache_misses").Inc()
+		if ws != nil {
+			ws.CacheMisses++
+		}
 	}
+	ran := false
+	t1 := lockStart(ws)
 	e.once.Do(func() {
+		ran = true
 		e.plan, e.err = sim.NewPlan(t, sim.PlanOptions{DT: dt, Method: method})
 	})
+	if !ran {
+		lockEnd(ws, t1)
+	}
 	if e.err != nil {
 		// Same eviction policy as Moments: only permanent failures are
 		// worth remembering.

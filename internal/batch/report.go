@@ -138,6 +138,11 @@ type runReport struct {
 	errsByKind    map[string]int64
 	healthEvents0 int64
 	healthViol0   int64
+
+	// stats is set by RunFunc after the workers exit and before the
+	// deferred finish runs; nil when the engine predates accounting
+	// (zero-job runs).
+	stats *PoolStats
 }
 
 // begin starts per-run reporting: snapshots the health counters and,
@@ -220,7 +225,9 @@ func (rr *runReport) progressLine() {
 	io.WriteString(rep.Progress, line)
 }
 
-// summaryRecord is the NDJSON schema of the final run summary.
+// summaryRecord is the NDJSON schema of the final run summary. The
+// workers array is the per-worker utilization table; efficiency is
+// Σbusy / (workers × wall), the number a scaling sweep plots.
 type summaryRecord struct {
 	Record       string           `json:"record"` // "batch_summary"
 	Jobs         int              `json:"jobs"`
@@ -233,6 +240,25 @@ type summaryRecord struct {
 	LatencyMS    latencyStats     `json:"latency_ms"`
 	HealthEvents int64            `json:"health_events"`
 	HealthViol   int64            `json:"health_violations"`
+
+	Workers       []workerRecord `json:"workers,omitempty"`
+	Efficiency    float64        `json:"parallel_efficiency,omitempty"`
+	ReorderPeak   int            `json:"reorder_peak,omitempty"`
+	ReorderStalls int64          `json:"reorder_stalls,omitempty"`
+}
+
+// workerRecord is one row of the per-worker utilization table.
+type workerRecord struct {
+	Worker      int     `json:"worker"`
+	Jobs        int64   `json:"jobs"`
+	BusyMS      float64 `json:"busy_ms"`
+	IdleMS      float64 `json:"idle_ms"`
+	StallMS     float64 `json:"stall_ms"`
+	LockWaitMS  float64 `json:"lock_wait_ms"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	Utilization float64 `json:"utilization"`
+	Accounted   float64 `json:"accounted"`
 }
 
 type latencyStats struct {
@@ -269,6 +295,26 @@ func (rr *runReport) finish() {
 	if m := health.Default(); m != nil {
 		rec.HealthEvents = m.Events() - rr.healthEvents0
 		rec.HealthViol = m.Violations() - rr.healthViol0
+	}
+	if rs := rr.stats; rs != nil {
+		rec.Efficiency = rs.Efficiency()
+		rec.ReorderPeak = rs.ReorderPeak
+		rec.ReorderStalls = rs.ReorderStalls
+		const ms = float64(time.Millisecond)
+		for _, ws := range rs.Worker {
+			rec.Workers = append(rec.Workers, workerRecord{
+				Worker:      ws.Worker,
+				Jobs:        ws.Jobs,
+				BusyMS:      float64(ws.BusyNS) / ms,
+				IdleMS:      float64(ws.IdleNS) / ms,
+				StallMS:     float64(ws.StallNS) / ms,
+				LockWaitMS:  float64(ws.LockWaitNS) / ms,
+				CacheHits:   ws.CacheHits,
+				CacheMisses: ws.CacheMisses,
+				Utilization: ws.Utilization(),
+				Accounted:   ws.Accounted(),
+			})
+		}
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {

@@ -33,7 +33,10 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
+	"path/filepath"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"syscall"
@@ -56,6 +59,12 @@ type Flags struct {
 	Version        bool   // -version: print build info and exit
 	StrictNumerics bool   // -strict-numerics: numerical-health violations fail the run
 	HealthLog      string // -health-log: NDJSON health-event log path
+
+	// Contention observability: opt-in runtime profiling and sampling.
+	MutexProfile  int           // -mutex-profile: SetMutexProfileFraction rate; 0 off
+	BlockProfile  int           // -block-profile: SetBlockProfileRate ns; 0 off
+	ProfileDir    string        // -profile-dir: write pprof profiles here on exit
+	RuntimeSample time.Duration // -runtime-sample: runtime/metrics sampling period; 0 off
 }
 
 // Add registers the shared flags on fs and returns the value holder.
@@ -67,6 +76,10 @@ func Add(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Version, "version", false, "print version information and exit")
 	fs.BoolVar(&f.StrictNumerics, "strict-numerics", false, "fail the run on any numerical-health violation")
 	fs.StringVar(&f.HealthLog, "health-log", "", "write NDJSON numerical-health events to `file` (default stderr when -strict-numerics)")
+	fs.IntVar(&f.MutexProfile, "mutex-profile", 0, "sample 1/`n` of mutex contention events (runtime.SetMutexProfileFraction; 0 = off)")
+	fs.IntVar(&f.BlockProfile, "block-profile", 0, "sample blocking events lasting >= `ns` nanoseconds (runtime.SetBlockProfileRate; 0 = off)")
+	fs.StringVar(&f.ProfileDir, "profile-dir", "", "write pprof profiles (heap, plus mutex/block when enabled) into `dir` on exit")
+	fs.DurationVar(&f.RuntimeSample, "runtime-sample", 0, "sample runtime/metrics (GC pauses, sched latency, goroutines) every `period` into the metrics registry and trace (0 = off)")
 	return f
 }
 
@@ -279,7 +292,23 @@ type Session struct {
 	healthBuf  *bufio.Writer
 	healthFile *os.File
 
+	sampler       *telemetry.RuntimeSampler
+	profileDir    string
+	mutexProfile  bool
+	blockProfile  bool
+	prevMutexFrac int
+
 	ln net.Listener
+}
+
+// tracerSink adapts a Tracer into a telemetry.Sink so the runtime
+// sampler's NDJSON records interleave with spans in the -trace file
+// under the tracer's lock.
+type tracerSink struct{ t *telemetry.Tracer }
+
+func (s tracerSink) Emit(rec []byte) error {
+	s.t.EmitRaw(rec)
+	return nil
 }
 
 // publishOnce guards the process-wide expvar name (expvar.Publish
@@ -296,7 +325,7 @@ var metricsOnce sync.Once
 // debug-server address line and, at Close, the -metrics snapshot.
 func (f *Flags) Start(stderr io.Writer) (*Session, error) {
 	s := &Session{ctx: context.Background(), stderr: stderr, metrics: f.Metrics}
-	if f.Trace != "" || f.Metrics || f.DebugAddr != "" {
+	if f.Trace != "" || f.Metrics || f.DebugAddr != "" || f.RuntimeSample > 0 {
 		s.reg = telemetry.NewRegistry()
 		s.prev = telemetry.SetDefault(s.reg)
 	}
@@ -327,6 +356,30 @@ func (f *Flags) Start(stderr io.Writer) (*Session, error) {
 		s.monStrict = f.StrictNumerics
 		s.prevMon = health.SetDefault(s.mon)
 	}
+	if f.ProfileDir != "" {
+		if err := os.MkdirAll(f.ProfileDir, 0o755); err != nil {
+			s.rollback()
+			return nil, fmt.Errorf("-profile-dir: %w", err)
+		}
+		s.profileDir = f.ProfileDir
+	}
+	// Profiling rates are process-wide; the session restores them in
+	// Close so an embedded caller's settings survive.
+	if f.MutexProfile > 0 {
+		s.prevMutexFrac = runtime.SetMutexProfileFraction(f.MutexProfile)
+		s.mutexProfile = true
+	}
+	if f.BlockProfile > 0 {
+		runtime.SetBlockProfileRate(f.BlockProfile)
+		s.blockProfile = true
+	}
+	if f.RuntimeSample > 0 {
+		var sink telemetry.Sink
+		if s.tracer != nil {
+			sink = tracerSink{s.tracer}
+		}
+		s.sampler = telemetry.StartRuntimeSampler(f.RuntimeSample, sink)
+	}
 	if f.DebugAddr != "" {
 		publishOnce.Do(func() { expvar.Publish("elmore.metrics", telemetry.ExpvarVar{}) })
 		metricsOnce.Do(func() { http.Handle("/metrics", telemetry.PromHandler{}) })
@@ -347,6 +400,10 @@ func (f *Flags) Start(stderr io.Writer) (*Session, error) {
 
 // rollback undoes partial Start work on error.
 func (s *Session) rollback() {
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	s.restoreProfiling()
 	if s.reg != nil {
 		telemetry.SetDefault(s.prev)
 	}
@@ -359,6 +416,53 @@ func (s *Session) rollback() {
 	if s.healthFile != nil {
 		s.healthFile.Close()
 	}
+}
+
+// restoreProfiling puts the process-wide profiling rates back the way
+// Start found them.
+func (s *Session) restoreProfiling() {
+	if s.mutexProfile {
+		runtime.SetMutexProfileFraction(s.prevMutexFrac)
+		s.mutexProfile = false
+	}
+	if s.blockProfile {
+		runtime.SetBlockProfileRate(0)
+		s.blockProfile = false
+	}
+}
+
+// captureProfiles writes the session's pprof profiles into -profile-dir:
+// always heap, plus mutex/block when the corresponding rate was on. The
+// files are plain pprof protos, ready for `go tool pprof`.
+func (s *Session) captureProfiles() error {
+	if s.profileDir == "" {
+		return nil
+	}
+	names := []string{"heap"}
+	if s.mutexProfile {
+		names = append(names, "mutex")
+	}
+	if s.blockProfile {
+		names = append(names, "block")
+	}
+	var errs []error
+	for _, name := range names {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		path := filepath.Join(s.profileDir, name+".pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("-profile-dir: %w", err))
+			continue
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			errs = append(errs, fmt.Errorf("-profile-dir: %s: %w", name, err))
+		}
+		errs = append(errs, f.Close())
+	}
+	return errors.Join(errs...)
 }
 
 // Context returns the context engines should run under; it carries the
@@ -378,6 +482,13 @@ func (s *Session) Close() error {
 	if s.ln != nil {
 		errs = append(errs, s.ln.Close())
 	}
+	// Stop the sampler before the trace flushes (its final record lands
+	// in the trace) and capture profiles before the rates reset.
+	if s.sampler != nil {
+		s.sampler.Stop()
+	}
+	errs = append(errs, s.captureProfiles())
+	s.restoreProfiling()
 	if s.tracer != nil {
 		errs = append(errs, s.tracer.Err())
 	}

@@ -1,0 +1,133 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfileFlagsRegistered(t *testing.T) {
+	cf := parse(t,
+		"-mutex-profile", "5",
+		"-block-profile", "1000",
+		"-profile-dir", "/tmp/p",
+		"-runtime-sample", "250ms",
+	)
+	if cf.MutexProfile != 5 || cf.BlockProfile != 1000 ||
+		cf.ProfileDir != "/tmp/p" || cf.RuntimeSample != 250*time.Millisecond {
+		t.Fatalf("profile flags parsed wrong: %+v", cf)
+	}
+}
+
+// TestSessionProfilingLifecycle drives the full contention-observability
+// path: profiling rates set and restored, pprof profiles captured to
+// -profile-dir, and runtime_sample records interleaved into the -trace
+// stream.
+func TestSessionProfilingLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.ndjson")
+	prof := filepath.Join(dir, "profiles")
+
+	prevFrac := runtime.SetMutexProfileFraction(-1) // read without changing
+	cf := parse(t,
+		"-trace", trace,
+		"-profile-dir", prof,
+		"-mutex-profile", "1",
+		"-block-profile", "1",
+		"-runtime-sample", "20ms",
+	)
+	sess, err := cf.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.SetMutexProfileFraction(-1); got != 1 {
+		t.Errorf("mutex profile fraction = %d during session, want 1", got)
+	}
+
+	// Generate some contention so the profiles are non-trivial, and let
+	// the sampler tick at least once beyond its immediate sample.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				mu.Lock()
+				time.Sleep(50 * time.Microsecond)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(30 * time.Millisecond)
+
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := runtime.SetMutexProfileFraction(prevFrac); got != prevFrac {
+		t.Errorf("mutex profile fraction = %d after Close, want restored %d", got, prevFrac)
+	}
+
+	for _, name := range []string{"heap.pprof", "mutex.pprof", "block.pprof"} {
+		fi, err := os.Stat(filepath.Join(prof, name))
+		if err != nil {
+			t.Errorf("profile %s not captured: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := 0
+	for _, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if ln == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("trace line not NDJSON: %q: %v", ln, err)
+		}
+		if rec["record"] == "runtime_sample" {
+			samples++
+			if g, ok := rec["goroutines"].(float64); !ok || g < 1 {
+				t.Errorf("runtime_sample goroutines = %v, want >= 1", rec["goroutines"])
+			}
+		}
+	}
+	if samples < 2 {
+		t.Errorf("trace has %d runtime_sample records, want >= 2 (immediate + final)", samples)
+	}
+}
+
+// TestSessionRuntimeSampleWithoutTrace exercises the sampler with no
+// trace sink: gauges still land in the session registry.
+func TestSessionRuntimeSampleWithoutTrace(t *testing.T) {
+	cf := parse(t, "-runtime-sample", "15ms")
+	sess, err := cf.Start(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	reg := sess.Registry()
+	if reg == nil {
+		t.Fatal("-runtime-sample alone must install a registry")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("runtime.goroutines").Value(); got < 1 {
+		t.Errorf("runtime.goroutines gauge = %v, want >= 1", got)
+	}
+}

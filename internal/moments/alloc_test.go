@@ -1,0 +1,94 @@
+package moments
+
+import (
+	"testing"
+
+	"elmore/internal/topo"
+)
+
+// Allocation budgets for the serial (small-net) path. These are exact
+// counts, not estimates — a new make, a closure capture of a reassigned
+// variable, or an interface conversion on the hot path shows up here as
+// a +1 before it shows up as a benchmark regression.
+//
+//	Compute:     Set header, row slice header array, row backing,
+//	             sweep scratch                                   = 4
+//	ComputePRH:  PRHTerms, fused user backing, compiled scratch  = 3
+//	ElmoreDelays: td, compiled scratch                           = 2
+const (
+	computeAllocBudget = 4
+	prhAllocBudget     = 3
+	elmoreAllocBudget  = 2
+)
+
+func TestComputeAllocBudget(t *testing.T) {
+	tree := topo.Random(11, topo.RandomOptions{N: 300})
+	if _, err := Compute(tree, 3); err != nil { // warm the compiled-plan cache
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := Compute(tree, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > computeAllocBudget {
+		t.Errorf("Compute(order=3) = %.1f allocs/op, budget %d", got, computeAllocBudget)
+	}
+}
+
+func TestComputePRHAllocBudget(t *testing.T) {
+	tree := topo.Random(11, topo.RandomOptions{N: 300})
+	ComputePRH(tree)
+	got := testing.AllocsPerRun(200, func() { ComputePRH(tree) })
+	if got > prhAllocBudget {
+		t.Errorf("ComputePRH = %.1f allocs/op, budget %d", got, prhAllocBudget)
+	}
+}
+
+func TestElmoreDelaysAllocBudget(t *testing.T) {
+	tree := topo.Random(11, topo.RandomOptions{N: 300})
+	ElmoreDelays(tree)
+	got := testing.AllocsPerRun(200, func() { ElmoreDelays(tree) })
+	if got > elmoreAllocBudget {
+		t.Errorf("ElmoreDelays = %.1f allocs/op, budget %d", got, elmoreAllocBudget)
+	}
+}
+
+// The fused ComputePRH must produce bit-identical terms to computing
+// each ingredient with its standalone public API: the sweeps are the
+// same gather-form kernels in the same order, so there is no legitimate
+// source of divergence — not even in the last ulp.
+func TestComputePRHBitIdenticalToStandalone(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		tree := topo.Random(seed, topo.RandomOptions{N: 500})
+		p := ComputePRH(tree)
+		td := ElmoreDelays(tree)
+		down := tree.DownstreamC()
+		for i := 0; i < tree.N(); i++ {
+			if p.TD[i] != td[i] {
+				t.Fatalf("seed %d node %d: fused TD %v != ElmoreDelays %v", seed, i, p.TD[i], td[i])
+			}
+			if p.down[i] != down[i] {
+				t.Fatalf("seed %d node %d: fused down %v != DownstreamC %v", seed, i, p.down[i], down[i])
+			}
+		}
+	}
+}
+
+func BenchmarkComputeOrder3(b *testing.B) {
+	tree := topo.Random(11, topo.RandomOptions{N: 1000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(tree, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputePRH(b *testing.B) {
+	tree := topo.Random(11, topo.RandomOptions{N: 1000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ComputePRH(tree)
+	}
+}

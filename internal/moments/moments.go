@@ -52,15 +52,24 @@ func Compute(t *rctree.Tree, order int) (*Set, error) {
 		return nil, fmt.Errorf("moments: order must be >= 1, got %d", order)
 	}
 	n := t.N()
+	// One backing array serves every moment row, so a Set costs three
+	// allocations regardless of order. Rows are full-capacity
+	// sub-slices (the three-index form), so an append on one row can
+	// never bleed into its neighbor. The two sweep buffers live in a
+	// separate backing: Sets are cached by batch engines, and fusing
+	// the scratch into the row backing would pin 2n dead floats for the
+	// life of every cached Set.
+	back := make([]float64, (order+1)*n)
 	s := &Set{tree: t, order: order, m: make([][]float64, order+1)}
 	for q := range s.m {
-		s.m[q] = make([]float64, n)
+		s.m[q] = back[q*n : (q+1)*n : (q+1)*n]
 	}
 	for i := 0; i < n; i++ {
 		s.m[0][i] = 1 // m_0 = DC gain = 1 at every node of an RC tree
 	}
 	cp := rctree.Compile(t)
-	computeCompiled(cp, s, cp.ParallelOK())
+	scratch := make([]float64, 2*n)
+	computeInto(cp, s, scratch[:n], scratch[n:], cp.ParallelOK())
 	if faultinject.Enabled() && n > 0 {
 		// Poisoning the deepest node's m_1 is enough for chaos runs: it
 		// is the Elmore delay every downstream bound reads, and the
@@ -112,8 +121,17 @@ func (s *Set) checkFinite() error {
 }
 
 // computeCompiled fills s.m[1..order] (user-indexed) from the compiled
-// plan. Split out so tests can force both the serial and the parallel
-// schedule and compare bit-for-bit.
+// plan, allocating its own sweep buffers. Split out so tests can force
+// both the serial and the parallel schedule and compare bit-for-bit.
+func computeCompiled(cp *rctree.Compiled, s *Set, parallel bool) {
+	n := cp.N()
+	computeInto(cp, s, make([]float64, n), make([]float64, n), parallel)
+}
+
+// computeInto fills s.m[1..order] (user-indexed) from the compiled
+// plan using caller-provided sweep buffers of length cp.N(). Neither
+// buffer needs to be zeroed: prev is initialized here and every work
+// slot is written before it is read.
 //
 // Recurrence (from KCL in the Laplace domain):
 //
@@ -122,44 +140,61 @@ func (s *Set) checkFinite() error {
 // computed per order with one upward pass (subtree sums of the "moment
 // weights" w_k = C_k m_{q-1}(k)) and one downward pass that accumulates
 // m_q(i) = m_q(parent) - R(i) * subtreeSum(i) along each path.
-func computeCompiled(cp *rctree.Compiled, s *Set, parallel bool) {
-	n := cp.N()
-	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
-	// Two swap buffers: prev holds m_{q-1}; work accumulates the
-	// downstream sums and is then rewritten in place with m_q (slot i is
-	// read before it is written, and a parent's slot is final — level
-	// barrier — before any child reads it), becoming the next prev.
-	prev := make([]float64, n)
-	work := make([]float64, n)
+//
+// The serial and parallel schedules live in separate functions on
+// purpose: the parallel closures capture and swap prev/work, which
+// would force both slice headers onto the heap for every caller —
+// including small nets that never go parallel — if the closures were
+// merely unreachable in the same function body.
+func computeInto(cp *rctree.Compiled, s *Set, prev, work []float64, parallel bool) {
 	for i := range prev {
 		prev[i] = 1
 	}
 	if !parallel {
-		// Plain loops: the closure forms below escape to the heap, and
-		// small nets should not pay those allocations.
-		for q := 1; q <= s.order; q++ {
-			for i := n - 1; i >= 0; i-- {
-				d := c[i] * prev[i]
-				for ch := cs[i]; ch < cs[i+1]; ch++ {
-					d += work[ch]
-				}
-				work[i] = d
-			}
-			for i := 0; i < n; i++ {
-				m := -(r[i] * work[i])
-				if p := par[i]; p != rctree.Source {
-					m += work[p]
-				}
-				work[i] = m
-			}
-			mq := s.m[q]
-			for i := 0; i < n; i++ {
-				mq[toUser[i]] = work[i]
-			}
-			prev, work = work, prev
-		}
+		computeSerial(cp, s, prev, work)
 		return
 	}
+	computeParallel(cp, s, prev, work)
+}
+
+// computeSerial runs the moment sweeps as plain loops with no closures,
+// so small nets pay zero allocations beyond the buffers they were
+// handed. Two swap buffers: prev holds m_{q-1}; work accumulates the
+// downstream sums and is then rewritten in place with m_q (slot i is
+// read before it is written, and a parent's slot is final before any
+// child reads it), becoming the next prev.
+func computeSerial(cp *rctree.Compiled, s *Set, prev, work []float64) {
+	n := cp.N()
+	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
+	for q := 1; q <= s.order; q++ {
+		for i := n - 1; i >= 0; i-- {
+			d := c[i] * prev[i]
+			for ch := cs[i]; ch < cs[i+1]; ch++ {
+				d += work[ch]
+			}
+			work[i] = d
+		}
+		for i := 0; i < n; i++ {
+			m := -(r[i] * work[i])
+			if p := par[i]; p != rctree.Source {
+				m += work[p]
+			}
+			work[i] = m
+		}
+		mq := s.m[q]
+		for i := 0; i < n; i++ {
+			mq[toUser[i]] = work[i]
+		}
+		prev, work = work, prev
+	}
+}
+
+// computeParallel is the level-scheduled mirror of computeSerial. The
+// kernels are gather-form (each node reads only its children or its
+// parent), so the schedule is bit-identical to the serial sweep.
+func computeParallel(cp *rctree.Compiled, s *Set, prev, work []float64) {
+	n := cp.N()
+	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
 	up := func(lo, hi int) {
 		for i := hi - 1; i >= lo; i-- {
 			d := c[i] * prev[i]
@@ -291,20 +326,31 @@ func factorial(n int) float64 {
 // parallel on large bushy trees.
 func ElmoreDelays(t *rctree.Tree) []float64 {
 	cp := rctree.Compile(t)
+	// td is returned and may be long-lived, so it gets its own backing
+	// rather than a slice of a shared buffer that would pin the scratch.
 	td := make([]float64, cp.N())
-	elmoreCompiled(cp, td, cp.ParallelOK())
+	elmoreInto(cp, td, make([]float64, cp.N()), cp.ParallelOK())
 	return td
 }
 
-// elmoreCompiled fills td (user-indexed) with Elmore delays. The
-// downward pass accumulates into the down buffer in place: down[i] is
-// read before slot i is overwritten, and a parent's slot is fully
-// rewritten (level barrier) before any child reads it. The serial path
-// runs plain loops so small nets pay no closure allocations.
+// elmoreCompiled fills td (user-indexed) with Elmore delays, allocating
+// its own scratch. Kept as the seam tests use to force serial vs
+// parallel schedules.
 func elmoreCompiled(cp *rctree.Compiled, td []float64, parallel bool) {
+	elmoreInto(cp, td, make([]float64, cp.N()), parallel)
+}
+
+// elmoreInto fills td (user-indexed) with Elmore delays using a
+// caller-provided compiled-order scratch of length cp.N(). The scratch
+// need not be zeroed: every slot is written by the upward pass before
+// it is read. The downward pass accumulates into the down buffer in
+// place: down[i] is read before slot i is overwritten, and a parent's
+// slot is fully rewritten (level barrier) before any child reads it.
+// The serial path runs plain loops so small nets pay no closure
+// allocations.
+func elmoreInto(cp *rctree.Compiled, td, down []float64, parallel bool) {
 	n := cp.N()
 	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
-	down := make([]float64, n)
 	acc := down // acc[i] overwrites down[i] only after it is consumed
 	if !parallel {
 		// Plain loops: the closure forms below escape to the heap, and

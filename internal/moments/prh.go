@@ -27,43 +27,106 @@ type PRHTerms struct {
 // resistance accumulation runs on the compiled plan like the other
 // O(N) traversals; the T_P reduction keeps the historical pre-order
 // summation order so results are reproducible across releases.
+//
+// Allocation shape: the three retained per-node arrays (TD, rkk, down)
+// share one user-indexed backing, and the two compiled-order sweep
+// buffers share another that dies with this call — three allocations
+// total instead of the seven the per-array form cost. The kernels are
+// the same gather-form sweeps ElmoreDelays and Tree.DownstreamC run,
+// in the same order, so the results are bit-identical to computing
+// each term independently.
 func ComputePRH(t *rctree.Tree) *PRHTerms {
 	n := t.N()
+	cp := rctree.Compile(t)
+	user := make([]float64, 3*n)
 	p := &PRHTerms{
 		tree: t,
-		TD:   ElmoreDelays(t),
-		rkk:  make([]float64, n),
-		down: t.DownstreamC(),
+		TD:   user[0:n:n],
+		rkk:  user[n : 2*n : 2*n],
+		down: user[2*n : 3*n : 3*n],
 	}
-	cp := rctree.Compile(t)
-	rkkC := make([]float64, n) // compiled-order workspace
-	if !cp.ParallelOK() {
-		// Plain loop: the closure form below escapes to the heap, and
-		// small nets should not pay that allocation.
-		for i := 0; i < n; i++ {
-			a := cp.R[i]
-			if pa := cp.Parent[i]; pa != rctree.Source {
-				a += rkkC[pa]
-			}
-			rkkC[i] = a
-			p.rkk[cp.ToUser[i]] = a
-		}
-	} else {
-		cp.EachLevelDown(true, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				a := cp.R[i]
-				if pa := cp.Parent[i]; pa != rctree.Source {
-					a += rkkC[pa]
-				}
-				rkkC[i] = a
-				p.rkk[cp.ToUser[i]] = a
-			}
-		})
-	}
+	scratch := make([]float64, 2*n)
+	prhInto(cp, p.TD, p.rkk, p.down, scratch[:n], scratch[n:], cp.ParallelOK())
 	for _, i := range t.PreOrder() {
 		p.TP += p.rkk[i] * t.C(i)
 	}
 	return p
+}
+
+// prhInto runs the three PRH sweeps on the compiled plan:
+//
+//  1. upward: downC[i] = subtree capacitance (scattered to the
+//     user-indexed down array) — the Tree.DownstreamC kernel;
+//  2. downward: Elmore accumulation reusing downC in place as the
+//     accumulator (the elmoreInto kernel), scattered to td;
+//  3. downward: path resistance R_ii into rkkC, scattered to rkk.
+//
+// Neither scratch needs to be zeroed: every slot is written before it
+// is read. Pass 2 destroys downC, which is safe because pass 1 already
+// scattered the downstream capacitances to the user array. The serial
+// path runs plain loops so small nets pay no closure allocations; the
+// parallel kernels are gather-form, hence bit-identical to serial.
+func prhInto(cp *rctree.Compiled, td, rkk, down, downC, rkkC []float64, parallel bool) {
+	n := cp.N()
+	r, c, cs, par, toUser := cp.R, cp.C, cp.ChildStart, cp.Parent, cp.ToUser
+	acc := downC // pass 2 overwrites downC[i] only after it is consumed
+	if !parallel {
+		for i := n - 1; i >= 0; i-- {
+			d := c[i]
+			for ch := cs[i]; ch < cs[i+1]; ch++ {
+				d += downC[ch]
+			}
+			downC[i] = d
+			down[toUser[i]] = d
+		}
+		for i := 0; i < n; i++ {
+			a := r[i] * downC[i]
+			if p := par[i]; p != rctree.Source {
+				a += acc[p]
+			}
+			acc[i] = a
+			td[toUser[i]] = a
+		}
+		for i := 0; i < n; i++ {
+			a := r[i]
+			if p := par[i]; p != rctree.Source {
+				a += rkkC[p]
+			}
+			rkkC[i] = a
+			rkk[toUser[i]] = a
+		}
+		return
+	}
+	cp.EachLevelUp(true, func(lo, hi int) {
+		for i := hi - 1; i >= lo; i-- {
+			d := c[i]
+			for ch := cs[i]; ch < cs[i+1]; ch++ {
+				d += downC[ch]
+			}
+			downC[i] = d
+			down[toUser[i]] = d
+		}
+	})
+	cp.EachLevelDown(true, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := r[i] * downC[i]
+			if p := par[i]; p != rctree.Source {
+				a += acc[p]
+			}
+			acc[i] = a
+			td[toUser[i]] = a
+		}
+	})
+	cp.EachLevelDown(true, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := r[i]
+			if p := par[i]; p != rctree.Source {
+				a += rkkC[p]
+			}
+			rkkC[i] = a
+			rkk[toUser[i]] = a
+		}
+	})
 }
 
 // PathResistance returns R_ii for node i (cached).

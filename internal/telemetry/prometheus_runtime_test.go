@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// runtimeGaugeNames is the registry name-space the runtime sampler
+// maintains, with the exact Prometheus spelling each name must keep:
+// dashboards and scrape configs key on these, so a rename is a breaking
+// change that must show up as a test diff.
+var runtimeGaugeNames = map[string]string{
+	"runtime.goroutines":                "runtime_goroutines",
+	"runtime.gomaxprocs":                "runtime_gomaxprocs",
+	"runtime.heap_bytes":                "runtime_heap_bytes",
+	"runtime.mem_total_bytes":           "runtime_mem_total_bytes",
+	"runtime.gc_cycles":                 "runtime_gc_cycles",
+	"runtime.gc_pause_total_seconds":    "runtime_gc_pause_total_seconds",
+	"runtime.gc_pause_p99_seconds":      "runtime_gc_pause_p99_seconds",
+	"runtime.sched_latency_p50_seconds": "runtime_sched_latency_p50_seconds",
+	"runtime.sched_latency_p99_seconds": "runtime_sched_latency_p99_seconds",
+	"runtime.mutex_wait_seconds":        "runtime_mutex_wait_seconds",
+	"runtime.gc_cpu_seconds":            "runtime_gc_cpu_seconds",
+}
+
+func TestRuntimeGaugePromNamesStable(t *testing.T) {
+	for dotted, want := range runtimeGaugeNames {
+		if got := PromName(dotted); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", dotted, got, want)
+		}
+	}
+}
+
+// TestRuntimeSnapshotPromRoundTrip publishes a real runtime snapshot
+// and feeds the exposition through the strict parser: every sampler
+// gauge must come out as a well-formed family with the pinned name,
+// and a second publish must overwrite, not accumulate.
+func TestRuntimeSnapshotPromRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	rs := ReadRuntime()
+	rs.Publish(reg)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseProm(t, sb.String())
+	for dotted, prom := range runtimeGaugeNames {
+		s, ok := fams[prom]
+		if !ok {
+			t.Errorf("gauge %s (%s) missing from exposition", dotted, prom)
+			continue
+		}
+		if len(s) != 1 {
+			t.Errorf("gauge %s: %d samples, want 1", prom, len(s))
+		}
+	}
+	if v := fams["runtime_goroutines"][0].value; v < 1 {
+		t.Errorf("runtime_goroutines = %v, want >= 1", v)
+	}
+
+	// Second publish with a doctored snapshot: gauges are Set, so the
+	// exposition must show the new value, not a sum.
+	rs.Goroutines = 1234
+	rs.Publish(reg)
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams = parseProm(t, sb.String())
+	if v := fams["runtime_goroutines"][0].value; v != 1234 {
+		t.Errorf("after republish runtime_goroutines = %v, want 1234 (Set, not Add)", v)
+	}
+}

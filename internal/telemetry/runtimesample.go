@@ -1,0 +1,295 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Runtime sampling: a curated slice of the Go runtime/metrics surface
+// (GC pauses, scheduler latency, goroutine count, heap, mutex wait)
+// published through the ordinary metrics registry — and therefore the
+// Prometheus exposition — plus optional NDJSON "runtime_sample" records
+// interleaved into a span trace. This is the process-level half of the
+// contention story: per-worker accounting (internal/batch) says where a
+// worker's time went, the runtime sampler says what the runtime was
+// doing to it (GC stealing cycles, scheduler queueing, lock convoys).
+//
+// All gauges are absolute snapshots; consumers that want per-run deltas
+// (cmd/scalestat) call ReadRuntime around the run and subtract.
+
+// RuntimeSnapshot is one reading of the curated runtime metrics. Every
+// field is a plain value so snapshots can be subtracted field-by-field.
+type RuntimeSnapshot struct {
+	Goroutines      int64   // /sched/goroutines
+	GOMAXPROCS      int64   // runtime.GOMAXPROCS(0)
+	HeapBytes       int64   // /memory/classes/heap/objects
+	TotalBytes      int64   // /memory/classes/total
+	GCCycles        int64   // /gc/cycles/total
+	GCPauseTotalSec float64 // approx: sum over the /gc/pauses histogram
+	GCPauseP99Sec   float64 // p99 of /gc/pauses since process start
+	SchedLatP50Sec  float64 // p50 of /sched/latencies since process start
+	SchedLatP99Sec  float64 // p99 of /sched/latencies since process start
+	MutexWaitSec    float64 // /sync/mutex/wait/total (all contended locks)
+	GCCPUSec        float64 // /cpu/classes/gc/total
+}
+
+// runtimeSampleNames is the fixed request list handed to metrics.Read.
+// Unsupported names (older runtimes) come back KindBad and read as zero.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+	"/sync/mutex/wait/total:seconds",
+	"/cpu/classes/gc/total:cpu-seconds",
+}
+
+// samplePool recycles the metrics.Sample request slice so periodic
+// sampling does not allocate one per tick.
+var samplePool = sync.Pool{New: func() any {
+	s := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		s[i].Name = name
+	}
+	return &s
+}}
+
+// ReadRuntime takes one snapshot of the curated runtime metrics.
+func ReadRuntime() RuntimeSnapshot {
+	sp := samplePool.Get().(*[]metrics.Sample)
+	defer samplePool.Put(sp)
+	s := *sp
+	metrics.Read(s)
+	var out RuntimeSnapshot
+	out.GOMAXPROCS = int64(runtime.GOMAXPROCS(0))
+	for i := range s {
+		switch s[i].Name {
+		case "/sched/goroutines:goroutines":
+			out.Goroutines = sampleInt(&s[i])
+		case "/memory/classes/heap/objects:bytes":
+			out.HeapBytes = sampleInt(&s[i])
+		case "/memory/classes/total:bytes":
+			out.TotalBytes = sampleInt(&s[i])
+		case "/gc/cycles/total:gc-cycles":
+			out.GCCycles = sampleInt(&s[i])
+		case "/gc/pauses:seconds":
+			if h := sampleHist(&s[i]); h != nil {
+				out.GCPauseTotalSec = histApproxSum(h)
+				out.GCPauseP99Sec = histQuantile(h, 0.99)
+			}
+		case "/sched/latencies:seconds":
+			if h := sampleHist(&s[i]); h != nil {
+				out.SchedLatP50Sec = histQuantile(h, 0.50)
+				out.SchedLatP99Sec = histQuantile(h, 0.99)
+			}
+		case "/sync/mutex/wait/total:seconds":
+			out.MutexWaitSec = sampleFloat(&s[i])
+		case "/cpu/classes/gc/total:cpu-seconds":
+			out.GCCPUSec = sampleFloat(&s[i])
+		}
+	}
+	return out
+}
+
+func sampleInt(s *metrics.Sample) int64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return int64(s.Value.Uint64())
+}
+
+func sampleFloat(s *metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	}
+	return 0
+}
+
+func sampleHist(s *metrics.Sample) *metrics.Float64Histogram {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s.Value.Float64Histogram()
+}
+
+// histQuantile returns the q-quantile of a runtime histogram as the
+// upper edge of the bucket where the cumulative count crosses q. ±Inf
+// edges fall back to the nearest finite neighbor.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(q * float64(total)))
+	if thresh < 1 {
+		thresh = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			edge := h.Buckets[i+1]
+			if math.IsInf(edge, 0) {
+				edge = h.Buckets[i]
+			}
+			if math.IsInf(edge, 0) {
+				return 0
+			}
+			return edge
+		}
+	}
+	return 0
+}
+
+// histApproxSum approximates the sum of all observations using bucket
+// midpoints (the runtime does not expose an exact sum). Good enough for
+// "how much wall time did GC pauses cost this run".
+func histApproxSum(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, 0) {
+			lo = hi
+		}
+		if math.IsInf(hi, 0) {
+			hi = lo
+		}
+		if math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			continue
+		}
+		sum += float64(c) * (lo + hi) / 2
+	}
+	return sum
+}
+
+// Publish writes the snapshot into reg as runtime.* gauges. Safe on a
+// nil registry (no-op).
+func (rs RuntimeSnapshot) Publish(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("runtime.goroutines").Set(float64(rs.Goroutines))
+	reg.Gauge("runtime.gomaxprocs").Set(float64(rs.GOMAXPROCS))
+	reg.Gauge("runtime.heap_bytes").Set(float64(rs.HeapBytes))
+	reg.Gauge("runtime.mem_total_bytes").Set(float64(rs.TotalBytes))
+	reg.Gauge("runtime.gc_cycles").Set(float64(rs.GCCycles))
+	reg.Gauge("runtime.gc_pause_total_seconds").Set(rs.GCPauseTotalSec)
+	reg.Gauge("runtime.gc_pause_p99_seconds").Set(rs.GCPauseP99Sec)
+	reg.Gauge("runtime.sched_latency_p50_seconds").Set(rs.SchedLatP50Sec)
+	reg.Gauge("runtime.sched_latency_p99_seconds").Set(rs.SchedLatP99Sec)
+	reg.Gauge("runtime.mutex_wait_seconds").Set(rs.MutexWaitSec)
+	reg.Gauge("runtime.gc_cpu_seconds").Set(rs.GCCPUSec)
+}
+
+// runtimeRecord is the NDJSON schema of one runtime_sample line,
+// interleaved into a span trace (tracestat ignores non-span records).
+type runtimeRecord struct {
+	Record         string  `json:"record"` // "runtime_sample"
+	MS             float64 `json:"ms"`     // since sampler start
+	Goroutines     int64   `json:"goroutines"`
+	HeapBytes      int64   `json:"heap_bytes"`
+	GCCycles       int64   `json:"gc_cycles"`
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	SchedLatP99US  float64 `json:"sched_latency_p99_us"`
+	MutexWaitMS    float64 `json:"mutex_wait_ms"`
+	GCCPUMS        float64 `json:"gc_cpu_ms"`
+}
+
+// RuntimeSampler periodically snapshots the runtime into the default
+// metrics registry and, when a sink is attached, emits one NDJSON
+// runtime_sample record per tick. Create with StartRuntimeSampler.
+type RuntimeSampler struct {
+	interval time.Duration
+	sink     Sink
+	start    time.Time
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartRuntimeSampler begins sampling every interval (minimum 10ms,
+// default 1s when interval <= 0). sink may be nil — gauges in the
+// default registry are still updated. The first sample is taken
+// immediately; call Stop for a final sample and a clean shutdown.
+func StartRuntimeSampler(interval time.Duration, sink Sink) *RuntimeSampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	s := &RuntimeSampler{
+		interval: interval,
+		sink:     sink,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.sample()
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample takes one snapshot: registry gauges always, NDJSON when a sink
+// is attached.
+func (s *RuntimeSampler) sample() {
+	rs := ReadRuntime()
+	rs.Publish(Default())
+	if s.sink == nil {
+		return
+	}
+	rec := runtimeRecord{
+		Record:         "runtime_sample",
+		MS:             time.Since(s.start).Seconds() * 1e3,
+		Goroutines:     rs.Goroutines,
+		HeapBytes:      rs.HeapBytes,
+		GCCycles:       rs.GCCycles,
+		GCPauseTotalMS: rs.GCPauseTotalSec * 1e3,
+		SchedLatP99US:  rs.SchedLatP99Sec * 1e6,
+		MutexWaitMS:    rs.MutexWaitSec * 1e3,
+		GCCPUMS:        rs.GCCPUSec * 1e3,
+	}
+	if line, err := json.Marshal(rec); err == nil {
+		_ = s.sink.Emit(line)
+	}
+}
+
+// Stop takes a final sample and shuts the sampler down. Safe to call
+// once; nil-safe.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.sample()
+}

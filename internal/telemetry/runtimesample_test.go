@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadRuntimeSane(t *testing.T) {
+	// Force at least one GC so pause/cycle metrics are non-trivial.
+	runtime.GC()
+	rs := ReadRuntime()
+	if rs.Goroutines < 1 {
+		t.Errorf("Goroutines = %d, want >= 1", rs.Goroutines)
+	}
+	if rs.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d, want >= 1", rs.GOMAXPROCS)
+	}
+	if rs.HeapBytes <= 0 {
+		t.Errorf("HeapBytes = %d, want > 0", rs.HeapBytes)
+	}
+	if rs.TotalBytes < rs.HeapBytes {
+		t.Errorf("TotalBytes %d < HeapBytes %d", rs.TotalBytes, rs.HeapBytes)
+	}
+	if rs.GCCycles < 1 {
+		t.Errorf("GCCycles = %d, want >= 1 after runtime.GC", rs.GCCycles)
+	}
+	for name, v := range map[string]float64{
+		"GCPauseTotalSec": rs.GCPauseTotalSec,
+		"GCPauseP99Sec":   rs.GCPauseP99Sec,
+		"SchedLatP50Sec":  rs.SchedLatP50Sec,
+		"SchedLatP99Sec":  rs.SchedLatP99Sec,
+		"MutexWaitSec":    rs.MutexWaitSec,
+		"GCCPUSec":        rs.GCCPUSec,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s = %v, want finite and >= 0", name, v)
+		}
+	}
+}
+
+func TestRuntimeSnapshotPublish(t *testing.T) {
+	reg := NewRegistry()
+	rs := RuntimeSnapshot{
+		Goroutines:      12,
+		GOMAXPROCS:      8,
+		HeapBytes:       1 << 20,
+		GCPauseTotalSec: 0.25,
+	}
+	rs.Publish(reg)
+	if got := reg.Gauge("runtime.goroutines").Value(); got != 12 {
+		t.Errorf("runtime.goroutines = %v, want 12", got)
+	}
+	if got := reg.Gauge("runtime.gomaxprocs").Value(); got != 8 {
+		t.Errorf("runtime.gomaxprocs = %v, want 8", got)
+	}
+	if got := reg.Gauge("runtime.heap_bytes").Value(); got != 1<<20 {
+		t.Errorf("runtime.heap_bytes = %v, want %v", got, 1<<20)
+	}
+	if got := reg.Gauge("runtime.gc_pause_total_seconds").Value(); got != 0.25 {
+		t.Errorf("runtime.gc_pause_total_seconds = %v, want 0.25", got)
+	}
+	// Publish on a nil registry must not panic.
+	rs.Publish(nil)
+}
+
+// memSampleSink buffers emitted records, synchronized because the
+// sampler goroutine emits concurrently with test reads.
+type memSampleSink struct {
+	mu    sync.Mutex
+	lines [][]byte
+}
+
+func (s *memSampleSink) Emit(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	s.lines = append(s.lines, cp)
+	return nil
+}
+
+func (s *memSampleSink) snapshot() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][]byte(nil), s.lines...)
+}
+
+func TestRuntimeSamplerEmitsAndStops(t *testing.T) {
+	reg := NewRegistry()
+	prev := SetDefault(reg)
+	defer SetDefault(prev)
+
+	sink := &memSampleSink{}
+	s := StartRuntimeSampler(10*time.Millisecond, sink)
+	time.Sleep(35 * time.Millisecond)
+	s.Stop()
+
+	lines := sink.snapshot()
+	if len(lines) < 2 { // immediate sample + final Stop sample at minimum
+		t.Fatalf("got %d runtime_sample records, want >= 2", len(lines))
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal(ln, &rec); err != nil {
+			t.Fatalf("unparseable runtime_sample line %q: %v", ln, err)
+		}
+		if rec["record"] != "runtime_sample" {
+			t.Fatalf("record field = %v, want runtime_sample", rec["record"])
+		}
+		if g, ok := rec["goroutines"].(float64); !ok || g < 1 {
+			t.Errorf("goroutines = %v, want >= 1", rec["goroutines"])
+		}
+	}
+	if got := reg.Gauge("runtime.goroutines").Value(); got < 1 {
+		t.Errorf("runtime.goroutines gauge = %v, want >= 1", got)
+	}
+
+	// Stop on a nil sampler must not panic.
+	var nilS *RuntimeSampler
+	nilS.Stop()
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 10, 80, 10},
+		Buckets: []float64{math.Inf(-1), 1, 2, 3, math.Inf(1)},
+	}
+	if got := histQuantile(h, 0.50); got != 3 {
+		t.Errorf("p50 = %v, want 3 (upper edge of the 80%% bucket)", got)
+	}
+	if got := histQuantile(h, 0.05); got != 2 {
+		t.Errorf("p5 = %v, want 2", got)
+	}
+	// The top bucket's upper edge is +Inf: fall back to its lower edge.
+	if got := histQuantile(h, 0.999); got != 3 {
+		t.Errorf("p99.9 = %v, want 3 (finite fallback)", got)
+	}
+	empty := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := histApproxSum(h); math.Abs(got-10*1.5-80*2.5-10*3) > 1e-9 {
+		t.Errorf("approx sum = %v, want %v", got, 10*1.5+80*2.5+10*3)
+	}
+}

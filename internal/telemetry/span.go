@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,7 @@ type Tracer struct {
 	sink  Sink
 	seq   atomic.Uint64
 	now   func() time.Time
+	gid   func() uint64 // goroutine id source; test hook
 	epoch time.Time
 	err   error // first emit error, sticky
 }
@@ -50,7 +52,41 @@ func NewTracer(sink Sink) *Tracer { return NewTracerClock(sink, time.Now) }
 // NewTracerClock is NewTracer with an explicit clock — the test hook
 // that makes golden traces deterministic.
 func NewTracerClock(sink Sink, now func() time.Time) *Tracer {
-	return &Tracer{sink: sink, now: now, epoch: now()}
+	return &Tracer{sink: sink, now: now, gid: goID, epoch: now()}
+}
+
+// goID returns the current goroutine's id, parsed from the
+// runtime.Stack header ("goroutine N [running]: ..."). There is no
+// cheaper public API; the cost (~1µs) is paid only on traced Starts,
+// which already pay a JSON marshal per span. The id is what lets
+// tracestat separate spans from concurrent batch workers.
+func goID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes), parse digits until the space.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// EmitRaw serializes one pre-encoded NDJSON record into the tracer's
+// sink under the same lock spans use, so non-span records (e.g. the
+// runtime sampler's runtime_sample lines) can interleave with spans
+// without tearing the stream. No-op on a nil tracer.
+func (t *Tracer) EmitRaw(record []byte) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.sink.Emit(record); err != nil && t.err == nil {
+		t.err = err
+	}
 }
 
 // Err returns the first error any span emission hit, if any.
@@ -85,6 +121,7 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64
+	g      uint64 // goroutine that started the span
 	name   string
 	start  time.Time
 	attrs  []attr
@@ -105,6 +142,7 @@ type spanRecord struct {
 	StartNS int64          `json:"start_ns"`
 	DurNS   int64          `json:"dur_ns"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
+	G       uint64         `json:"g,omitempty"` // starting goroutine id
 }
 
 // Start begins a span named name. If ctx carries a tracer, the span
@@ -117,7 +155,7 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if tr == nil {
 		return ctx, nil
 	}
-	sp := &Span{tr: tr, id: tr.seq.Add(1), name: name, start: tr.now()}
+	sp := &Span{tr: tr, id: tr.seq.Add(1), g: tr.gid(), name: name, start: tr.now()}
 	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
 		sp.parent = parent.id
 	}
@@ -167,6 +205,7 @@ func (s *Span) End() {
 		Name:    s.name,
 		StartNS: s.start.Sub(t.epoch).Nanoseconds(),
 		DurNS:   end.Sub(s.start).Nanoseconds(),
+		G:       s.g,
 	}
 	if len(s.attrs) > 0 {
 		rec.Attrs = make(map[string]any, len(s.attrs))

@@ -25,6 +25,7 @@ func TestGoldenTrace(t *testing.T) {
 	var sb strings.Builder
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	tr := NewTracerClock(WriterSink{W: &sb}, clk.now) // epoch: first tick
+	tr.gid = func() uint64 { return 7 }               // pin the goroutine id
 	ctx := WithTracer(context.Background(), tr)
 
 	ctx, root := Start(ctx, "run") // start: +1ms
@@ -43,9 +44,9 @@ func TestGoldenTrace(t *testing.T) {
 	// The fake clock ticks 1ms per reading: epoch at tick 1, each
 	// Start/End consumes one tick, so every timestamp below is exact.
 	want := strings.Join([]string{
-		`{"span":2,"parent":1,"name":"parse","start_ns":2000000,"dur_ns":1000000,"attrs":{"file":"deck.sp","nodes":25}}`,
-		`{"span":3,"parent":1,"name":"analyze","start_ns":4000000,"dur_ns":1000000,"attrs":{"tp_seconds":0.5}}`,
-		`{"span":1,"parent":0,"name":"run","start_ns":1000000,"dur_ns":5000000}`,
+		`{"span":2,"parent":1,"name":"parse","start_ns":2000000,"dur_ns":1000000,"attrs":{"file":"deck.sp","nodes":25},"g":7}`,
+		`{"span":3,"parent":1,"name":"analyze","start_ns":4000000,"dur_ns":1000000,"attrs":{"tp_seconds":0.5},"g":7}`,
+		`{"span":1,"parent":0,"name":"run","start_ns":1000000,"dur_ns":5000000,"g":7}`,
 		``,
 	}, "\n")
 	if sb.String() != want {
