@@ -1,6 +1,6 @@
 GO ?= go
 
-# Benchmarks folded into BENCH_3.json by `make bench-json`.
+# Benchmarks folded into BENCH_7.json by `make bench-json`.
 BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|SimTransient|SimPlanReuse|TableI$$
 
 .PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke scaling-smoke fmt
@@ -43,13 +43,13 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Run the scaling benchmarks and merge them into BENCH_3.json as the
+# Run the scaling benchmarks and merge them into BENCH_7.json as the
 # "after" side (pipe a saved baseline through
-# `go run ./cmd/benchjson -label before -o BENCH_3.json` first).
+# `go run ./cmd/benchjson -label before -o BENCH_7.json` first).
 bench-json:
 	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -timeout 90m . \
 	  && $(GO) test -run '^$$' -bench 'Batch10kNets' -benchmem -timeout 30m ./internal/batch ) \
-		| $(GO) run ./cmd/benchjson -label after -merge -o BENCH_3.json
+		| $(GO) run ./cmd/benchjson -label after -merge -o BENCH_7.json
 
 # One iteration of every benchmark: exercises the bench code paths in
 # CI without measuring anything.
@@ -61,11 +61,17 @@ bench-smoke:
 # attribution fields must be finite, >= 95% of per-worker wall time
 # accounted), plus a profiled batch run that exercises the contention
 # observability path end to end (mutex/block/heap pprof capture and
-# runtime_sample records in the trace).
+# runtime_sample records in the trace). On boxes with >= 4 CPUs the
+# check also enforces the scaling floors the sharded-cache fix bought:
+# parallel efficiency >= 0.5, speedup >= 0.5 x workers per step, and a
+# lock-wait share under 10% of attributed worker time; below 4 CPUs
+# scalestat skips the floors (noted on stderr) so laptops and
+# single-core runners stay green.
 scaling-smoke:
 	mkdir -p artifacts
 	$(GO) run -race ./cmd/scalestat -nets 200 -nodes 16 -share 20 -workers 1,2 \
-		-check -o artifacts/scaling-report.json -bench-out artifacts/scaling-bench.json
+		-check -efficiency-min 0.5 -speedup-min 0.5 -lockwait-max 0.10 -min-cpus 4 \
+		-o artifacts/scaling-report.json -bench-out artifacts/scaling-bench.json
 	$(GO) run -race ./cmd/boundstat -trees 60 -max-nodes 24 \
 		-profile-dir artifacts/profiles -mutex-profile 5 -block-profile 10000 \
 		-runtime-sample 100ms -trace artifacts/scaling-trace.ndjson \

@@ -112,6 +112,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	benchOut := fs.String("bench-out", "", "also write a benchjson-compatible ledger to `file`")
 	check := fs.Bool("check", false, "validate the report (finite efficiency, accounted fraction) and fail on violation")
 	accountedMin := fs.Float64("accounted-min", 0.95, "-check: minimum accounted fraction of worker wall time")
+	efficiencyMin := fs.Float64("efficiency-min", 0, "-check: minimum parallel efficiency per step (0 = off; skipped below -min-cpus)")
+	speedupMin := fs.Float64("speedup-min", 0, "-check: minimum speedup as a fraction of the step's workers, e.g. 0.5 (0 = off; skipped below -min-cpus)")
+	lockwaitMax := fs.Float64("lockwait-max", 1, "-check: maximum lock-wait share of attributed worker time (1 = off; skipped below -min-cpus)")
+	minCPUs := fs.Int("min-cpus", 4, "-check: enforce the scaling floors only when NumCPU >= `n`, so single-core runners stay green")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -184,12 +188,38 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if *check {
-		if err := validate(rep, *accountedMin); err != nil {
+		floors := checkFloors{
+			AccountedMin:  *accountedMin,
+			EfficiencyMin: *efficiencyMin,
+			SpeedupMin:    *speedupMin,
+			LockWaitMax:   *lockwaitMax,
+		}
+		if runtime.NumCPU() < *minCPUs {
+			// The scaling floors measure parallel hardware; on a box
+			// with fewer cores than -min-cpus they would fail for
+			// reasons the code cannot fix, so they are skipped — the
+			// structural checks (finiteness, accounted fraction) still
+			// run everywhere.
+			if floors.EfficiencyMin > 0 || floors.SpeedupMin > 0 || floors.LockWaitMax < 1 {
+				fmt.Fprintf(stderr, "scalestat: NumCPU=%d < %d: scaling floors skipped\n", runtime.NumCPU(), *minCPUs)
+			}
+			floors.EfficiencyMin, floors.SpeedupMin, floors.LockWaitMax = 0, 0, 1
+		}
+		if err := validate(rep, floors); err != nil {
 			return err
 		}
 		fmt.Fprintln(stderr, "scalestat: check ok")
 	}
 	return nil
+}
+
+// checkFloors bundles the -check thresholds. AccountedMin always
+// applies; the other three are the scaling floors gated on -min-cpus.
+type checkFloors struct {
+	AccountedMin  float64
+	EfficiencyMin float64 // 0 disables
+	SpeedupMin    float64 // fraction of workers; 0 disables
+	LockWaitMax   float64 // share of attributed time; >= 1 disables
 }
 
 // runStep executes the workload once at the given worker count, with a
@@ -330,9 +360,11 @@ func writeBenchLedger(path string, rep *report) error {
 }
 
 // validate is the -check mode: every efficiency/attribution figure must
-// be finite and the attribution must explain at least accountedMin of
-// the worker wall time.
-func validate(rep *report, accountedMin float64) error {
+// be finite, the attribution must explain at least AccountedMin of the
+// worker wall time, and — when the scaling floors are armed — each
+// step must hit the parallel-efficiency and per-worker-speedup floors
+// and stay under the lock-wait ceiling.
+func validate(rep *report, floors checkFloors) error {
 	if len(rep.Steps) == 0 {
 		return fmt.Errorf("check: report has no steps")
 	}
@@ -353,9 +385,24 @@ func validate(rep *report, accountedMin float64) error {
 		if st.Efficiency <= 0 || st.Efficiency > 1.01 {
 			return fmt.Errorf("check: workers=%d: efficiency %v outside (0, 1]", st.Workers, st.Efficiency)
 		}
-		if st.Attribution.Accounted < accountedMin {
+		if st.Attribution.Accounted < floors.AccountedMin {
 			return fmt.Errorf("check: workers=%d: accounted fraction %.3f < %.3f",
-				st.Workers, st.Attribution.Accounted, accountedMin)
+				st.Workers, st.Attribution.Accounted, floors.AccountedMin)
+		}
+		if floors.EfficiencyMin > 0 && st.Efficiency < floors.EfficiencyMin {
+			return fmt.Errorf("check: workers=%d: parallel efficiency %.3f < floor %.3f",
+				st.Workers, st.Efficiency, floors.EfficiencyMin)
+		}
+		if floors.SpeedupMin > 0 && st.Speedup < floors.SpeedupMin*float64(st.Workers) {
+			return fmt.Errorf("check: workers=%d: speedup %.3f < %.2f x workers = %.3f",
+				st.Workers, st.Speedup, floors.SpeedupMin, floors.SpeedupMin*float64(st.Workers))
+		}
+		if floors.LockWaitMax < 1 && st.Attribution.Accounted > 0 {
+			share := st.Attribution.LockWait / st.Attribution.Accounted
+			if share > floors.LockWaitMax {
+				return fmt.Errorf("check: workers=%d: lock-wait share %.3f of attributed time > ceiling %.3f",
+					st.Workers, share, floors.LockWaitMax)
+			}
 		}
 	}
 	return nil

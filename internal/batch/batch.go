@@ -150,9 +150,18 @@ type Engine struct {
 
 	// OnStart, when non-nil, observes each job the moment a worker
 	// picks it up (before any attempt). It is called concurrently from
-	// worker goroutines; the crash-safe journal uses it to record
-	// in-flight jobs.
-	OnStart func(index int, id string)
+	// worker goroutines with the worker's context (which carries the
+	// values OnWorker attached); the crash-safe journal uses it to
+	// record in-flight jobs through a per-worker buffered writer.
+	OnStart func(ctx context.Context, index int, id string)
+
+	// OnWorker, when non-nil, runs once per worker goroutine before it
+	// takes its first job. The returned context (when non-nil) replaces
+	// the worker's context for everything it runs, and the returned
+	// cleanup (when non-nil) runs as the worker exits. The journal
+	// layer uses it to give each worker a private buffered journal
+	// writer flushed at worker exit.
+	OnWorker func(ctx context.Context, worker int) (context.Context, func())
 
 	// OnStats, when non-nil, receives the run's per-worker accounting
 	// (PoolStats) once every worker has exited, on the RunFunc goroutine.
@@ -245,6 +254,20 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 			ws := &stats[w]
 			ws.Worker = w
 			wctx := withWorkerStats(bctx, ws)
+			// Each worker owns a grow-only scratch arena: the moment
+			// kernels draw their per-job sweep buffers from it instead
+			// of allocating 2n floats twice per job, and since a worker
+			// runs one job at a time the reuse is race-free.
+			wctx = moments.WithArena(wctx, new(moments.Arena))
+			if e.OnWorker != nil {
+				ctx2, cleanup := e.OnWorker(wctx, w)
+				if ctx2 != nil {
+					wctx = ctx2
+				}
+				if cleanup != nil {
+					defer cleanup()
+				}
+			}
 			wallStart := time.Now()
 			defer func() { ws.WallNS = time.Since(wallStart).Nanoseconds() }()
 			for {
@@ -257,7 +280,7 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 				pending.Add(-1)
 				qd.Add(-1)
 				if e.OnStart != nil {
-					e.OnStart(i, jobs[i].ID)
+					e.OnStart(wctx, i, jobs[i].ID)
 				}
 				t1 := time.Now()
 				r := e.runJob(wctx, i, jobs[i])

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -159,11 +160,7 @@ func (j *Journal) append(op, key string, countSync bool) error {
 	}
 	if countSync {
 		j.pending++
-		every := j.SyncEvery
-		if every <= 0 {
-			every = 32
-		}
-		if j.pending >= every {
+		if j.pending >= j.syncEvery() {
 			return j.syncLocked()
 		}
 	}
@@ -179,6 +176,119 @@ func (j *Journal) Start(index int, id string) error {
 // records the journal is flushed and fsynced.
 func (j *Journal) Done(index int, id string) error {
 	return j.append("done", JobKey(index, id), true)
+}
+
+// Writer returns a private buffered appender onto the journal. Each
+// batch worker holds its own Writer: records accumulate in a local
+// buffer with no locking at all, and the shared file lock is taken
+// once per flush — a batch boundary — instead of once per record, so
+// journal durability stops serializing the workers and the result
+// emitter. A nil journal returns a nil writer, whose methods are all
+// no-ops, mirroring the nil-*Journal contract.
+//
+// Durability window: start records are advisory (a lost start replays
+// exactly like a never-started job — re-queued), so buffering them
+// costs nothing on crash. Done records buffer at most SyncEvery deep
+// before the writer flushes, and only the single emit goroutine writes
+// dones, so the crash window stays the documented "at most SyncEvery
+// duplicated result lines, never a lost one".
+func (j *Journal) Writer() *JournalWriter {
+	if j == nil {
+		return nil
+	}
+	return &JournalWriter{j: j}
+}
+
+// JournalWriter is one goroutine's buffered view of a Journal. Not
+// safe for concurrent use — that is the point: each worker owns one.
+type JournalWriter struct {
+	j       *Journal
+	buf     []byte
+	records int // buffered records of any kind (flush trigger)
+	dones   int // buffered done records (fsync accounting at flush)
+}
+
+// append buffers one record, flushing when a batch has accumulated.
+func (w *JournalWriter) append(op, key string, done bool) error {
+	if w == nil {
+		return nil
+	}
+	if err := faultinject.Fire("batch.journal"); err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	b, err := json.Marshal(journalRecord{Op: op, Key: key})
+	if err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	w.buf = append(w.buf, b...)
+	w.buf = append(w.buf, '\n')
+	w.records++
+	if done {
+		w.dones++
+	}
+	if w.records >= w.j.syncEvery() {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Start buffers a record that the job was picked up by a worker.
+func (w *JournalWriter) Start(index int, id string) error {
+	return w.append("start", JobKey(index, id), false)
+}
+
+// Done buffers a record that the job's result was emitted. The caller
+// must already have written the result line: the journal's done-after-
+// write ordering only deepens under buffering (the done record reaches
+// the file later, never earlier).
+func (w *JournalWriter) Done(index int, id string) error {
+	return w.append("done", JobKey(index, id), true)
+}
+
+// Flush hands the buffered records to the journal under one lock
+// acquisition, counting the buffered dones toward the journal's fsync
+// batching. Call it at batch boundaries (worker exit, end of run);
+// full buffers flush themselves.
+func (w *JournalWriter) Flush() error {
+	if w == nil || len(w.buf) == 0 {
+		return nil
+	}
+	w.j.mu.Lock()
+	defer w.j.mu.Unlock()
+	if _, err := w.j.w.Write(w.buf); err != nil {
+		return fmt.Errorf("batch: journal: %w", err)
+	}
+	w.buf = w.buf[:0]
+	w.records = 0
+	w.j.pending += w.dones
+	w.dones = 0
+	if w.j.pending >= w.j.syncEvery() {
+		return w.j.syncLocked()
+	}
+	return nil
+}
+
+// journalWriterKey carries a worker's *JournalWriter through the
+// worker context, the same pattern WorkerStats rides.
+type journalWriterKey struct{}
+
+func withJournalWriter(ctx context.Context, w *JournalWriter) context.Context {
+	return context.WithValue(ctx, journalWriterKey{}, w)
+}
+
+// journalWriterFrom returns the writer carried by ctx, or nil (whose
+// methods are no-ops) when the context has none.
+func journalWriterFrom(ctx context.Context) *JournalWriter {
+	w, _ := ctx.Value(journalWriterKey{}).(*JournalWriter)
+	return w
+}
+
+// syncEvery returns the effective fsync batch size.
+func (j *Journal) syncEvery() int {
+	if j.SyncEvery > 0 {
+		return j.SyncEvery
+	}
+	return 32
 }
 
 // syncLocked flushes the buffer and fsyncs; callers hold j.mu.

@@ -203,7 +203,7 @@ func TestRunSpecsJournalResumeExactlyOnce(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var started atomic.Int32
-	eng := &Engine{Workers: 4, OnStart: func(int, string) {
+	eng := &Engine{Workers: 4, OnStart: func(context.Context, int, string) {
 		if started.Add(1) == 12 {
 			cancel()
 		}

@@ -258,21 +258,46 @@ func RunSpecsJournal(ctx context.Context, e *Engine, r io.Reader, lib *gate.Libr
 		telemetry.C("batch.resumed_jobs").Add(int64(st.Requeued))
 	}
 
-	// Shallow-copy the engine to chain the journal onto OnStart without
-	// mutating the caller's value.
+	// Shallow-copy the engine to chain the journal onto the worker
+	// hooks without mutating the caller's value. Start records flow
+	// through a per-worker buffered JournalWriter (attached to the
+	// worker context by OnWorker, flushed when the worker exits), so
+	// workers never convoy on the journal lock per job; done records
+	// flow through one buffered writer on the emit goroutine below.
 	eng := *e
 	if jr != nil {
-		prev := eng.OnStart
-		eng.OnStart = func(idx int, id string) {
-			if prev != nil {
-				prev(idx, id)
+		prevWorker := eng.OnWorker
+		eng.OnWorker = func(ctx context.Context, w int) (context.Context, func()) {
+			var cleanup func()
+			if prevWorker != nil {
+				ctx2, prevCleanup := prevWorker(ctx, w)
+				if ctx2 != nil {
+					ctx = ctx2
+				}
+				cleanup = prevCleanup
 			}
-			if jerr := jr.Start(orig[idx], id); jerr != nil {
+			jw := jr.Writer()
+			return withJournalWriter(ctx, jw), func() {
+				if jerr := jw.Flush(); jerr != nil {
+					health.Note(health.Event{Check: "batch.journal_error", Detail: jerr.Error()})
+				}
+				if cleanup != nil {
+					cleanup()
+				}
+			}
+		}
+		prev := eng.OnStart
+		eng.OnStart = func(ctx context.Context, idx int, id string) {
+			if prev != nil {
+				prev(ctx, idx, id)
+			}
+			if jerr := journalWriterFrom(ctx).Start(orig[idx], id); jerr != nil {
 				health.Note(health.Event{Check: "batch.journal_error", Detail: jerr.Error()})
 			}
 		}
 	}
 
+	dw := jr.Writer() // buffered done records; emit goroutine only
 	var werr error
 	eng.RunFunc(ctx, jobs, func(res Result) {
 		if res.Err != nil && resilience.Classify(res.Err) == resilience.Canceled {
@@ -295,11 +320,19 @@ func RunSpecsJournal(ctx context.Context, e *Engine, r io.Reader, lib *gate.Libr
 			st.Degraded++
 		}
 		if jr != nil {
-			if jerr := jr.Done(res.Index, res.ID); jerr != nil {
+			if jerr := dw.Done(res.Index, res.ID); jerr != nil {
 				werr = jerr
 			}
 		}
 	})
+	if jr != nil {
+		// Flush the emitter's buffered dones even when the run was cut
+		// short: every result line already written must have its done
+		// record on disk before Sync, or a resume would duplicate it.
+		if ferr := dw.Flush(); ferr != nil && werr == nil {
+			werr = ferr
+		}
+	}
 	if werr != nil {
 		return st, werr
 	}

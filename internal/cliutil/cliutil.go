@@ -95,6 +95,7 @@ type BatchFlags struct {
 	Summary  bool          // -summary: final NDJSON run summary
 
 	Resume       string        // -resume: crash-safe journal file; "" disables
+	JournalSync  int           // -journal-sync: done records per journal fsync batch; 0 = default (32)
 	Retries      int           // -retries: extra attempts for transient failures
 	RetryBackoff time.Duration // -retry-backoff: base backoff before a retry
 	Degrade      bool          // -degrade: elmore-bound fallback for exhausted sim jobs
@@ -112,6 +113,7 @@ func AddBatch(fs *flag.FlagSet) *BatchFlags {
 	fs.DurationVar(&b.SlowJobs, "slow-jobs", 0, "log batch jobs slower than `duration` as NDJSON to stderr (0 = off)")
 	fs.BoolVar(&b.Summary, "summary", false, "write a final NDJSON batch run summary to stderr")
 	fs.StringVar(&b.Resume, "resume", "", "crash-safe journal `file`: skip jobs it marks done, re-queue in-flight ones, record this run's completions")
+	fs.IntVar(&b.JournalSync, "journal-sync", 0, "fsync the -resume journal every `n` done records; bounds the crash duplicate window (0 = default 32)")
 	fs.IntVar(&b.Retries, "retries", 0, "retry transiently failing jobs up to `n` extra times with backoff")
 	fs.DurationVar(&b.RetryBackoff, "retry-backoff", 50*time.Millisecond, "base backoff before the first retry (doubles per attempt, jittered)")
 	fs.BoolVar(&b.Degrade, "degrade", true, "answer sim jobs that exhaust their attempts with the closed-form elmore-bound interval instead of an error")
@@ -137,6 +139,9 @@ func (b *BatchFlags) Validate() error {
 	}
 	if b.Breaker < 0 {
 		return fmt.Errorf("-breaker must be >= 0, got %d", b.Breaker)
+	}
+	if b.JournalSync < 0 {
+		return fmt.Errorf("-journal-sync must be >= 0, got %d", b.JournalSync)
 	}
 	return nil
 }
@@ -193,6 +198,7 @@ func (b *BatchFlags) RunBatch(ctx context.Context, lib *gate.Library, defaultSle
 		if err != nil {
 			return fmt.Errorf("-resume: %w", err)
 		}
+		jr.SyncEvery = b.JournalSync
 		defer func() { err = errors.Join(err, jr.Close()) }()
 	}
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"elmore/internal/health"
+	"elmore/internal/moments"
+	"elmore/internal/topo"
+)
+
+// analyzeArenaAllocBudget is the batch-worker path: when the context
+// carries a scratch arena, both moment computations draw their sweep
+// buffers from it, shaving one allocation off each —
+// analyzeAllocBudget - 2.
+const analyzeArenaAllocBudget = analyzeAllocBudget - 2
+
+func TestAnalyzeWithArenaAllocBudget(t *testing.T) {
+	if health.Enabled() {
+		t.Skip("health monitor installed; the instrumented path allocates by design")
+	}
+	tree := topo.Random(42, topo.RandomOptions{N: 300})
+	ctx := moments.WithArena(context.Background(), new(moments.Arena))
+	if _, err := AnalyzeContext(ctx, tree); err != nil { // warm plan cache and arena
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := AnalyzeContext(ctx, tree); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > analyzeArenaAllocBudget {
+		t.Errorf("AnalyzeContext(arena) = %.1f allocs/op, budget %d", got, analyzeArenaAllocBudget)
+	}
+}
+
+// TestAnalyzeWithArenaBitIdentical pins that the arena is invisible in
+// the results: every bound Analyze produces through a reused, dirty
+// arena matches the allocating path to the last bit.
+func TestAnalyzeWithArenaBitIdentical(t *testing.T) {
+	ar := new(moments.Arena)
+	ctx := moments.WithArena(context.Background(), ar)
+	for seed := int64(1); seed <= 4; seed++ {
+		tree := topo.Random(seed, topo.RandomOptions{N: 200 + 150*int(seed)})
+		want, err := Analyze(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AnalyzeContext(ctx, tree) // arena dirty from the previous seed
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Bounds {
+			if got.Bounds[i] != want.Bounds[i] {
+				t.Fatalf("seed %d node %d: arena bounds %+v != alloc bounds %+v",
+					seed, i, got.Bounds[i], want.Bounds[i])
+			}
+		}
+	}
+}

@@ -112,14 +112,19 @@ func analyze(ctx context.Context, t *rctree.Tree, ms *moments.Set) (*Analysis, e
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// A batch worker's context carries its grow-only scratch arena: the
+	// transient sweep buffers of the moment kernels come from it, so a
+	// worker evaluating thousands of nets reuses one buffer instead of
+	// allocating 2n floats twice per job.
+	ar := moments.ArenaFrom(ctx)
 	if ms == nil {
 		var err error
-		ms, err = moments.Compute(t, 3)
+		ms, err = moments.ComputeWith(t, 3, ar)
 		if err != nil {
 			return nil, err
 		}
 	}
-	prh := moments.ComputePRH(t)
+	prh := moments.ComputePRHWith(t, ar)
 	a := &Analysis{
 		Tree:   t,
 		TP:     prh.TP,

@@ -45,6 +45,17 @@ type Set struct {
 // (each node reads only its children or its parent), so the parallel
 // schedule is bit-identical to the serial sweep.
 func Compute(t *rctree.Tree, order int) (*Set, error) {
+	return ComputeWith(t, order, nil)
+}
+
+// ComputeWith is Compute drawing its transient sweep buffers from the
+// caller's arena instead of allocating them per call — the per-worker
+// fast path of the batch engine. Only the scratch comes from the
+// arena; the returned Set always owns its backing, so it may outlive
+// the arena (and be shared across workers through a cache) safely. A
+// nil arena makes this identical to Compute. Results are bit-identical
+// either way: the kernels write every scratch slot before reading it.
+func ComputeWith(t *rctree.Tree, order int, ar *Arena) (*Set, error) {
 	if err := faultinject.Fire("moments.compute"); err != nil {
 		return nil, err
 	}
@@ -68,7 +79,7 @@ func Compute(t *rctree.Tree, order int) (*Set, error) {
 		s.m[0][i] = 1 // m_0 = DC gain = 1 at every node of an RC tree
 	}
 	cp := rctree.Compile(t)
-	scratch := make([]float64, 2*n)
+	scratch := ar.scratch(2 * n)
 	computeInto(cp, s, scratch[:n], scratch[n:], cp.ParallelOK())
 	if faultinject.Enabled() && n > 0 {
 		// Poisoning the deepest node's m_1 is enough for chaos runs: it

@@ -36,6 +36,17 @@ type PRHTerms struct {
 // in the same order, so the results are bit-identical to computing
 // each term independently.
 func ComputePRH(t *rctree.Tree) *PRHTerms {
+	return ComputePRHWith(t, nil)
+}
+
+// ComputePRHWith is ComputePRH drawing its two compiled-order sweep
+// buffers from the caller's arena instead of allocating them — the
+// per-worker fast path of the batch engine. The retained per-node
+// arrays (TD, rkk, down) always get their own backing, so the returned
+// PRHTerms may outlive the arena. A nil arena makes this identical to
+// ComputePRH, and results are bit-identical either way (the kernels
+// write every scratch slot before reading it).
+func ComputePRHWith(t *rctree.Tree, ar *Arena) *PRHTerms {
 	n := t.N()
 	cp := rctree.Compile(t)
 	user := make([]float64, 3*n)
@@ -45,7 +56,7 @@ func ComputePRH(t *rctree.Tree) *PRHTerms {
 		rkk:  user[n : 2*n : 2*n],
 		down: user[2*n : 3*n : 3*n],
 	}
-	scratch := make([]float64, 2*n)
+	scratch := ar.scratch(2 * n)
 	prhInto(cp, p.TD, p.rkk, p.down, scratch[:n], scratch[n:], cp.ParallelOK())
 	for _, i := range t.PreOrder() {
 		p.TP += p.rkk[i] * t.C(i)
