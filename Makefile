@@ -1,9 +1,9 @@
 GO ?= go
 
-# Benchmarks folded into BENCH_7.json by `make bench-json`.
-BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|SimTransient|SimPlanReuse|TableI$$
+# Benchmarks folded into BENCH_8.json by `make bench-json`.
+BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|IncrementalSet|SimTransient|SimPlanReuse|TableI$$
 
-.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke scaling-smoke fmt
+.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke bench-incremental scaling-smoke fmt
 
 check: vet build race
 
@@ -43,13 +43,23 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Run the scaling benchmarks and merge them into BENCH_7.json as the
+# Run the scaling benchmarks and merge them into BENCH_8.json as the
 # "after" side (pipe a saved baseline through
-# `go run ./cmd/benchjson -label before -o BENCH_7.json` first).
+# `go run ./cmd/benchjson -label before -o BENCH_8.json` first).
+# Compare ledgers across PRs with
+# `go run ./cmd/benchjson -diff BENCH_7.json BENCH_8.json`.
 bench-json:
 	( $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -timeout 90m . \
 	  && $(GO) test -run '^$$' -bench 'Batch10kNets' -benchmem -timeout 30m ./internal/batch ) \
-		| $(GO) run ./cmd/benchjson -label after -merge -o BENCH_7.json
+		| $(GO) run ./cmd/benchjson -label after -merge -o BENCH_8.json
+
+# Incremental-engine speedup floor (ISSUE 8 acceptance): on a 100k-node
+# chain, a single SetC plus re-bounding the perturbed sink must beat a
+# full analysis by >= 10x. Takes ~1-2 min: the full side of the
+# comparison is O(n^2) on a pure chain (per-node PRH T_R walks) and is
+# measured once.
+bench-incremental:
+	ELMORE_BENCH_SMOKE=1 $(GO) test -run TestIncrementalSpeedupSmoke -v -count=1 -timeout 600s .
 
 # One iteration of every benchmark: exercises the bench code paths in
 # CI without measuring anything.

@@ -291,6 +291,65 @@ func BenchmarkNetlistFormat(b *testing.B) {
 	}
 }
 
+// --- Incremental delta re-analysis vs full recompute. ---
+
+// BenchmarkIncrementalSetC measures one what-if cycle on the engine: a
+// single-node capacitance perturbation, a worst-case query (Sigma
+// forces the full order-3 flush), and a revert. Compare against
+// BenchmarkAnalyzeBounds at the same n for the full-recompute baseline
+// it replaces.
+func BenchmarkIncrementalSetC(b *testing.B) {
+	for _, n := range benchSizes() {
+		tree := topo.Random(42, topo.RandomOptions{N: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inc, err := elmore.NewIncremental(tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			leaf := n - 1
+			c0 := tree.C(leaf)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := inc.SetC(leaf, c0*(1+float64(i%7))); err != nil {
+					b.Fatal(err)
+				}
+				if s := inc.Sigma(leaf); s < 0 {
+					b.Fatal("bad sigma")
+				}
+				inc.Revert()
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalSetR is the resistance-side twin, probing with an
+// order-1 query (Elmore) — the optimizer inner loop's actual shape.
+func BenchmarkIncrementalSetR(b *testing.B) {
+	for _, n := range benchSizes() {
+		tree := topo.Random(42, topo.RandomOptions{N: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inc, err := elmore.NewIncremental(tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			leaf := n - 1
+			r0 := tree.R(leaf)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := inc.SetR(leaf, r0*(1+float64(i%7))); err != nil {
+					b.Fatal(err)
+				}
+				if d := inc.Elmore(leaf); d <= 0 {
+					b.Fatal("bad delay")
+				}
+				inc.Revert()
+			}
+		})
+	}
+}
+
 // --- Extension experiments beyond the paper's artifacts. ---
 
 func BenchmarkExtPRHWaveformBounds(b *testing.B) {

@@ -15,6 +15,17 @@
 // file are kept, so a before ledger can be filled in with after
 // numbers later. When an entry has both sides,
 // speedup = before.ns_op / after.ns_op is recorded.
+//
+// Comparison mode:
+//
+//	benchjson -diff BASELINE.json CANDIDATE.json
+//
+// reads two committed ledgers and prints a per-benchmark speedup table
+// (baseline ns/op over candidate ns/op; >1 means the candidate is
+// faster) plus the geometric-mean ratio over the shared entries, so
+// BENCH_N.json deltas across PRs need no manual comparison. Each
+// side's "after" metrics are used when present, falling back to
+// "before".
 package main
 
 import (
@@ -27,12 +38,14 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -67,14 +80,21 @@ type ledger struct {
 var benchLine = regexp.MustCompile(
 	`^Benchmark(\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func run(args []string, stdin io.Reader, stderr io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "BENCH_3.json", "output JSON `file`")
 	label := fs.String("label", "after", "which side the piped numbers are: before or after")
 	merge := fs.Bool("merge", false, "load the output file first and merge into it")
+	diff := fs.Bool("diff", false, "compare two committed ledgers: benchjson -diff BASELINE.json CANDIDATE.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return errors.New("-diff needs exactly two ledger files: BASELINE.json CANDIDATE.json")
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), stdout)
 	}
 	if *label != "before" && *label != "after" {
 		return fmt.Errorf("-label must be before or after, got %q", *label)
@@ -154,4 +174,82 @@ func run(args []string, stdin io.Reader, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "benchjson: %d %s entries -> %s (%d total)\n",
 		parsed, *label, *out, len(doc.Benchmarks))
 	return nil
+}
+
+// sideMetrics picks the measured side a ledger entry represents when
+// compared across files: the after numbers when present (the ledger's
+// final state), otherwise before.
+func sideMetrics(e *entry) *metrics {
+	if e == nil {
+		return nil
+	}
+	if e.After != nil {
+		return e.After
+	}
+	return e.Before
+}
+
+func loadLedger(path string) (*ledger, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &ledger{}
+	if err := json.Unmarshal(raw, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runDiff prints the per-benchmark speedup table between two committed
+// ledgers. Ratio = baseline ns/op / candidate ns/op, so >1 means the
+// candidate is faster. Entries present on only one side are listed so
+// coverage changes are visible, and the geometric mean over the shared
+// entries summarizes the delta in one number.
+func runDiff(basePath, candPath string, stdout io.Writer) error {
+	base, err := loadLedger(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadLedger(candPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(base.Benchmarks)+len(cand.Benchmarks))
+	seen := map[string]bool{}
+	for name := range base.Benchmarks {
+		names = append(names, name)
+		seen[name] = true
+	}
+	for name := range cand.Benchmarks {
+		if !seen[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\tbaseline ns/op\tcandidate ns/op\tspeedup\n")
+	logSum, shared := 0.0, 0
+	for _, name := range names {
+		b := sideMetrics(base.Benchmarks[name])
+		c := sideMetrics(cand.Benchmarks[name])
+		switch {
+		case b == nil:
+			fmt.Fprintf(w, "%s\t-\t%.0f\tcandidate only\n", name, c.NsOp)
+		case c == nil:
+			fmt.Fprintf(w, "%s\t%.0f\t-\tbaseline only\n", name, b.NsOp)
+		case !(b.NsOp > 0) || !(c.NsOp > 0):
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t-\n", name, b.NsOp, c.NsOp)
+		default:
+			ratio := b.NsOp / c.NsOp
+			fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.2fx\n", name, b.NsOp, c.NsOp, ratio)
+			logSum += math.Log(ratio)
+			shared++
+		}
+	}
+	if shared > 0 {
+		fmt.Fprintf(w, "geomean (%d shared)\t\t\t%.2fx\n", shared, math.Exp(logSum/float64(shared)))
+	}
+	return w.Flush()
 }

@@ -28,11 +28,11 @@ BenchmarkSimPlanReuse/chain=1000-8      	     300	   4000000 ns/op	       0 B/op
 func TestRunMergeRoundTrip(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
 	if err := run([]string{"-label", "before", "-o", out},
-		strings.NewReader(beforeOut), os.Stderr); err != nil {
+		strings.NewReader(beforeOut), os.Stdout, os.Stderr); err != nil {
 		t.Fatal(err)
 	}
 	if err := run([]string{"-label", "after", "-merge", "-o", out},
-		strings.NewReader(afterOut), os.Stderr); err != nil {
+		strings.NewReader(afterOut), os.Stdout, os.Stderr); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -73,15 +73,56 @@ func TestRunMergeRoundTrip(t *testing.T) {
 // file is not.
 func TestRunErrors(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH.json")
-	if err := run([]string{"-o", out}, strings.NewReader("no benches here\n"), os.Stderr); err == nil {
+	if err := run([]string{"-o", out}, strings.NewReader("no benches here\n"), os.Stdout, os.Stderr); err == nil {
 		t.Fatal("want error on empty input")
 	}
 	if err := run([]string{"-label", "sideways", "-o", out},
-		strings.NewReader(beforeOut), os.Stderr); err == nil {
+		strings.NewReader(beforeOut), os.Stdout, os.Stderr); err == nil {
 		t.Fatal("want error on bad label")
 	}
 	if err := run([]string{"-merge", "-o", out},
-		strings.NewReader(beforeOut), os.Stderr); err != nil {
+		strings.NewReader(beforeOut), os.Stdout, os.Stderr); err != nil {
 		t.Fatalf("merge with missing file: %v", err)
+	}
+}
+
+// The -diff mode must compare two committed ledgers per benchmark:
+// shared entries get a ratio, one-sided entries are listed, and the
+// geometric mean summarizes the shared set.
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	baseP := filepath.Join(dir, "BASE.json")
+	candP := filepath.Join(dir, "CAND.json")
+	if err := run([]string{"-label", "after", "-o", baseP},
+		strings.NewReader(beforeOut), os.Stdout, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-label", "after", "-o", candP},
+		strings.NewReader(afterOut), os.Stdout, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-diff", baseP, candP},
+		strings.NewReader(""), &out, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"MomentsOrder6/n=100000", "2.00x", // 20ms -> 10ms
+		"SimTransient/chain=1000", "baseline only",
+		"SimPlanReuse/chain=1000-8", "candidate only",
+		"geomean (1 shared)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+	// Wrong arity and unreadable files are errors.
+	if err := run([]string{"-diff", baseP}, strings.NewReader(""), &out, os.Stderr); err == nil {
+		t.Error("one-file -diff should fail")
+	}
+	if err := run([]string{"-diff", baseP, filepath.Join(dir, "missing.json")},
+		strings.NewReader(""), &out, os.Stderr); err == nil {
+		t.Error("missing candidate should fail")
 	}
 }

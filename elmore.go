@@ -95,6 +95,16 @@ func Moments(t *Tree, order int) (*MomentSet, error) { return moments.Compute(t,
 // MomentSet holds per-node transfer-function moments.
 type MomentSet = moments.Set
 
+// Incremental is a delta-update engine for what-if R/C perturbations:
+// SetR/SetC/Revert/Commit with localized re-sweeps, every served value
+// bit-identical to a full recompute. It is the engine behind
+// Analysis.Reanalyze and cmd/optimize.
+type Incremental = moments.Incremental
+
+// NewIncremental binds a delta-update engine to a tree, computing the
+// full order-3 moment and PRH state once.
+func NewIncremental(t *Tree) (*Incremental, error) { return moments.NewIncremental(t) }
+
 // ExactSystem evaluates machine-precision responses of a tree via
 // eigen-decomposition: step/impulse/PWL waveforms, exact 50% delays,
 // rise times, and impulse-response statistics. O(N^3) setup.

@@ -383,3 +383,69 @@ func TestReadSpecsRejectsMalformedLines(t *testing.T) {
 		t.Errorf("unknown fields should be rejected")
 	}
 }
+
+// TestCacheMutationNoStaleEntries is the stale-fingerprint regression
+// test: a tree mutated through SetR/SetC (or bulk SetValues) after
+// being analyzed must never be served the pre-mutation cached moment
+// set. The contract (rctree.Tree.Fingerprint godoc) is that the
+// fingerprint is recomputed from current values on every request —
+// never cached on the tree — so a mutation re-keys the tree and the
+// old entry can only be reached by trees that still carry the old
+// values.
+func TestCacheMutationNoStaleEntries(t *testing.T) {
+	tree := chainNet(t, 12)
+	cache := NewCache()
+	ms1, hit, err := cache.Moments(tree, 3)
+	if err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v", hit, err)
+	}
+	fp1 := tree.Fingerprint()
+
+	// Mutate: per-node and bulk paths both must re-key.
+	if err := tree.SetR(5, tree.R(5)*3); err != nil {
+		t.Fatal(err)
+	}
+	if fp2 := tree.Fingerprint(); fp2 == fp1 {
+		t.Fatalf("SetR did not change the fingerprint")
+	}
+	ms2, hit, err := cache.Moments(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || ms2 == ms1 {
+		t.Fatalf("mutated tree was served the stale pre-mutation moment set")
+	}
+	// The served set must describe the mutated values.
+	want, err := moments.Compute(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tree.N(); i++ {
+		if ms2.Elmore(i) != want.Elmore(i) {
+			t.Fatalf("post-mutation cache entry stale at node %d", i)
+		}
+	}
+
+	// A clone still carrying the ORIGINAL values must hit the original
+	// entry, not the mutated one.
+	orig := chainNet(t, 12)
+	ms3, hit, err := cache.Moments(orig, 3)
+	if err != nil || !hit {
+		t.Fatalf("original-value tree should hit: hit=%v err=%v", hit, err)
+	}
+	if ms3 != ms1 {
+		t.Fatalf("original-value tree was served the wrong entry")
+	}
+
+	// Bulk mutation (ScaleValues) re-keys too.
+	if err := tree.ScaleValues(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, hit, err = cache.Moments(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatalf("ScaleValues-mutated tree hit a stale entry")
+	}
+}

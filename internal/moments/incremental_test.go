@@ -1,0 +1,458 @@
+package moments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"elmore/internal/rctree"
+	"elmore/internal/topo"
+)
+
+// bitsEq reports exact bit equality, the standard the incremental
+// engine promises against the full sweeps.
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// checkAgainstFull compares every quantity the engine serves, at every
+// node, against a fresh full recompute on a shadow tree carrying the
+// same element values. All comparisons are bit-exact.
+func checkAgainstFull(t *testing.T, label string, inc *Incremental, shadow *rctree.Tree) {
+	t.Helper()
+	ms, err := Compute(shadow, 3)
+	if err != nil {
+		t.Fatalf("%s: full Compute: %v", label, err)
+	}
+	prh := ComputePRH(shadow)
+	downC := shadow.DownstreamC()
+	n := shadow.N()
+	for i := 0; i < n; i++ {
+		for q := 1; q <= 3; q++ {
+			if got, want := inc.M(q, i), ms.M(q, i); !bitsEq(got, want) {
+				t.Fatalf("%s: m%d(%d) = %x, full recompute has %x",
+					label, q, i, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+		if got, want := inc.Elmore(i), ms.Elmore(i); !bitsEq(got, want) {
+			t.Fatalf("%s: Elmore(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.Mu2(i), ms.Mu2(i); !bitsEq(got, want) {
+			t.Fatalf("%s: Mu2(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.Mu3(i), ms.Mu3(i); !bitsEq(got, want) {
+			t.Fatalf("%s: Mu3(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.Sigma(i), ms.Sigma(i); !bitsEq(got, want) {
+			t.Fatalf("%s: Sigma(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.Skewness(i), ms.Skewness(i); !bitsEq(got, want) {
+			t.Fatalf("%s: Skewness(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.PathResistance(i), prh.PathResistance(i); !bitsEq(got, want) {
+			t.Fatalf("%s: Rkk(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.TR(i), prh.TR(i); !bitsEq(got, want) {
+			t.Fatalf("%s: TR(%d) = %v, want %v", label, i, got, want)
+		}
+		if got, want := inc.DownstreamC(i), downC[i]; !bitsEq(got, want) {
+			t.Fatalf("%s: DownstreamC(%d) = %v, want %v", label, i, got, want)
+		}
+	}
+	if got, want := inc.TP(), prh.TP; !bitsEq(got, want) {
+		t.Fatalf("%s: TP = %v, want %v", label, got, want)
+	}
+}
+
+func testTopologies() map[string]*rctree.Tree {
+	return map[string]*rctree.Tree{
+		"chain":    topo.Chain(60, 75, 3e-14),
+		"star":     topo.Star(8, 7, 120, 2e-14),
+		"deep-fan": topo.Balanced(5, 3, 50, 1e-14),
+		"fig1":     topo.Fig1Tree(),
+		"random":   topo.Random(1234, topo.RandomOptions{N: 90}),
+	}
+}
+
+func TestIncrementalFreshMatchesFull(t *testing.T) {
+	for name, tree := range testTopologies() {
+		inc, err := NewIncremental(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstFull(t, name+"/fresh", inc, tree)
+	}
+}
+
+func TestIncrementalSingleEdits(t *testing.T) {
+	for name, tree := range testTopologies() {
+		inc, err := NewIncremental(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := tree.Clone()
+		// A C edit at a leaf-ish node, an R edit near the root, then both
+		// at the same node.
+		edits := []struct {
+			node int
+			isR  bool
+			v    float64
+		}{
+			{tree.N() - 1, false, 5.5e-13},
+			{0, true, 321.5},
+			{tree.N() / 2, false, 1.25e-13},
+			{tree.N() / 2, true, 77.0},
+		}
+		for k, e := range edits {
+			var err error
+			if e.isR {
+				err = inc.SetR(e.node, e.v)
+				if err == nil {
+					err = shadow.SetR(e.node, e.v)
+				}
+			} else {
+				err = inc.SetC(e.node, e.v)
+				if err == nil {
+					err = shadow.SetC(e.node, e.v)
+				}
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstFull(t, fmt.Sprintf("%s/edit%d", name, k), inc, shadow)
+		}
+	}
+}
+
+func TestIncrementalRevertRestoresBaseline(t *testing.T) {
+	tree := topo.Star(6, 10, 100, 1e-14)
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot baseline values.
+	base := make([]float64, tree.N())
+	for i := range base {
+		base[i] = inc.Elmore(i)
+	}
+	baseTP := inc.TP()
+	for i := 0; i < tree.N(); i += 3 {
+		if err := inc.SetC(i, 9e-13); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.SetR(i, 999); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Elmore(tree.N()-1) == base[tree.N()-1] {
+		t.Fatalf("perturbation did not move the delay")
+	}
+	inc.Revert()
+	for i := range base {
+		if !bitsEq(inc.Elmore(i), base[i]) {
+			t.Fatalf("Revert did not restore Elmore(%d): %v != %v", i, inc.Elmore(i), base[i])
+		}
+		if !bitsEq(inc.R(i), tree.R(i)) || !bitsEq(inc.C(i), tree.C(i)) {
+			t.Fatalf("Revert did not restore values at %d", i)
+		}
+	}
+	if !bitsEq(inc.TP(), baseTP) {
+		t.Fatalf("Revert did not restore TP")
+	}
+	// Full cross-check after the revert.
+	checkAgainstFull(t, "revert", inc, tree)
+}
+
+func TestIncrementalCommitMovesBaseline(t *testing.T) {
+	tree := topo.Chain(40, 100, 1e-14)
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetR(20, 500); err != nil {
+		t.Fatal(err)
+	}
+	committed := inc.Elmore(39)
+	inc.Commit()
+	if err := inc.SetC(10, 8e-13); err != nil {
+		t.Fatal(err)
+	}
+	inc.Revert() // must return to the committed state, not construction
+	if !bitsEq(inc.Elmore(39), committed) {
+		t.Fatalf("Revert after Commit went past the committed baseline")
+	}
+	if !bitsEq(inc.R(20), 500) {
+		t.Fatalf("committed edit was lost: R(20) = %v", inc.R(20))
+	}
+}
+
+func TestIncrementalSyncTree(t *testing.T) {
+	tree := topo.Balanced(4, 3, 80, 2e-14)
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetR(5, 444); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetC(7, 3e-13); err != nil {
+		t.Fatal(err)
+	}
+	gen0 := tree.Generation()
+	if err := inc.SyncTree(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Generation() != gen0+1 {
+		t.Fatalf("SyncTree must bump the tree generation exactly once")
+	}
+	if tree.R(5) != 444 || tree.C(7) != 3e-13 {
+		t.Fatalf("SyncTree did not write the engine values back")
+	}
+	// After the sync the tree and engine agree entirely.
+	checkAgainstFull(t, "synced", inc, tree)
+}
+
+func TestIncrementalValidationAndErrors(t *testing.T) {
+	tree := topo.Chain(5, 100, 1e-14)
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetR(2, -1); err == nil {
+		t.Errorf("negative resistance must be rejected")
+	}
+	if err := inc.SetC(2, math.NaN()); err == nil {
+		t.Errorf("NaN capacitance must be rejected")
+	}
+	if err := inc.SetR(99, 1); err == nil {
+		t.Errorf("out-of-range index must be rejected")
+	}
+	if err := inc.SetC(-1, 1e-15); err == nil {
+		t.Errorf("negative index must be rejected")
+	}
+	// Rejected edits leave no dirt behind.
+	if st := inc.Stats(); st.Sets != 0 {
+		t.Errorf("rejected edits counted as sets: %+v", st)
+	}
+	if _, err := NewIncremental(nil); err == nil {
+		t.Errorf("nil tree must be rejected")
+	}
+}
+
+func TestIncrementalNoopEditIsFree(t *testing.T) {
+	tree := topo.Chain(10, 100, 1e-14)
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.SetR(3, tree.R(3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := inc.Stats(); st.Sets != 0 {
+		t.Errorf("value-identical edit must be a no-op, got %+v", st)
+	}
+}
+
+// TestIncrementalCrossoverFallback forces both the region path and the
+// full-fallback path over the same edit sequence and requires identical
+// results from each (both bit-identical to the full recompute).
+func TestIncrementalCrossoverFallback(t *testing.T) {
+	tree := topo.Random(77, topo.RandomOptions{N: 120})
+	shadow := tree.Clone()
+
+	region, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region.CrossoverFraction = 1e9 // never fall back
+
+	full, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.CrossoverFraction = 0 // always fall back
+
+	rng := rand.New(rand.NewSource(9))
+	for step := 0; step < 40; step++ {
+		node := rng.Intn(tree.N())
+		if rng.Intn(2) == 0 {
+			v := 10 + 990*rng.Float64()
+			if err := region.SetR(node, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := full.SetR(node, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := shadow.SetR(node, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			v := 1e-15 * (1 + 999*rng.Float64())
+			if err := region.SetC(node, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := full.SetC(node, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := shadow.SetC(node, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	checkAgainstFull(t, "region-mode", region, shadow)
+	checkAgainstFull(t, "fallback-mode", full, shadow)
+	if st := full.Stats(); st.FullFallbacks == 0 {
+		t.Errorf("CrossoverFraction = 0 engine never fell back: %+v", st)
+	}
+	if st := region.Stats(); st.FullFallbacks != 0 {
+		t.Errorf("CrossoverFraction = +huge engine fell back: %+v", st)
+	}
+}
+
+// TestIncrementalPropertyRandomSequences is the satellite-required
+// property test: random SetR/SetC/Revert sequences over chains, stars
+// and deep fans, asserting bit-identical moments, sigma and Elmore
+// against a fresh full Compute after every step. Run under -race in the
+// standard lanes.
+func TestIncrementalPropertyRandomSequences(t *testing.T) {
+	topos := []struct {
+		name string
+		mk   func(seed int64) *rctree.Tree
+	}{
+		{"chain", func(seed int64) *rctree.Tree { return topo.Chain(30+int(seed%40), 50, 2e-14) }},
+		{"star", func(seed int64) *rctree.Tree { return topo.Star(3+int(seed%5), 4+int(seed%6), 80, 1e-14) }},
+		{"deepfan", func(seed int64) *rctree.Tree { return topo.Balanced(3+int(seed%3), 2+int(seed%3), 60, 3e-14) }},
+		{"random", func(seed int64) *rctree.Tree { return topo.RandomSmall(seed, 150) }},
+	}
+	seeds := 6
+	steps := 25
+	if testing.Short() {
+		seeds, steps = 2, 10
+	}
+	for _, tp := range topos {
+		tp := tp
+		t.Run(tp.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				tree := tp.mk(seed)
+				rng := rand.New(rand.NewSource(seed * 7919))
+				inc, err := NewIncremental(tree)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Exercise the crossover randomly so both paths see the
+				// same assertions.
+				if seed%2 == 1 {
+					inc.CrossoverFraction = 0.05
+				}
+				shadow := tree.Clone()
+				// committedShadow tracks the revert baseline.
+				committed := tree.Clone()
+				for step := 0; step < steps; step++ {
+					switch op := rng.Intn(10); {
+					case op < 4: // SetC
+						node := rng.Intn(tree.N())
+						v := 1e-15 * (1 + 1e3*rng.Float64())
+						if err := inc.SetC(node, v); err != nil {
+							t.Fatal(err)
+						}
+						if err := shadow.SetC(node, v); err != nil {
+							t.Fatal(err)
+						}
+					case op < 8: // SetR
+						node := rng.Intn(tree.N())
+						v := 10 + 1e3*rng.Float64()
+						if err := inc.SetR(node, v); err != nil {
+							t.Fatal(err)
+						}
+						if err := shadow.SetR(node, v); err != nil {
+							t.Fatal(err)
+						}
+					case op < 9: // Revert
+						inc.Revert()
+						shadow = committed.Clone()
+					default: // Commit
+						inc.Commit()
+						committed = shadow.Clone()
+					}
+					checkAgainstFull(t, fmt.Sprintf("%s/seed%d/step%d", tp.name, seed, step), inc, shadow)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalDrainMoved checks the moved-set contract: it contains
+// every node whose moments changed, and drains to empty.
+func TestIncrementalDrainMoved(t *testing.T) {
+	tree := topo.Star(5, 8, 100, 1e-14)
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := Compute(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := tree.Clone()
+	node := tree.MustIndex("b3_n4")
+	if err := inc.SetR(node, 777); err != nil {
+		t.Fatal(err)
+	}
+	if err := shadow.SetR(node, 777); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Compute(shadow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := inc.DrainMoved(nil)
+	inSet := make(map[int]bool, len(moved))
+	for _, i := range moved {
+		inSet[i] = true
+	}
+	for i := 0; i < tree.N(); i++ {
+		changed := false
+		for q := 1; q <= 3; q++ {
+			if !bitsEq(before.M(q, i), after.M(q, i)) {
+				changed = true
+			}
+		}
+		if changed && !inSet[i] {
+			t.Fatalf("node %d moved but is not in the drained set", i)
+		}
+	}
+	if again := inc.DrainMoved(nil); len(again) != 0 {
+		t.Fatalf("second drain should be empty, got %d nodes", len(again))
+	}
+}
+
+// TestIncrementalStatsAndLocality pins the headline property: a single
+// leaf perturbation on a long chain flushes far fewer nodes for the
+// order-1 state than the full tree, and the counters record it.
+func TestIncrementalStatsAndLocality(t *testing.T) {
+	const n = 4000
+	tree := topo.Star(4, n/4, 10, 1e-15) // 4 branches, depth n/4
+	inc, err := NewIncremental(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb R at a leaf: order-1 dirt is the leaf's subtree (1 node)
+	// plus nothing else; the order-1 flush must touch O(1) nodes, not
+	// O(n).
+	leaf := tree.N() - 1
+	if err := inc.SetR(leaf, 55); err != nil {
+		t.Fatal(err)
+	}
+	st0 := inc.Stats()
+	_ = inc.Elmore(leaf) // stage-1 flush only
+	st1 := inc.Stats()
+	touched := st1.NodesTouched - st0.NodesTouched
+	if touched == 0 || touched > int64(tree.N())/10 {
+		t.Fatalf("order-1 flush after a leaf ΔR touched %d of %d nodes; want a local region", touched, tree.N())
+	}
+	if st1.Flushes != st0.Flushes+1 {
+		t.Fatalf("expected exactly one flush, got %+v", st1)
+	}
+}

@@ -112,7 +112,9 @@ func (t *Tree) MustIndex(name string) int {
 // SetR updates the resistance of node i. It returns an error if r is not
 // a positive finite value. SetR invalidates cached derived artifacts:
 // fingerprints computed earlier are stale, and compiled execution plans
-// (Compile) rebuild on next use.
+// (Compile) rebuild on next use. See Fingerprint for the full
+// mutation/caching contract. For bulk edits prefer SetValues or
+// ScaleValues, which validate and invalidate once instead of per node.
 func (t *Tree) SetR(i int, r float64) error {
 	if err := checkR(r); err != nil {
 		return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
@@ -126,7 +128,9 @@ func (t *Tree) SetR(i int, r float64) error {
 // c is negative or not finite. A zero capacitance is allowed (a pure
 // resistive junction), though at least one node in the tree must carry
 // nonzero capacitance for the circuit to have dynamics. Like SetR it
-// invalidates cached fingerprints and compiled plans.
+// invalidates cached fingerprints and compiled plans; see Fingerprint
+// for the full mutation/caching contract, and SetValues/ScaleValues for
+// bulk edits.
 func (t *Tree) SetC(i int, c float64) error {
 	if err := checkC(c); err != nil {
 		return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
@@ -135,6 +139,54 @@ func (t *Tree) SetC(i int, c float64) error {
 	t.gen.Add(1)
 	return nil
 }
+
+// SetValues replaces every element value in one bulk mutation: r and c,
+// when non-nil, must have length N() and carry the new resistances and
+// capacitances in node-index order. All values are validated before any
+// is applied — on error the tree is unchanged — and the modification
+// generation is bumped exactly once, so derived artifacts (compiled
+// plans, fingerprints) are invalidated once per bulk edit instead of
+// once per node. A nil slice leaves that element kind untouched.
+func (t *Tree) SetValues(r, c []float64) error {
+	if r != nil && len(r) != len(t.nodes) {
+		return fmt.Errorf("rctree: SetValues: got %d resistances for %d nodes", len(r), len(t.nodes))
+	}
+	if c != nil && len(c) != len(t.nodes) {
+		return fmt.Errorf("rctree: SetValues: got %d capacitances for %d nodes", len(c), len(t.nodes))
+	}
+	if r == nil && c == nil {
+		return nil
+	}
+	for i := range t.nodes {
+		if r != nil {
+			if err := checkR(r[i]); err != nil {
+				return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
+			}
+		}
+		if c != nil {
+			if err := checkC(c[i]); err != nil {
+				return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
+			}
+		}
+	}
+	for i := range t.nodes {
+		if r != nil {
+			t.nodes[i].r = r[i]
+		}
+		if c != nil {
+			t.nodes[i].c = c[i]
+		}
+	}
+	t.gen.Add(1)
+	return nil
+}
+
+// Generation returns the tree's element-value modification count: it
+// starts at zero and increases by one for every SetR/SetC call and by
+// one per SetValues/ScaleValues bulk edit. Derived-artifact caches
+// (compiled plans, incremental engines) compare generations to detect
+// that a snapshot is stale.
+func (t *Tree) Generation() uint64 { return t.gen.Load() }
 
 // Clone returns a deep copy of the tree. The copy shares no mutable state
 // with the original, so SetR/SetC on one does not affect the other.
@@ -365,6 +417,15 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
+// ValidateR reports whether r is a legal element resistance (positive
+// and finite) — the same check SetR and Build apply, exported so
+// engines that shadow a tree's values (moments.Incremental) can enforce
+// the identical contract without round-tripping through the tree.
+func ValidateR(r float64) error { return checkR(r) }
+
+// ValidateC is ValidateR for capacitances: nonnegative and finite.
+func ValidateC(c float64) error { return checkC(c) }
+
 func checkR(r float64) error {
 	if math.IsNaN(r) || math.IsInf(r, 0) {
 		return fmt.Errorf("resistance must be finite, got %v", r)
@@ -539,8 +600,24 @@ func (t *Tree) computeOrders() {
 // bit patterns of every resistance and capacitance. Two trees with
 // equal fingerprints are — up to hash collision — the same circuit, so
 // derived artifacts (moment sets, analyses) may be shared between them.
-// SetR/SetC mutate element values, so a cached fingerprint is stale
-// after in-place edits; recompute it.
+//
+// Mutation contract: Fingerprint is computed from the tree's CURRENT
+// values on every call — it is never cached on the tree — so a
+// SetR/SetC/SetValues edit changes the fingerprint the next time it is
+// asked for. Consumers that key derived artifacts by fingerprint
+// (batch.Cache) therefore stay correct across mutations as long as they
+// re-fingerprint per request; what they cannot survive is a mutation
+// racing a request on the same *Tree, or a caller reusing a fingerprint
+// VALUE captured before an edit. The rules:
+//
+//   - Recompute, never cache: take the fingerprint at the moment a
+//     derived artifact is requested, not earlier.
+//   - Quiesce before mutating: do not SetR/SetC a tree while another
+//     goroutine may be fingerprinting or analyzing it; mutate between
+//     batches, or mutate a Clone.
+//   - After a mutation, previously derived artifacts describe the OLD
+//     circuit. They remain internally consistent (they snapshot values)
+//     but must be looked up under the old fingerprint only.
 func (t *Tree) Fingerprint() uint64 {
 	const prime = 1099511628211
 	h := uint64(14695981039346656037)

@@ -398,3 +398,63 @@ func TestFingerprint(t *testing.T) {
 		t.Errorf("different topology must change the fingerprint")
 	}
 }
+
+func TestSetValuesBulkMutation(t *testing.T) {
+	tree := buildY(t)
+	n := tree.N()
+	r := make([]float64, n)
+	c := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r[i] = tree.R(i) + 1
+		c[i] = tree.C(i) * 2
+	}
+	gen0 := tree.Generation()
+	if err := tree.SetValues(r, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Generation() - gen0; got != 1 {
+		t.Errorf("SetValues bumped the generation %d times, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if tree.R(i) != r[i] || tree.C(i) != c[i] {
+			t.Fatalf("values not applied at node %d", i)
+		}
+	}
+
+	// nil slices leave that element kind untouched; both nil is a no-op
+	// that must not invalidate anything.
+	gen1 := tree.Generation()
+	if err := tree.SetValues(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Generation() != gen1 {
+		t.Errorf("no-op SetValues must not bump the generation")
+	}
+	r2 := make([]float64, n)
+	for i := range r2 {
+		r2[i] = 7
+	}
+	if err := tree.SetValues(r2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tree.R(0) != 7 || tree.C(0) != c[0] {
+		t.Errorf("r-only SetValues must leave capacitances untouched")
+	}
+
+	// Validation is all-or-nothing: one bad value rejects the batch.
+	bad := make([]float64, n)
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[n-1] = -1
+	genBefore := tree.Generation()
+	if err := tree.SetValues(bad, nil); err == nil {
+		t.Fatal("negative resistance must fail")
+	}
+	if tree.Generation() != genBefore || tree.R(0) != 7 {
+		t.Errorf("failed SetValues must leave the tree untouched")
+	}
+	if err := tree.SetValues([]float64{1}, nil); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}

@@ -66,24 +66,45 @@ func (t *Tree) Simplify() (*Tree, error) {
 	return b.Build()
 }
 
-// Scaled returns a clone with every resistance multiplied by rFactor
-// and every capacitance by cFactor — the uniform process-corner
-// transform. Factors must be positive and finite.
-func (t *Tree) Scaled(rFactor, cFactor float64) (*Tree, error) {
+// ScaleValues multiplies every resistance by rFactor and every
+// capacitance by cFactor in place — the uniform process-corner
+// transform. Factors must be positive and finite, and so must every
+// scaled resistance (a huge factor can overflow to +Inf); all products
+// are validated before any is applied, so on error the tree is
+// unchanged. Unlike a SetR/SetC loop, the whole edit validates once per
+// node with no per-call error wrapping and bumps the modification
+// generation exactly once, so compiled plans and fingerprints are
+// invalidated once per scale instead of 2N times.
+func (t *Tree) ScaleValues(rFactor, cFactor float64) error {
 	if err := checkR(rFactor); err != nil {
-		return nil, fmt.Errorf("rctree: Scaled rFactor: %w", err)
+		return fmt.Errorf("rctree: ScaleValues rFactor: %w", err)
 	}
 	if err := checkR(cFactor); err != nil {
-		return nil, fmt.Errorf("rctree: Scaled cFactor: %w", err)
+		return fmt.Errorf("rctree: ScaleValues cFactor: %w", err)
 	}
+	for i := range t.nodes {
+		if err := checkR(t.nodes[i].r * rFactor); err != nil {
+			return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
+		}
+		if err := checkC(t.nodes[i].c * cFactor); err != nil {
+			return fmt.Errorf("rctree: node %q: %w", t.nodes[i].name, err)
+		}
+	}
+	for i := range t.nodes {
+		t.nodes[i].r *= rFactor
+		t.nodes[i].c *= cFactor
+	}
+	t.gen.Add(1)
+	return nil
+}
+
+// Scaled returns a clone with every resistance multiplied by rFactor
+// and every capacitance by cFactor. Factors must be positive and
+// finite. The original tree is untouched.
+func (t *Tree) Scaled(rFactor, cFactor float64) (*Tree, error) {
 	cp := t.Clone()
-	for i := 0; i < cp.N(); i++ {
-		if err := cp.SetR(i, cp.R(i)*rFactor); err != nil {
-			return nil, err
-		}
-		if err := cp.SetC(i, cp.C(i)*cFactor); err != nil {
-			return nil, err
-		}
+	if err := cp.ScaleValues(rFactor, cFactor); err != nil {
+		return nil, fmt.Errorf("rctree: Scaled: %w", err)
 	}
 	return cp, nil
 }

@@ -197,6 +197,58 @@ func TestScaled(t *testing.T) {
 	}
 }
 
+// TestScaleValuesBulkSemantics is the regression test for the bulk
+// scaling path: one generation bump for the whole edit (the per-node
+// SetR/SetC loop it replaced paid 2N invalidations), values identical
+// to the per-node loop, and all-or-nothing application when a product
+// overflows validation.
+func TestScaleValuesBulkSemantics(t *testing.T) {
+	tree := buildY(t)
+	perNode := tree.Clone()
+	for i := 0; i < perNode.N(); i++ {
+		if err := perNode.SetR(i, perNode.R(i)*2); err != nil {
+			t.Fatal(err)
+		}
+		if err := perNode.SetC(i, perNode.C(i)*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bulk := tree.Clone()
+	gen0 := bulk.Generation()
+	if err := bulk.ScaleValues(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := bulk.Generation() - gen0; got != 1 {
+		t.Errorf("ScaleValues bumped the generation %d times, want exactly 1", got)
+	}
+	if pg := perNode.Generation(); pg != uint64(2*perNode.N()) {
+		t.Fatalf("per-node loop generation = %d, want %d", pg, 2*perNode.N())
+	}
+	for i := 0; i < tree.N(); i++ {
+		if bulk.R(i) != perNode.R(i) || bulk.C(i) != perNode.C(i) {
+			t.Fatalf("bulk and per-node scaling disagree at node %d", i)
+		}
+	}
+
+	// All-or-nothing: a factor that overflows one resistance must leave
+	// every value (and the generation) untouched.
+	huge := tree.Clone()
+	if err := huge.SetR(0, math.MaxFloat64/2); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := huge.Generation()
+	if err := huge.ScaleValues(4, 1); err == nil {
+		t.Fatal("overflowing scale should fail")
+	}
+	if huge.Generation() != genBefore {
+		t.Errorf("failed ScaleValues must not bump the generation")
+	}
+	if huge.R(0) != math.MaxFloat64/2 || huge.R(1) != tree.R(1) {
+		t.Errorf("failed ScaleValues must not change any value")
+	}
+}
+
 func TestDepthAndFanoutStats(t *testing.T) {
 	tree := buildY(t)
 	if tree.MaxDepth() != 3 {
