@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks folded into BENCH_8.json by `make bench-json`.
 BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|IncrementalSet|SimTransient|SimPlanReuse|TableI$$
 
-.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke bench-incremental scaling-smoke fmt
+.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke bench-incremental scaling-smoke obs-smoke fmt
 
 check: vet build race
 
@@ -87,6 +87,37 @@ scaling-smoke:
 		-runtime-sample 100ms -trace artifacts/scaling-trace.ndjson \
 		> artifacts/scaling-boundstat.txt
 	$(GO) run ./cmd/tracestat -by-goroutine artifacts/scaling-trace.ndjson
+
+# Observability smoke (PR 9): a seeded-fault chaos batch with the full
+# lineage pipeline armed — per-job trace_ids, the always-on flight
+# recorder, SLO objectives — then assert the run is reconstructable:
+# every job maps to a unique trace, the flight dump exists and links
+# back to the run, every degraded job's attempt lineage appears in
+# tracestat -by-trace, and the summary's SLO rows account for every
+# job. Finally the disabled-path budgets: with no tracer/recorder/SLOs
+# installed the per-job observability cost must stay at zero
+# allocations (AllocsPerRun-asserted in the named tests).
+obs-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/rcgen -topology random -n 24 -seed 7 -o artifacts/obs-net.sp
+	seq 1 40 | awk '{printf "{\"id\":\"j%d\",\"net\":\"artifacts/obs-net.sp\",\"dt\":\"1p\"}\n", $$1}' \
+		> artifacts/obs-jobs.ndjson
+	rm -f artifacts/obs-flight.ndjson
+	ELMORE_FAULTS='sim.step:error:p=0.05' ELMORE_FAULT_SEED=9 \
+	$(GO) run ./cmd/boundstat -jobs artifacts/obs-jobs.ndjson \
+		-workers 4 -retries 2 -slo p99=1s,p50=1ms -summary -progress 0 \
+		-trace artifacts/obs-trace.ndjson \
+		-flight-dump artifacts/obs-flight.ndjson \
+		> artifacts/obs-results.ndjson 2> artifacts/obs-summary.ndjson
+	test -s artifacts/obs-flight.ndjson
+	$(GO) run ./cmd/tracestat -by-trace \
+		artifacts/obs-trace.ndjson artifacts/obs-flight.ndjson \
+		| tee artifacts/obs-bytrace.txt
+	python3 scripts/obs_lineage_check.py artifacts/obs-jobs.ndjson \
+		artifacts/obs-results.ndjson artifacts/obs-flight.ndjson \
+		artifacts/obs-bytrace.txt artifacts/obs-summary.ndjson
+	$(GO) test -run 'TestWorkerLoopAllocBudget|TestFlightDisabledPathFree|TestMintTraceAllocFree|TestSketchBoundedMemory|TestReporterBoundedLatencyMemory' \
+		-count=1 -v ./internal/batch ./internal/telemetry | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
 
 fmt:
 	gofmt -l .

@@ -16,6 +16,18 @@
 // one NDJSON result line per job, in job order:
 //
 //	boundstat -jobs jobs.ndjson -workers 8 -timeout 30s > results.ndjson
+//
+// Batch runs carry full observability (PR 9): every result line has a
+// trace_id minted per job (or continued from the spec's trace_id),
+// -flight-dump FILE arms an always-on flight recorder that dumps its
+// ring to FILE on SIGQUIT, panic, breaker-open or slow-job breach, and
+// -slo p99=50ms,p50=5ms adds latency objectives to the -summary record
+// and publishes good/bad/burn-rate gauges through -metrics:
+//
+//	boundstat -jobs jobs.ndjson -retries 2 -trace trace.ndjson \
+//	          -flight-dump flight.ndjson -slo p99=50ms -summary
+//
+// Inspect the lineage afterwards with tracestat -by-trace.
 package main
 
 import (

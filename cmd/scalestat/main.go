@@ -1,7 +1,8 @@
 // Command scalestat diagnoses batch scaling: it runs the same synthetic
 // bound-analysis workload across a sweep of worker counts and reports
 // where each configuration's time went — per-worker busy/idle/stall/
-// lock-wait attribution from the engine's accounting, plus GC and
+// lock-wait attribution from the engine's accounting, per-job latency
+// quantiles (p50/p95/p99/max from a bounded-memory sketch), plus GC and
 // scheduler figures from the runtime/metrics sampler. The output is a
 // machine-readable scaling report; the question it answers is "why is
 // the throughput curve flat", bucket by bucket, before anyone starts
@@ -56,16 +57,29 @@ type report struct {
 
 // step is one worker-count configuration of the sweep.
 type step struct {
-	Workers       int          `json:"workers"`
-	ElapsedMS     float64      `json:"elapsed_ms"`
-	JobsPerSec    float64      `json:"jobs_per_sec"`
-	Speedup       float64      `json:"speedup"`    // vs the first step
-	Efficiency    float64      `json:"efficiency"` // parallel efficiency: Σbusy/(workers×wall)
-	Attribution   attribution  `json:"attribution"`
-	ReorderPeak   int          `json:"reorder_peak"`
-	ReorderStalls int64        `json:"reorder_stalls"`
-	Runtime       runtimeDelta `json:"runtime"`
-	WorkerTable   []workerRow  `json:"worker_table"`
+	Workers       int              `json:"workers"`
+	ElapsedMS     float64          `json:"elapsed_ms"`
+	JobsPerSec    float64          `json:"jobs_per_sec"`
+	Speedup       float64          `json:"speedup"`    // vs the first step
+	Efficiency    float64          `json:"efficiency"` // parallel efficiency: Σbusy/(workers×wall)
+	Latency       latencyQuantiles `json:"latency_ms"`
+	Attribution   attribution      `json:"attribution"`
+	ReorderPeak   int              `json:"reorder_peak"`
+	ReorderStalls int64            `json:"reorder_stalls"`
+	Runtime       runtimeDelta     `json:"runtime"`
+	WorkerTable   []workerRow      `json:"worker_table"`
+}
+
+// latencyQuantiles is the per-job latency distribution of one step in
+// milliseconds, read from a bounded-memory telemetry.DurationSketch
+// (~1% relative error; max is exact). Contention shows up here before
+// it shows up in throughput: a flat jobs/sec curve with a growing p99
+// means the tail is absorbing the added workers.
+type latencyQuantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
 }
 
 // attribution tiles the step's aggregate worker wall time
@@ -243,10 +257,12 @@ func runStep(jobs []batch.Job, workers int) (*step, error) {
 	elapsed := time.Since(start)
 	after := telemetry.ReadRuntime()
 
+	sk := telemetry.NewDurationSketch()
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("workers=%d: job %s failed: %w", workers, r.ID, r.Err)
 		}
+		sk.Observe(r.Elapsed)
 	}
 	if ps == nil {
 		return nil, fmt.Errorf("workers=%d: engine delivered no PoolStats", workers)
@@ -269,6 +285,12 @@ func runStep(jobs []batch.Job, workers int) (*step, error) {
 		st.JobsPerSec = round3(float64(len(jobs)) / elapsed.Seconds())
 	}
 	const ms = float64(time.Millisecond)
+	st.Latency = latencyQuantiles{
+		P50: round3(float64(sk.Quantile(0.50)) / ms),
+		P95: round3(float64(sk.Quantile(0.95)) / ms),
+		P99: round3(float64(sk.Quantile(0.99)) / ms),
+		Max: round3(float64(sk.Max()) / ms),
+	}
 	var busy, idle, stall, lock, wall int64
 	for _, ws := range ps.Worker {
 		busy += ws.BusyNS
@@ -381,6 +403,9 @@ func validate(rep *report, floors checkFloors) error {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return fmt.Errorf("check: workers=%d: %s is %v", st.Workers, name, v)
 			}
+		}
+		if l := st.Latency; !(0 <= l.P50 && l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.Max) {
+			return fmt.Errorf("check: workers=%d: latency quantiles unordered: %+v", st.Workers, l)
 		}
 		if st.Efficiency <= 0 || st.Efficiency > 1.01 {
 			return fmt.Errorf("check: workers=%d: efficiency %v outside (0, 1]", st.Workers, st.Efficiency)

@@ -67,6 +67,10 @@ func TestScalestatReportAndLedger(t *testing.T) {
 		if st.Attribution.Accounted < 0.95 {
 			t.Errorf("workers=%d: accounted %.3f < 0.95", st.Workers, st.Attribution.Accounted)
 		}
+		l := st.Latency
+		if !(0 < l.Max && l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.Max) {
+			t.Errorf("workers=%d: latency quantiles missing or unordered: %+v", st.Workers, l)
+		}
 		var jobs int64
 		for _, row := range st.WorkerTable {
 			jobs += row.Jobs

@@ -17,6 +17,11 @@
 // result line per job, in job order:
 //
 //	sta -lib cells.lib -jobs paths.ndjson -workers 8 > results.ndjson
+//
+// Batch runs share boundstat's observability surface: per-job lineage
+// trace_ids on every result line, -flight-dump FILE for the always-on
+// flight recorder (dumped on SIGQUIT or anomalies, read back with
+// tracestat -by-trace), and -slo objectives in the -summary record.
 package main
 
 import (

@@ -9,11 +9,22 @@
 //	tracestat trace.ndjson
 //	tracestat -top 10 trace.ndjson
 //	tracestat -rollup trace.ndjson
+//	tracestat -by-trace trace.ndjson flight.ndjson
 //	boundstat -trace /dev/stdout ... | tracestat -
 //
 // The final line reports the trace wall time (last span end minus
 // first span start) and the fraction of it accounted for by self time
 // — a sanity check that the instrumentation covers the run.
+//
+// -by-trace switches to the lineage view: spans and flight-recorder
+// events (the {"record":"flight"} lines a -flight-dump file holds) are
+// grouped by the trace id minted per batch job, one row per trace,
+// with attempt counts, retries, and anomaly kinds (panic, degraded,
+// breaker_open, fault, slow_job). Several input files may be given —
+// typically the -trace file plus the -flight-dump file of one run —
+// and repeated dump blocks of the same ring are de-duplicated.
+// Pre-lineage traces (no trace_id fields) report "no trace ids found"
+// instead of failing.
 package main
 
 import (
@@ -48,6 +59,23 @@ type span struct {
 	DurNS   int64  `json:"dur_ns"`
 	G       uint64 `json:"g"`
 	Record  string `json:"record"`
+	TraceID string `json:"trace_id"`
+	Attempt int32  `json:"attempt"`
+}
+
+// flightEvent mirrors the flight-recorder dump schema (one
+// {"record":"flight"} line). The same ring may be dumped several times
+// into one -flight-dump file; identical lines are de-duplicated before
+// the lineage rollup.
+type flightEvent struct {
+	Kind    string `json:"kind"`
+	TimeNS  int64  `json:"t_ns"`
+	TraceID string `json:"trace_id"`
+	Attempt int32  `json:"attempt"`
+	Index   int64  `json:"index"`
+	DurNS   int64  `json:"dur_ns"`
+	Code    int64  `json:"code"`
+	Label   string `json:"label"`
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
@@ -56,27 +84,44 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	top := fs.Int("top", 0, "show only the N phases with the most self time (0 = all)")
 	rollup := fs.Bool("rollup", false, "print the parent/child rollup tree instead of the flat table")
 	byG := fs.Bool("by-goroutine", false, "print the per-goroutine rollup (one row per worker goroutine)")
+	byTrace := fs.Bool("by-trace", false, "group spans and flight events by job trace id (lineage view)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracestat [-top N] [-rollup] <trace.ndjson | ->")
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: tracestat [-top N] [-rollup] [-by-trace] <trace.ndjson | -> [more files...]")
 	}
-	in := stdin
-	if name := fs.Arg(0); name != "-" {
-		f, err := os.Open(name)
+	var (
+		spans   []span
+		flights []flightEvent
+		skipped int
+	)
+	for _, name := range fs.Args() {
+		in := stdin
+		if name != "-" {
+			f, err := os.Open(name)
+			if err != nil {
+				return err
+			}
+			sp, fl, sk, err := readStream(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			spans, flights, skipped = append(spans, sp...), append(flights, fl...), skipped+sk
+			continue
+		}
+		sp, fl, sk, err := readStream(in)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
-	}
-	spans, skipped, err := readSpans(in)
-	if err != nil {
-		return err
+		spans, flights, skipped = append(spans, sp...), append(flights, fl...), skipped+sk
 	}
 	if skipped > 0 {
 		fmt.Fprintf(stderr, "tracestat: skipped %d malformed line(s)\n", skipped)
+	}
+	if *byTrace {
+		return writeByTrace(stdout, spans, flights)
 	}
 	if len(spans) == 0 {
 		return fmt.Errorf("no spans in trace")
@@ -93,10 +138,23 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// readSpans keeps the original span-only view of a stream; tests and
+// the phase table use it.
 func readSpans(in io.Reader) ([]span, int, error) {
+	spans, _, skipped, err := readStream(in)
+	return spans, skipped, err
+}
+
+// readStream splits one NDJSON stream into spans and flight-recorder
+// events. Other record kinds (runtime_sample, flight_dump headers,
+// health events) sharing the stream are skipped without complaint.
+func readStream(in io.Reader) ([]span, []flightEvent, int, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	var spans []span
+	var (
+		spans   []span
+		flights []flightEvent
+	)
 	skipped := 0
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -108,9 +166,18 @@ func readSpans(in io.Reader) ([]span, int, error) {
 			skipped++
 			continue
 		}
+		if s.Record == "flight" {
+			var fl flightEvent
+			if err := json.Unmarshal([]byte(line), &fl); err != nil || fl.Kind == "" {
+				skipped++
+				continue
+			}
+			flights = append(flights, fl)
+			continue
+		}
 		if s.Record != "" {
-			// A non-span record (runtime_sample etc.) sharing the trace
-			// stream — expected, not malformed.
+			// A non-span record (runtime_sample, flight_dump header etc.)
+			// sharing the trace stream — expected, not malformed.
 			continue
 		}
 		if s.Span == 0 || s.Name == "" {
@@ -119,7 +186,7 @@ func readSpans(in io.Reader) ([]span, int, error) {
 		}
 		spans = append(spans, s)
 	}
-	return spans, skipped, sc.Err()
+	return spans, flights, skipped, sc.Err()
 }
 
 // trace is the analyzed form: per-span self times plus the wall span.
@@ -394,4 +461,127 @@ func (t *trace) writeRollup(w io.Writer) {
 	}
 	walk(root, 0)
 	tw.Flush()
+}
+
+// traceStat is the lineage rollup of everything observed for one
+// trace id across spans and flight events.
+type traceStat struct {
+	id       string
+	job      string // job id, from job_done/degraded/retry flight labels
+	spans    int
+	attempts int32 // highest attempt number observed (1 = no retries)
+	retries  int
+	totalNS  int64 // summed span durations attributed to the trace
+	kinds    map[string]int
+	firstNS  int64
+}
+
+// anomalyKinds are the flight kinds worth surfacing per trace, in
+// display order; span/job_done are the normal-path record kinds.
+var anomalyKinds = []string{"retry", "panic", "degraded", "breaker_open", "fault", "stuck", "slow_job"}
+
+// writeByTrace prints one row per trace id: the full lineage of a job
+// across its attempts, stitched together from span records and
+// flight-recorder events. Inputs that predate lineage propagation
+// carry no trace ids; that reports gracefully instead of failing.
+func writeByTrace(w io.Writer, spans []span, flights []flightEvent) error {
+	stats := make(map[string]*traceStat)
+	get := func(id string, when int64) *traceStat {
+		ts := stats[id]
+		if ts == nil {
+			ts = &traceStat{id: id, kinds: make(map[string]int), firstNS: when}
+			stats[id] = ts
+		}
+		if when != 0 && (ts.firstNS == 0 || when < ts.firstNS) {
+			ts.firstNS = when
+		}
+		return ts
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.TraceID == "" {
+			continue
+		}
+		ts := get(s.TraceID, s.StartNS)
+		ts.spans++
+		ts.totalNS += s.DurNS
+		if s.Attempt > ts.attempts {
+			ts.attempts = s.Attempt
+		}
+	}
+	// Dumps append: the same ring record can appear under several dump
+	// headers. De-duplicate by full identity before counting.
+	seen := make(map[flightEvent]bool, len(flights))
+	dups := 0
+	for _, fl := range flights {
+		if seen[fl] {
+			dups++
+			continue
+		}
+		seen[fl] = true
+		if fl.TraceID == "" {
+			continue
+		}
+		ts := get(fl.TraceID, fl.TimeNS)
+		ts.kinds[fl.Kind]++
+		if fl.Kind == "retry" {
+			ts.retries++
+		}
+		if fl.Attempt > ts.attempts {
+			ts.attempts = fl.Attempt
+		}
+		if ts.job == "" && fl.Label != "" {
+			switch fl.Kind {
+			case "job_done", "degraded", "retry":
+				ts.job = fl.Label
+			}
+		}
+	}
+	if len(stats) == 0 {
+		fmt.Fprintln(w, "no trace ids found (inputs predate lineage propagation, or no jobs ran)")
+		return nil
+	}
+	rows := make([]*traceStat, 0, len(stats))
+	for _, ts := range stats {
+		if ts.attempts == 0 {
+			ts.attempts = 1
+		}
+		rows = append(rows, ts)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].firstNS != rows[j].firstNS {
+			return rows[i].firstNS < rows[j].firstNS
+		}
+		return rows[i].id < rows[j].id
+	})
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "TRACE\tJOB\tSPANS\tATTEMPTS\tRETRIES\tTOTAL\tEVENTS")
+	for _, ts := range rows {
+		var evs []string
+		for _, k := range anomalyKinds {
+			if n := ts.kinds[k]; n > 0 {
+				if k == "retry" {
+					continue // own column
+				}
+				evs = append(evs, fmt.Sprintf("%s×%d", k, n))
+			}
+		}
+		events := strings.Join(evs, ",")
+		if events == "" {
+			events = "-"
+		}
+		job := ts.job
+		if job == "" {
+			job = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%s\n",
+			ts.id, job, ts.spans, ts.attempts, ts.retries, dur(ts.totalNS), events)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "%d traces, %d spans, %d flight events", len(stats), len(spans), len(seen))
+	if dups > 0 {
+		fmt.Fprintf(w, " (%d duplicate dump lines folded)", dups)
+	}
+	fmt.Fprintln(w)
+	return nil
 }

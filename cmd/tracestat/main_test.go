@@ -188,6 +188,106 @@ func TestByGoroutineRollup(t *testing.T) {
 	}
 }
 
+// lineageTrace is a hand-built lineage stream: one span and two
+// identical flight retry lines (a ring dumped twice) for one trace,
+// plus one flight line with no trace id (pre-lineage or process-scope
+// event) that must not produce a row.
+const lineageTrace = `{"span":1,"parent":0,"name":"batch.job","start_ns":0,"dur_ns":4000,"trace_id":"00000000000000000000000000000abc","attempt":2}
+{"record":"flight","kind":"retry","t_ns":5,"trace_id":"00000000000000000000000000000abc","attempt":2,"index":0,"code":2,"label":"j1"}
+{"record":"flight","kind":"retry","t_ns":5,"trace_id":"00000000000000000000000000000abc","attempt":2,"index":0,"code":2,"label":"j1"}
+{"record":"flight","kind":"fault","t_ns":9,"index":-1,"label":"sim.step"}
+{"record":"flight_dump","reason":"fault","t_ns":9,"events":3,"torn":0}
+`
+
+func TestByTraceRollup(t *testing.T) {
+	out, _ := runCLI(t, []string{"-by-trace", "-"}, lineageTrace)
+	if !strings.Contains(out, "00000000000000000000000000000abc") {
+		t.Fatalf("trace row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 traces, 1 spans, 2 flight events (1 duplicate dump lines folded)") {
+		t.Errorf("footer wrong:\n%s", out)
+	}
+	row := ""
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "00000000") {
+			row = ln
+		}
+	}
+	fields := strings.Fields(row)
+	// TRACE JOB SPANS ATTEMPTS RETRIES TOTAL EVENTS
+	if len(fields) != 7 || fields[1] != "j1" || fields[2] != "1" || fields[3] != "2" || fields[4] != "1" {
+		t.Errorf("row = %q, want job j1, 1 span, attempt 2, 1 retry (dup folded)", row)
+	}
+}
+
+func TestByTracePreLineageGraceful(t *testing.T) {
+	// A pre-PR-9 trace has no trace_id fields: -by-trace reports that
+	// instead of failing, and plain mode still works on the same input.
+	out, _ := runCLI(t, []string{"-by-trace", "-"}, sampleTrace)
+	if !strings.Contains(out, "no trace ids found") {
+		t.Errorf("want graceful no-lineage message, got:\n%s", out)
+	}
+}
+
+func TestByTraceMultipleFiles(t *testing.T) {
+	dir := t.TempDir()
+	spanFile := filepath.Join(dir, "trace.ndjson")
+	flightFile := filepath.Join(dir, "flight.ndjson")
+	lines := strings.SplitAfterN(lineageTrace, "\n", 2)
+	if err := os.WriteFile(spanFile, []byte(lines[0]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(flightFile, []byte(lines[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runCLI(t, []string{"-by-trace", spanFile, flightFile}, "")
+	if !strings.Contains(out, "1 traces, 1 spans, 2 flight events") {
+		t.Errorf("multi-file merge wrong:\n%s", out)
+	}
+}
+
+// TestLineageFixture is the committed-fixture regression: a real
+// 30-job chaos run (seeded sim.step faults, 2 retries, 2 workers) with
+// its -trace stream and -flight-dump blocks concatenated. Every job
+// minted a trace; retried jobs show their attempt count; the repeated
+// dump blocks fold.
+func TestLineageFixture(t *testing.T) {
+	out, _ := runCLI(t, []string{"-by-trace", filepath.Join("testdata", "trace_lineage.ndjson")}, "")
+	if !strings.Contains(out, "30 traces, 151 spans") {
+		t.Fatalf("fixture rollup header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "duplicate dump lines folded") {
+		t.Errorf("dump de-duplication not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "degraded×") {
+		t.Errorf("degraded events missing from rollup:\n%s", out)
+	}
+	rows := 0
+	for _, ln := range strings.Split(out, "\n") {
+		f := strings.Fields(ln)
+		if len(f) == 0 || len(f[0]) != 32 {
+			continue
+		}
+		if strings.IndexFunc(f[0], func(r rune) bool {
+			return !strings.ContainsRune("0123456789abcdef", r)
+		}) < 0 {
+			rows++
+		}
+	}
+	if rows != 30 {
+		t.Errorf("fixture rollup has %d trace rows, want 30:\n%s", rows, out)
+	}
+	// The plain phase table still works on the mixed stream — flight
+	// lines are not "malformed".
+	plain, errOut := runCLI(t, []string{filepath.Join("testdata", "trace_lineage.ndjson")}, "")
+	if strings.Contains(errOut, "skipped") {
+		t.Errorf("flight lines counted as malformed: %q", errOut)
+	}
+	if !strings.Contains(plain, "batch.attempt") {
+		t.Errorf("per-attempt spans missing from phase table:\n%s", plain)
+	}
+}
+
 // TestRecorded8WorkerTrace is the regression fixture: a real trace of a
 // 96-job batch on 8 workers (internal spans emitted by the engine,
 // goroutine-tagged). Before interval-union self time, batch.run's self

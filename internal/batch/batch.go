@@ -85,6 +85,12 @@ type Job struct {
 	Net  *NetJob
 	Path *PathJob
 	Tran *TranJob
+
+	// Trace, when valid, is the request lineage this job continues — a
+	// coordinator handing spec ranges to worker processes stamps it via
+	// the spec's trace_id field. The zero value (the normal case) makes
+	// the engine mint a fresh trace when the job is picked up.
+	Trace telemetry.TraceContext
 }
 
 // SinkBounds carries one reported node of a net job.
@@ -116,9 +122,10 @@ type Result struct {
 	Err          error
 	CacheHit     bool // a shared moment set or simulation plan was reused
 	Elapsed      time.Duration
-	Attempts     int    // attempts executed (0 only for never-started jobs)
-	Degraded     string // DegradedElmoreBound when Net stands in for a failed sim
-	DegradedFrom string // the failure Degraded suppressed
+	Attempts     int                    // attempts executed (0 only for never-started jobs)
+	Degraded     string                 // DegradedElmoreBound when Net stands in for a failed sim
+	DegradedFrom string                 // the failure Degraded suppressed
+	Trace        telemetry.TraceContext // lineage minted (or inherited) for this job
 	Net          *NetResult
 	Path         *sta.PathResult
 	Tran         *TranResult
@@ -151,9 +158,10 @@ type Engine struct {
 	// OnStart, when non-nil, observes each job the moment a worker
 	// picks it up (before any attempt). It is called concurrently from
 	// worker goroutines with the worker's context (which carries the
-	// values OnWorker attached); the crash-safe journal uses it to
-	// record in-flight jobs through a per-worker buffered writer.
-	OnStart func(ctx context.Context, index int, id string)
+	// values OnWorker attached) and the job's trace context; the
+	// crash-safe journal uses it to record in-flight jobs — with their
+	// lineage — through a per-worker buffered writer.
+	OnStart func(ctx context.Context, index int, id string, trace telemetry.TraceContext)
 
 	// OnWorker, when non-nil, runs once per worker goroutine before it
 	// takes its first job. The returned context (when non-nil) replaces
@@ -270,6 +278,13 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 			}
 			wallStart := time.Now()
 			defer func() { ws.WallNS = time.Since(wallStart).Nanoseconds() }()
+			// Lineage is minted unconditionally (an atomic increment plus
+			// integer mixing — free) but attached to the context only when
+			// something can observe it: a tracer, the flight recorder, or
+			// the reporter's slow-span capture. The disabled path thus
+			// stays inside the per-job allocation budget.
+			obsCtx := telemetry.TracerFrom(wctx) != nil ||
+				telemetry.FlightEnabled() || e.Report.captureSpans(wctx)
 			for {
 				t0 := time.Now()
 				i, ok := <-idxCh
@@ -279,11 +294,19 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, emit func(Result)) {
 				}
 				pending.Add(-1)
 				qd.Add(-1)
+				tr := jobs[i].Trace
+				if !tr.Valid() {
+					tr = telemetry.MintTrace()
+				}
+				jctx := wctx
+				if obsCtx {
+					jctx = telemetry.WithTraceContext(wctx, tr)
+				}
 				if e.OnStart != nil {
-					e.OnStart(wctx, i, jobs[i].ID)
+					e.OnStart(jctx, i, jobs[i].ID, tr)
 				}
 				t1 := time.Now()
-				r := e.runJob(wctx, i, jobs[i])
+				r := e.runJob(jctx, w, i, jobs[i], tr)
 				ws.BusyNS += time.Since(t1).Nanoseconds()
 				ws.Jobs++
 				t2 := time.Now()
@@ -390,8 +413,8 @@ func jobLabel(idx int, id string) string {
 
 // runJob executes one job — attempt loop, breaker, degradation — with
 // panic isolation. It always returns a Result, never panics.
-func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
-	res = Result{Index: idx, ID: j.ID}
+func (e *Engine) runJob(ctx context.Context, worker, idx int, j Job, tr telemetry.TraceContext) (res Result) {
+	res = Result{Index: idx, ID: j.ID, Trace: tr}
 	start := time.Now()
 	jctx := ctx
 	// When the reporter wants slow-job span trees and no ambient tracer
@@ -424,7 +447,25 @@ func (e *Engine) runJob(ctx context.Context, idx int, j Job) (res Result) {
 			sp.AttrString("degraded", res.Degraded)
 		}
 		sp.End()
-		e.Report.noteJob(idx, j.ID, res.Err, res.Elapsed, slowSpans)
+		if telemetry.FlightEnabled() {
+			ftr := tr
+			ftr.Attempt = int32(res.Attempts)
+			var code int64
+			if res.Err != nil {
+				code = 1
+			}
+			if res.Degraded != "" {
+				telemetry.FlightRecordShard(worker, telemetry.FlightEvent{
+					Kind: telemetry.FlightDegraded, Trace: ftr,
+					Index: int64(idx), Label: res.DegradedFrom,
+				})
+			}
+			telemetry.FlightRecordShard(worker, telemetry.FlightEvent{
+				Kind: telemetry.FlightJobDone, Trace: ftr, Index: int64(idx),
+				DurNS: res.Elapsed.Nanoseconds(), Code: code, Label: j.ID,
+			})
+		}
+		e.Report.noteJob(idx, j.ID, tr, res.Err, res.Elapsed, slowSpans)
 	}()
 	e.runAttempts(jctx, idx, j, &res)
 	return res
@@ -475,7 +516,18 @@ func (e *Engine) runAttempts(ctx context.Context, idx int, j Job, res *Result) {
 				break
 			}
 		}
-		pl, hit, err := e.attemptOnce(ctx, idx, j, &tree)
+		// Each attempt runs under its own span with the trace context
+		// re-stamped, so every child span (moment sweeps, sim runs) is
+		// attributable to trace+attempt, not just to the job. Both are
+		// free when neither a tracer nor a trace context is installed.
+		actx := telemetry.WithTraceAttempt(ctx, attempt)
+		actx, asp := telemetry.Start(actx, "batch.attempt")
+		asp.AttrInt("attempt", int64(attempt))
+		pl, hit, err := e.attemptOnce(actx, idx, j, &tree)
+		if err != nil {
+			asp.AttrString("error", err.Error())
+		}
+		asp.End()
 		if tree != nil && !haveFP {
 			fp, haveFP = tree.Fingerprint(), true
 		}
@@ -500,6 +552,14 @@ func (e *Engine) runAttempts(ctx context.Context, idx int, j Job, res *Result) {
 			break
 		}
 		telemetry.C("resilience.retries").Inc()
+		if telemetry.FlightEnabled() {
+			tc, _ := telemetry.TraceContextFrom(ctx)
+			tc.Attempt = int32(attempt)
+			telemetry.FlightRecord(telemetry.FlightEvent{
+				Kind: telemetry.FlightRetry, Trace: tc, Index: int64(idx),
+				Code: int64(attempt), Label: j.ID,
+			})
+		}
 		if serr := e.Retry.Sleep(ctx, attempt); serr != nil {
 			// The batch is being torn down mid-backoff: report the
 			// cancellation, not the attempt error, so a journal
@@ -557,6 +617,17 @@ func (e *Engine) attemptOnce(ctx context.Context, idx int, j Job, tree **rctree.
 			pl = payload{}
 			hit = false
 			err = fmt.Errorf("batch: job %d (%s): %w", idx, j.ID, &resilience.PanicError{Value: p})
+			if telemetry.FlightEnabled() {
+				// Panic isolation is a dump trigger: the ring holds the
+				// events leading up to it, which is exactly the postmortem
+				// an always-on trace file would have cost every run.
+				tc, _ := telemetry.TraceContextFrom(ctx)
+				telemetry.FlightRecord(telemetry.FlightEvent{
+					Kind: telemetry.FlightPanic, Trace: tc,
+					Index: int64(idx), Label: j.ID,
+				})
+				telemetry.FlightDump("panic")
+			}
 		}
 	}()
 	if err := faultinject.Fire("batch.dispatch"); err != nil {

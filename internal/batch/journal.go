@@ -46,10 +46,14 @@ type Journal struct {
 	pending int // done records since the last fsync
 }
 
-// journalRecord is one NDJSON journal line.
+// journalRecord is one NDJSON journal line. Start records carry the
+// job's trace ID (PR 9) so a crashed run's in-flight jobs keep their
+// lineage across resume; done records don't repeat it. Pre-PR-9
+// journals without the field replay unchanged.
 type journalRecord struct {
-	Op  string `json:"op"` // "start" or "done"
-	Key string `json:"key"`
+	Op    string `json:"op"` // "start" or "done"
+	Key   string `json:"key"`
+	Trace string `json:"trace,omitempty"`
 }
 
 // JobKey names one job for the journal: its position in the spec
@@ -141,14 +145,14 @@ func readReplay(r io.Reader) (*Replay, error) {
 }
 
 // append writes one record; sync forces the fsync batching to count it.
-func (j *Journal) append(op, key string, countSync bool) error {
+func (j *Journal) append(op, key, trace string, countSync bool) error {
 	if j == nil {
 		return nil
 	}
 	if err := faultinject.Fire("batch.journal"); err != nil {
 		return fmt.Errorf("batch: journal: %w", err)
 	}
-	b, err := json.Marshal(journalRecord{Op: op, Key: key})
+	b, err := json.Marshal(journalRecord{Op: op, Key: key, Trace: trace})
 	if err != nil {
 		return fmt.Errorf("batch: journal: %w", err)
 	}
@@ -167,15 +171,16 @@ func (j *Journal) append(op, key string, countSync bool) error {
 	return nil
 }
 
-// Start records that the job was picked up by a worker.
-func (j *Journal) Start(index int, id string) error {
-	return j.append("start", JobKey(index, id), false)
+// Start records that the job was picked up by a worker; trace is the
+// job's lineage ID ("" when observability is off).
+func (j *Journal) Start(index int, id, trace string) error {
+	return j.append("start", JobKey(index, id), trace, false)
 }
 
 // Done records that the job's result was emitted. Every SyncEvery done
 // records the journal is flushed and fsynced.
 func (j *Journal) Done(index int, id string) error {
-	return j.append("done", JobKey(index, id), true)
+	return j.append("done", JobKey(index, id), "", true)
 }
 
 // Writer returns a private buffered appender onto the journal. Each
@@ -209,14 +214,14 @@ type JournalWriter struct {
 }
 
 // append buffers one record, flushing when a batch has accumulated.
-func (w *JournalWriter) append(op, key string, done bool) error {
+func (w *JournalWriter) append(op, key, trace string, done bool) error {
 	if w == nil {
 		return nil
 	}
 	if err := faultinject.Fire("batch.journal"); err != nil {
 		return fmt.Errorf("batch: journal: %w", err)
 	}
-	b, err := json.Marshal(journalRecord{Op: op, Key: key})
+	b, err := json.Marshal(journalRecord{Op: op, Key: key, Trace: trace})
 	if err != nil {
 		return fmt.Errorf("batch: journal: %w", err)
 	}
@@ -232,9 +237,10 @@ func (w *JournalWriter) append(op, key string, done bool) error {
 	return nil
 }
 
-// Start buffers a record that the job was picked up by a worker.
-func (w *JournalWriter) Start(index int, id string) error {
-	return w.append("start", JobKey(index, id), false)
+// Start buffers a record that the job was picked up by a worker;
+// trace is the job's lineage ID ("" when observability is off).
+func (w *JournalWriter) Start(index int, id, trace string) error {
+	return w.append("start", JobKey(index, id), trace, false)
 }
 
 // Done buffers a record that the job's result was emitted. The caller
@@ -242,7 +248,7 @@ func (w *JournalWriter) Start(index int, id string) error {
 // write ordering only deepens under buffering (the done record reaches
 // the file later, never earlier).
 func (w *JournalWriter) Done(index int, id string) error {
-	return w.append("done", JobKey(index, id), true)
+	return w.append("done", JobKey(index, id), "", true)
 }
 
 // Flush hands the buffered records to the journal under one lock

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"elmore/internal/telemetry"
 )
 
 func openJournal(t *testing.T, path string) (*Journal, *Replay) {
@@ -28,10 +30,10 @@ func TestJournalRoundTrip(t *testing.T) {
 	if len(rp.Done) != 0 || len(rp.Started) != 0 {
 		t.Fatalf("fresh journal replayed state: %+v", rp)
 	}
-	if err := jr.Start(0, "a"); err != nil {
+	if err := jr.Start(0, "a", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := jr.Start(1, "b"); err != nil {
+	if err := jr.Start(1, "b", ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := jr.Done(0, "a"); err != nil {
@@ -147,7 +149,7 @@ func TestJournalSyncBatching(t *testing.T) {
 
 func TestJournalNilSafe(t *testing.T) {
 	var jr *Journal
-	if err := jr.Start(0, "a"); err != nil {
+	if err := jr.Start(0, "a", ""); err != nil {
 		t.Errorf("nil Start: %v", err)
 	}
 	if err := jr.Done(0, "a"); err != nil {
@@ -203,7 +205,7 @@ func TestRunSpecsJournalResumeExactlyOnce(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var started atomic.Int32
-	eng := &Engine{Workers: 4, OnStart: func(context.Context, int, string) {
+	eng := &Engine{Workers: 4, OnStart: func(context.Context, int, string, telemetry.TraceContext) {
 		if started.Add(1) == 12 {
 			cancel()
 		}

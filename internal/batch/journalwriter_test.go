@@ -20,10 +20,10 @@ func TestJournalWriterBuffersUntilBatch(t *testing.T) {
 	defer jr.Close()
 	jr.SyncEvery = 3
 	w := jr.Writer()
-	if err := w.Start(0, "a"); err != nil {
+	if err := w.Start(0, "a", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Start(1, "b"); err != nil {
+	if err := w.Start(1, "b", ""); err != nil {
 		t.Fatal(err)
 	}
 	// Two records are below the batch size: nothing reaches the file,
@@ -92,7 +92,7 @@ func TestJournalWriterNilSafe(t *testing.T) {
 	if w != nil {
 		t.Fatalf("nil journal produced a non-nil writer")
 	}
-	if err := w.Start(0, "a"); err != nil {
+	if err := w.Start(0, "a", ""); err != nil {
 		t.Errorf("nil writer Start: %v", err)
 	}
 	if err := w.Done(0, "a"); err != nil {
@@ -148,7 +148,7 @@ func TestJournalWriterReplayInterleaved(t *testing.T) {
 		idx int
 		id  string
 	}{{w1, 0, "a"}, {w1, 1, "b"}, {w2, 2, "c"}, {w2, 3, "d"}} {
-		if err := s.w.Start(s.idx, s.id); err != nil {
+		if err := s.w.Start(s.idx, s.id, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

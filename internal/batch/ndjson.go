@@ -31,6 +31,7 @@ type ResultRecord struct {
 	Attempts     int          `json:"attempts,omitempty"`
 	Degraded     string       `json:"degraded,omitempty"`
 	DegradedFrom string       `json:"degraded_from,omitempty"`
+	TraceID      string       `json:"trace_id,omitempty"` // request lineage (PR 9)
 	Sinks        []SinkRecord `json:"sinks,omitempty"`
 	Path         *PathRecord  `json:"path,omitempty"`
 	Tran         *TranRecord  `json:"tran,omitempty"`
@@ -110,6 +111,7 @@ func Record(r Result) ResultRecord {
 		Attempts:     r.Attempts,
 		Degraded:     r.Degraded,
 		DegradedFrom: r.DegradedFrom,
+		TraceID:      r.Trace.TraceID(),
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
@@ -287,11 +289,11 @@ func RunSpecsJournal(ctx context.Context, e *Engine, r io.Reader, lib *gate.Libr
 			}
 		}
 		prev := eng.OnStart
-		eng.OnStart = func(ctx context.Context, idx int, id string) {
+		eng.OnStart = func(ctx context.Context, idx int, id string, trace telemetry.TraceContext) {
 			if prev != nil {
-				prev(ctx, idx, id)
+				prev(ctx, idx, id, trace)
 			}
-			if jerr := journalWriterFrom(ctx).Start(orig[idx], id); jerr != nil {
+			if jerr := journalWriterFrom(ctx).Start(orig[idx], id, trace.TraceID()); jerr != nil {
 				health.Note(health.Event{Check: "batch.journal_error", Detail: jerr.Error()})
 			}
 		}

@@ -40,6 +40,11 @@ type Reporter struct {
 	Slow io.Writer
 	// Summary receives the final NDJSON batch_summary record.
 	Summary io.Writer
+	// SLOs are the run's declarative latency objectives (parsed from
+	// -slo). Each finished job is scored good or bad against every
+	// objective; the summary reports the counts and burn rates, and
+	// they are published as batch.slo.* gauges at run end.
+	SLOs []telemetry.SLO
 
 	mu  sync.Mutex       // serializes Slow/Summary/Progress writes
 	now func() time.Time // test hook; nil means time.Now
@@ -79,9 +84,20 @@ type slowRecord struct {
 }
 
 // noteJob is called from runJob's defer for every job; it writes a
-// slow_job record when the job crossed the threshold.
-func (rep *Reporter) noteJob(idx int, id string, jobErr error, elapsed time.Duration, spans *memSink) {
-	if rep == nil || rep.Slow == nil || rep.SlowThreshold <= 0 || elapsed < rep.SlowThreshold {
+// slow_job record when the job crossed the threshold and flags the
+// breach to the flight recorder.
+func (rep *Reporter) noteJob(idx int, id string, trace telemetry.TraceContext, jobErr error, elapsed time.Duration, spans *memSink) {
+	if rep == nil || rep.SlowThreshold <= 0 || elapsed < rep.SlowThreshold {
+		return
+	}
+	if telemetry.FlightEnabled() {
+		telemetry.FlightRecord(telemetry.FlightEvent{
+			Kind: telemetry.FlightSlowJob, Trace: trace, Index: int64(idx),
+			DurNS: elapsed.Nanoseconds(), Label: id,
+		})
+		telemetry.FlightDump("slow-job")
+	}
+	if rep.Slow == nil {
 		return
 	}
 	rec := slowRecord{
@@ -132,7 +148,15 @@ type runReport struct {
 
 	// Consumer-loop state: observe() runs only on RunFunc's calling
 	// goroutine, so these need no locking.
-	lat           []time.Duration
+	//
+	// Latency aggregation is bounded-memory: every sample lands in the
+	// fixed-size sketch, and only small runs (total <=
+	// exactLatencyThreshold) additionally keep the exact samples for
+	// exact percentiles. Before PR 9 the exact slice was unconditional —
+	// O(jobs) memory, untenable on 1M-net runs.
+	sketch        *telemetry.DurationSketch
+	latExact      []time.Duration // nil on large runs
+	slo           *telemetry.SLOTracker
 	cacheHits     int64
 	slowJobs      int64
 	errsByKind    map[string]int64
@@ -145,6 +169,11 @@ type runReport struct {
 	stats *PoolStats
 }
 
+// exactLatencyThreshold is the run size up to which the summary keeps
+// exact per-job latencies alongside the sketch: small runs get exact
+// percentiles, large runs stay bounded-memory (the sketch alone).
+const exactLatencyThreshold = 4096
+
 // begin starts per-run reporting: snapshots the health counters and,
 // when Progress is set, launches the ticker goroutine.
 func (rep *Reporter) begin(total int, pending *atomic.Int64) *runReport {
@@ -154,8 +183,12 @@ func (rep *Reporter) begin(total int, pending *atomic.Int64) *runReport {
 		start:      rep.clock(),
 		pending:    pending,
 		stop:       make(chan struct{}),
-		lat:        make([]time.Duration, 0, total),
+		sketch:     telemetry.NewDurationSketch(),
+		slo:        telemetry.NewSLOTracker(rep.SLOs),
 		errsByKind: make(map[string]int64),
+	}
+	if total <= exactLatencyThreshold {
+		rr.latExact = make([]time.Duration, 0, total)
 	}
 	if m := health.Default(); m != nil {
 		rr.healthEvents0 = m.Events()
@@ -184,7 +217,11 @@ func (rep *Reporter) begin(total int, pending *atomic.Int64) *runReport {
 // the RunFunc goroutine only.
 func (rr *runReport) observe(r Result) {
 	rr.done.Add(1)
-	rr.lat = append(rr.lat, r.Elapsed)
+	rr.sketch.Observe(r.Elapsed)
+	if rr.latExact != nil {
+		rr.latExact = append(rr.latExact, r.Elapsed)
+	}
+	rr.slo.Observe(r.Elapsed, r.Err != nil)
 	if r.CacheHit {
 		rr.cacheHits++
 	}
@@ -238,8 +275,13 @@ type summaryRecord struct {
 	SlowJobs     int64            `json:"slow_jobs"`
 	ElapsedMS    float64          `json:"elapsed_ms"`
 	LatencyMS    latencyStats     `json:"latency_ms"`
-	HealthEvents int64            `json:"health_events"`
-	HealthViol   int64            `json:"health_violations"`
+	// LatencySource is "exact" (small runs keep every sample) or
+	// "sketch" (large runs: bounded-memory quantile estimates, ~1%
+	// relative error, max exact).
+	LatencySource string      `json:"latency_source,omitempty"`
+	SLO           []sloRecord `json:"slo,omitempty"`
+	HealthEvents  int64       `json:"health_events"`
+	HealthViol    int64       `json:"health_violations"`
 
 	Workers       []workerRecord `json:"workers,omitempty"`
 	Efficiency    float64        `json:"parallel_efficiency,omitempty"`
@@ -264,7 +306,17 @@ type workerRecord struct {
 type latencyStats struct {
 	P50 float64 `json:"p50"`
 	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 	Max float64 `json:"max"`
+}
+
+// sloRecord is one objective's row in the summary.
+type sloRecord struct {
+	Name     string  `json:"name"` // "p99"
+	TargetMS float64 `json:"target_ms"`
+	Good     int64   `json:"good"`
+	Bad      int64   `json:"bad"`
+	BurnRate float64 `json:"burn_rate"`
 }
 
 // finish stops the ticker, writes the final progress line, and emits
@@ -273,6 +325,7 @@ func (rr *runReport) finish() {
 	close(rr.stop)
 	rr.ticker.Wait()
 	rr.progressLine()
+	rr.slo.Publish()
 	rep := rr.rep
 	if rep.Summary == nil {
 		return
@@ -284,7 +337,22 @@ func (rr *runReport) finish() {
 		CacheHits: rr.cacheHits,
 		SlowJobs:  rr.slowJobs,
 		ElapsedMS: float64(rep.clock().Sub(rr.start)) / float64(time.Millisecond),
-		LatencyMS: percentiles(rr.lat),
+	}
+	if rr.latExact != nil {
+		rec.LatencyMS = percentiles(rr.latExact)
+		rec.LatencySource = "exact"
+	} else {
+		rec.LatencyMS = sketchStats(rr.sketch)
+		rec.LatencySource = "sketch"
+	}
+	for i, s := range rep.SLOs {
+		rec.SLO = append(rec.SLO, sloRecord{
+			Name:     s.Name,
+			TargetMS: float64(s.Target) / float64(time.Millisecond),
+			Good:     rr.slo.Good(i),
+			Bad:      rr.slo.Bad(i),
+			BurnRate: rr.slo.BurnRate(i),
+		})
 	}
 	if len(rr.errsByKind) > 0 {
 		rec.ErrorsByKind = rr.errsByKind
@@ -325,7 +393,8 @@ func (rr *runReport) finish() {
 	rep.Summary.Write(append(line, '\n'))
 }
 
-// percentiles computes exact nearest-rank p50/p95/max in milliseconds.
+// percentiles computes exact nearest-rank p50/p95/p99/max in
+// milliseconds; the small-run path.
 func percentiles(lat []time.Duration) latencyStats {
 	if len(lat) == 0 {
 		return latencyStats{}
@@ -346,6 +415,22 @@ func percentiles(lat []time.Duration) latencyStats {
 	return latencyStats{
 		P50: rank(0.50),
 		P95: rank(0.95),
+		P99: rank(0.99),
 		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
+
+// sketchStats reads the same quantiles from the bounded-memory sketch;
+// the large-run path (max is exact, the rest ~1% relative error).
+func sketchStats(s *telemetry.DurationSketch) latencyStats {
+	if s == nil || s.Count() == 0 {
+		return latencyStats{}
+	}
+	const ms = float64(time.Millisecond)
+	return latencyStats{
+		P50: float64(s.Quantile(0.50)) / ms,
+		P95: float64(s.Quantile(0.95)) / ms,
+		P99: float64(s.Quantile(0.99)) / ms,
+		Max: float64(s.Max()) / ms,
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"elmore/internal/signal"
 	"elmore/internal/sim"
 	"elmore/internal/sta"
+	"elmore/internal/telemetry"
 )
 
 // JobSpec is one NDJSON job line, as read by the -jobs flag of
@@ -35,6 +36,12 @@ import (
 // to the CLI's -slew value.
 type JobSpec struct {
 	ID string `json:"id,omitempty"`
+
+	// TraceID, when set to a 32-hex-character lineage ID, continues an
+	// existing trace instead of minting a fresh one — the hook a
+	// sharding coordinator uses to keep one net's lineage intact across
+	// worker processes. Malformed values are ignored (fresh mint).
+	TraceID string `json:"trace_id,omitempty"`
 
 	// Net jobs.
 	Net   string   `json:"net,omitempty"` // netlist file
@@ -117,6 +124,9 @@ func ParseRise(tok string) (signal.Signal, error) {
 // "slew" empty; lib may be nil when no path jobs occur.
 func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 	j := Job{ID: s.ID}
+	if s.TraceID != "" {
+		j.Trace, _ = telemetry.ParseTraceID(s.TraceID)
+	}
 	isNet := s.Net != ""
 	isPath := len(s.Stages) > 0
 	isTran := s.DT != ""

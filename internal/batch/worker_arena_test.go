@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"elmore/internal/moments"
+	"elmore/internal/telemetry"
 )
 
 // TestWorkerOwnsDistinctArena asserts each worker goroutine gets its
@@ -75,7 +76,7 @@ func TestOnWorkerDecoratesAndCleansUp(t *testing.T) {
 				mu.Unlock()
 			}
 		},
-		OnStart: func(ctx context.Context, index int, id string) {
+		OnStart: func(ctx context.Context, index int, id string, _ telemetry.TraceContext) {
 			if w, ok := ctx.Value(markKey{}).(int); ok && w >= 0 {
 				mu.Lock()
 				marked++

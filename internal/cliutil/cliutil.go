@@ -65,6 +65,14 @@ type Flags struct {
 	BlockProfile  int           // -block-profile: SetBlockProfileRate ns; 0 off
 	ProfileDir    string        // -profile-dir: write pprof profiles here on exit
 	RuntimeSample time.Duration // -runtime-sample: runtime/metrics sampling period; 0 off
+
+	// FlightDump enables the flight recorder and names the NDJSON file
+	// its ring dumps into (on SIGQUIT, panic isolation, breaker-open,
+	// slow-job breach, or an injected fault). Recording itself is
+	// lock-free and zero-allocation; only dumps touch the file.
+	FlightDump string
+	// FlightEvents sizes each per-worker ring (0 = 512 events).
+	FlightEvents int
 }
 
 // Add registers the shared flags on fs and returns the value holder.
@@ -80,6 +88,8 @@ func Add(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.BlockProfile, "block-profile", 0, "sample blocking events lasting >= `ns` nanoseconds (runtime.SetBlockProfileRate; 0 = off)")
 	fs.StringVar(&f.ProfileDir, "profile-dir", "", "write pprof profiles (heap, plus mutex/block when enabled) into `dir` on exit")
 	fs.DurationVar(&f.RuntimeSample, "runtime-sample", 0, "sample runtime/metrics (GC pauses, sched latency, goroutines) every `period` into the metrics registry and trace (0 = off)")
+	fs.StringVar(&f.FlightDump, "flight-dump", "", "keep an in-memory flight recorder of recent spans/events and dump it as NDJSON to `file` on SIGQUIT, panics, breaker trips, slow jobs and injected faults")
+	fs.IntVar(&f.FlightEvents, "flight-events", 0, "flight-recorder ring size per worker shard, rounded up to a power of two (0 = 512)")
 	return f
 }
 
@@ -100,6 +110,13 @@ type BatchFlags struct {
 	RetryBackoff time.Duration // -retry-backoff: base backoff before a retry
 	Degrade      bool          // -degrade: elmore-bound fallback for exhausted sim jobs
 	Breaker      int           // -breaker: per-net consecutive-failure threshold; 0 disables
+
+	// SLO declares latency objectives like "p99=50ms,p50=5ms". Each
+	// objective gets good/bad counts and a burn-rate gauge in the
+	// summary record and metrics registry.
+	SLO string
+
+	slos []telemetry.SLO // parsed by Validate
 }
 
 // AddBatch registers the batch-mode flags on fs and returns the value
@@ -118,6 +135,7 @@ func AddBatch(fs *flag.FlagSet) *BatchFlags {
 	fs.DurationVar(&b.RetryBackoff, "retry-backoff", 50*time.Millisecond, "base backoff before the first retry (doubles per attempt, jittered)")
 	fs.BoolVar(&b.Degrade, "degrade", true, "answer sim jobs that exhaust their attempts with the closed-form elmore-bound interval instead of an error")
 	fs.IntVar(&b.Breaker, "breaker", 0, "cut off a net after `n` consecutive transient failures (0 = off)")
+	fs.StringVar(&b.SLO, "slo", "", "latency objectives like `p99=50ms,p50=5ms`; tracked per run with burn-rate gauges and summary counts")
 	return b
 }
 
@@ -143,6 +161,11 @@ func (b *BatchFlags) Validate() error {
 	if b.JournalSync < 0 {
 		return fmt.Errorf("-journal-sync must be >= 0, got %d", b.JournalSync)
 	}
+	slos, err := telemetry.ParseSLOs(b.SLO)
+	if err != nil {
+		return fmt.Errorf("-slo: %w", err)
+	}
+	b.slos = slos
 	return nil
 }
 
@@ -224,10 +247,15 @@ func (b *BatchFlags) RunBatch(ctx context.Context, lib *gate.Library, defaultSle
 // outputs multiplexed onto stderr. Returns nil when every report
 // output is disabled, so it can be assigned to Engine.Report directly.
 func (b *BatchFlags) Reporter(stderr io.Writer) *batch.Reporter {
-	if b.Progress <= 0 && b.SlowJobs <= 0 && !b.Summary {
+	if b.slos == nil && b.SLO != "" {
+		// Engine() without a prior Validate(): parse here, fail-soft;
+		// Validate reports malformed specs loudly on the RunBatch path.
+		b.slos, _ = telemetry.ParseSLOs(b.SLO)
+	}
+	if b.Progress <= 0 && b.SlowJobs <= 0 && !b.Summary && len(b.slos) == 0 {
 		return nil
 	}
-	rep := &batch.Reporter{}
+	rep := &batch.Reporter{SLOs: b.slos}
 	if b.Progress > 0 {
 		rep.Progress = stderr
 		rep.Interval = b.Progress
@@ -304,6 +332,10 @@ type Session struct {
 	blockProfile  bool
 	prevMutexFrac int
 
+	flight     *telemetry.FlightRecorder
+	prevFlight *telemetry.FlightRecorder
+	sigquit    chan os.Signal
+
 	ln net.Listener
 }
 
@@ -331,9 +363,25 @@ var metricsOnce sync.Once
 // debug-server address line and, at Close, the -metrics snapshot.
 func (f *Flags) Start(stderr io.Writer) (*Session, error) {
 	s := &Session{ctx: context.Background(), stderr: stderr, metrics: f.Metrics}
-	if f.Trace != "" || f.Metrics || f.DebugAddr != "" || f.RuntimeSample > 0 {
+	if f.Trace != "" || f.Metrics || f.DebugAddr != "" || f.RuntimeSample > 0 || f.FlightDump != "" {
 		s.reg = telemetry.NewRegistry()
+		telemetry.InstallStandardHelp(s.reg)
 		s.prev = telemetry.SetDefault(s.reg)
+	}
+	if f.FlightDump != "" {
+		s.flight = telemetry.NewFlightRecorder(runtime.GOMAXPROCS(0), f.FlightEvents)
+		s.flight.SetDumpPath(f.FlightDump)
+		s.prevFlight = telemetry.SetFlightRecorder(s.flight)
+		// While the recorder is live, SIGQUIT means "dump the ring and
+		// keep running" — the kill -QUIT postmortem hook. The runtime's
+		// default stack-dump-and-exit behaviour returns at Close.
+		s.sigquit = make(chan os.Signal, 1)
+		signal.Notify(s.sigquit, syscall.SIGQUIT)
+		go func(ch chan os.Signal) {
+			for range ch {
+				telemetry.FlightDump("sigquit")
+			}
+		}(s.sigquit)
 	}
 	if f.Trace != "" {
 		file, err := os.Create(f.Trace)
@@ -409,6 +457,7 @@ func (s *Session) rollback() {
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
+	s.stopFlight()
 	s.restoreProfiling()
 	if s.reg != nil {
 		telemetry.SetDefault(s.prev)
@@ -422,6 +471,19 @@ func (s *Session) rollback() {
 	if s.healthFile != nil {
 		s.healthFile.Close()
 	}
+}
+
+// stopFlight detaches the SIGQUIT handler and restores the previous
+// process flight recorder (usually nil, re-disabling the hot-path
+// hooks). Idempotent.
+func (s *Session) stopFlight() {
+	if s.flight == nil {
+		return
+	}
+	signal.Stop(s.sigquit)
+	close(s.sigquit)
+	telemetry.SetFlightRecorder(s.prevFlight)
+	s.flight = nil
 }
 
 // restoreProfiling puts the process-wide profiling rates back the way
@@ -493,6 +555,7 @@ func (s *Session) Close() error {
 	if s.sampler != nil {
 		s.sampler.Stop()
 	}
+	s.stopFlight()
 	errs = append(errs, s.captureProfiles())
 	s.restoreProfiling()
 	if s.tracer != nil {

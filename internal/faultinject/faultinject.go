@@ -241,10 +241,22 @@ func (inj *Injector) poison(point string, v float64) float64 {
 }
 
 // fired counts one injection in the telemetry registry: the aggregate
-// "faultinject.fired" plus a per-point counter.
+// "faultinject.fired" plus a per-point counter. Each injection is also
+// logged to the flight recorder — and, since an injected fault is by
+// definition an anomaly worth a postmortem, triggers a (throttled)
+// dump: the obs-smoke lane relies on a seeded chaos run always leaving
+// a dump behind.
 func fired(point string) {
 	telemetry.C("faultinject.fired").Inc()
 	telemetry.C("faultinject.fired." + point).Inc()
+	if telemetry.FlightEnabled() {
+		telemetry.FlightRecord(telemetry.FlightEvent{
+			Kind:  telemetry.FlightFault,
+			Index: -1,
+			Label: point,
+		})
+		telemetry.FlightDump("fault")
+	}
 }
 
 // defaultInjector is the process-wide injector consulted by Fire and

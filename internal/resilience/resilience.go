@@ -373,6 +373,17 @@ func (b *Breaker) Failure(fp uint64) {
 			Tree:   fmt.Sprintf("%016x", fp),
 			Detail: fmt.Sprintf("circuit opened after %d consecutive failures", e.consecutive),
 		})
+		if telemetry.FlightEnabled() {
+			// A breaker opening means a tree is failing repeatedly — dump
+			// the ring so the attempts that tripped it are on disk.
+			telemetry.FlightRecord(telemetry.FlightEvent{
+				Kind:  telemetry.FlightBreakerOpen,
+				Index: -1,
+				Code:  int64(e.consecutive),
+				Label: fmt.Sprintf("%016x", fp),
+			})
+			telemetry.FlightDump("breaker-open")
+		}
 	}
 }
 
@@ -547,6 +558,14 @@ func (w *Watchdog) sweep() {
 			Node:   s.label,
 			Detail: fmt.Sprintf("job running for %v (threshold %v)", s.running.Round(time.Millisecond), thr),
 		})
+		if telemetry.FlightEnabled() {
+			telemetry.FlightRecord(telemetry.FlightEvent{
+				Kind:  telemetry.FlightStuck,
+				Index: -1,
+				DurNS: s.running.Nanoseconds(),
+				Label: s.label,
+			})
+		}
 		if w.OnStuck != nil {
 			w.OnStuck(s.label, s.running)
 		}

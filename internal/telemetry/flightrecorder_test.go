@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecordSnapshotRoundTrip(t *testing.T) {
+	fr := NewFlightRecorder(1, 8)
+	tc := MintTrace()
+	tc.Attempt = 3
+	fr.Record(FlightEvent{Kind: FlightRetry, When: 100, Trace: tc, Index: 7, DurNS: 42, Code: 2, Label: "j7"})
+	fr.Record(FlightEvent{Kind: FlightFault, When: 200, Index: -1, Label: "sim.step"})
+	events, torn := fr.Snapshot()
+	if torn != 0 || len(events) != 2 {
+		t.Fatalf("Snapshot = %d events, %d torn; want 2, 0", len(events), torn)
+	}
+	got := events[0]
+	if got.Kind != FlightRetry || got.When != 100 || got.Trace != tc ||
+		got.Index != 7 || got.DurNS != 42 || got.Code != 2 || got.Label != "j7" {
+		t.Errorf("event 0 = %+v", got)
+	}
+	if events[1].Index != -1 || events[1].Label != "sim.step" {
+		t.Errorf("negative index or label lost: %+v", events[1])
+	}
+}
+
+func TestFlightRingWraparound(t *testing.T) {
+	fr := NewFlightRecorder(1, 8)
+	for i := 1; i <= 20; i++ {
+		fr.RecordShard(0, FlightEvent{Kind: FlightJobDone, When: int64(i), Index: int64(i)})
+	}
+	events, torn := fr.Snapshot()
+	if torn != 0 {
+		t.Fatalf("%d torn records on a quiescent ring", torn)
+	}
+	if len(events) != 8 {
+		t.Fatalf("ring of 8 holds %d events after 20 appends", len(events))
+	}
+	// Oldest were overwritten: the survivors are exactly 13..20, in order.
+	for i, ev := range events {
+		if want := int64(13 + i); ev.When != want {
+			t.Errorf("event %d: When = %d, want %d (oldest-first after wrap)", i, ev.When, want)
+		}
+	}
+}
+
+func TestFlightLabelTruncated(t *testing.T) {
+	fr := NewFlightRecorder(1, 4)
+	long := strings.Repeat("x", 100)
+	fr.Record(FlightEvent{Kind: FlightSpan, When: 1, Label: long})
+	events, _ := fr.Snapshot()
+	if len(events) != 1 || events[0].Label != long[:32] {
+		t.Fatalf("label = %q, want 32-byte truncation", events[0].Label)
+	}
+}
+
+func TestFlightTornRecordSkippedAndCounted(t *testing.T) {
+	fr := NewFlightRecorder(1, 4)
+	fr.Record(FlightEvent{Kind: FlightSpan, When: 1, Label: "ok"})
+	fr.Record(FlightEvent{Kind: FlightSpan, When: 2, Label: "torn"})
+	// Simulate an append caught mid-write: begin has moved past commit,
+	// exactly what a dump racing an overwrite observes.
+	sh := &fr.shards[0]
+	for i := range sh.slot {
+		if ev, _, ok := sh.slot[i].load(); ok && ev.Label == "torn" {
+			sh.slot[i].begin.Store(sh.slot[i].begin.Load() + 100)
+		}
+	}
+	events, torn := fr.Snapshot()
+	if torn != 1 {
+		t.Errorf("torn = %d, want 1", torn)
+	}
+	if len(events) != 1 || events[0].Label != "ok" {
+		t.Errorf("events = %+v, want only the intact record", events)
+	}
+
+	var buf bytes.Buffer
+	if err := fr.DumpTo(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	var hdr struct {
+		Record string `json:"record"`
+		Events int    `json:"events"`
+		Torn   int    `json:"torn"`
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	if err := json.Unmarshal([]byte(first), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Record != "flight_dump" || hdr.Events != 1 || hdr.Torn != 1 {
+		t.Errorf("dump header = %+v", hdr)
+	}
+}
+
+// TestFlightConcurrentAppendAndDump is the -race proof for the seqlock
+// scheme: workers hammer their shards while a dumper snapshots
+// continuously. Nothing here synchronizes appends with dumps; the
+// begin/commit markers alone must keep it race-free and every surfaced
+// record internally consistent (When == Index by construction).
+func TestFlightConcurrentAppendAndDump(t *testing.T) {
+	fr := NewFlightRecorder(4, 16)
+	const workers, per = 4, 5000
+	stop := make(chan struct{})
+	dumperDone := make(chan struct{})
+	go func() {
+		defer close(dumperDone)
+		for {
+			events, _ := fr.Snapshot()
+			for _, ev := range events {
+				if ev.When != ev.Index {
+					t.Errorf("inconsistent record surfaced: When=%d Index=%d", ev.When, ev.Index)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				n := int64(w*per + i)
+				fr.RecordShard(w, FlightEvent{Kind: FlightJobDone, When: n, Index: n, Label: "job"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-dumperDone
+}
+
+func TestFlightAppendAllocFree(t *testing.T) {
+	fr := NewFlightRecorder(2, 16)
+	tc := MintTrace()
+	ev := FlightEvent{Kind: FlightJobDone, When: 1, Trace: tc, Index: 3, Label: "j3"}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		fr.RecordShard(0, ev)
+	}); allocs != 0 {
+		t.Errorf("RecordShard allocates %.1f times per append, want 0", allocs)
+	}
+}
+
+// TestFlightDisabledPathFree is the obs-smoke budget assertion: with no
+// recorder installed, the package-level hooks the batch hot path calls
+// are one atomic load + nil check — zero allocations.
+func TestFlightDisabledPathFree(t *testing.T) {
+	if prev := SetFlightRecorder(nil); prev != nil {
+		defer SetFlightRecorder(prev)
+	}
+	if FlightEnabled() {
+		t.Fatal("recorder unexpectedly installed")
+	}
+	ev := FlightEvent{Kind: FlightJobDone, When: 1, Index: 3}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		FlightRecordShard(0, ev)
+		FlightRecord(ev)
+		if FlightEnabled() {
+			t.Fatal("enabled")
+		}
+	}); allocs != 0 {
+		t.Errorf("disabled flight path allocates %.1f times, want 0", allocs)
+	}
+	if FlightDump("nope") {
+		t.Error("FlightDump on nil recorder reported success")
+	}
+}
+
+func TestFlightTriggerDumpThrottleAndFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.ndjson")
+	fr := NewFlightRecorder(1, 8)
+	fr.SetDumpPath(path)
+	now := time.Unix(1000, 0)
+	fr.now = func() time.Time { return now }
+	fr.Record(FlightEvent{Kind: FlightPanic, When: 5, Label: "boom"})
+
+	if !fr.TriggerDump("panic") {
+		t.Fatal("first dump throttled")
+	}
+	if fr.TriggerDump("panic") {
+		t.Error("second dump inside MinGap not throttled")
+	}
+	now = now.Add(2 * time.Second)
+	if !fr.TriggerDump("again") {
+		t.Error("dump after MinGap throttled")
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var headers, records int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var probe struct {
+			Record string `json:"record"`
+			Kind   string `json:"kind"`
+			Label  string `json:"label"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("dump line %q: %v", sc.Text(), err)
+		}
+		switch probe.Record {
+		case "flight_dump":
+			headers++
+		case "flight":
+			records++
+			if probe.Kind != "panic" || probe.Label != "boom" {
+				t.Errorf("record = %+v", probe)
+			}
+		default:
+			t.Errorf("unexpected record kind %q", probe.Record)
+		}
+	}
+	if headers != 2 || records != 2 {
+		t.Errorf("dump file has %d headers, %d records; want 2 appended blocks of 1", headers, records)
+	}
+}
+
+func TestFlightKindStrings(t *testing.T) {
+	for k := FlightSpan; k <= FlightSlowJob; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind_") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := FlightKind(200).String(); s != "kind_200" {
+		t.Errorf("unknown kind = %q", s)
+	}
+}
+
+func BenchmarkFlightRecordShard(b *testing.B) {
+	fr := NewFlightRecorder(1, 512)
+	ev := FlightEvent{Kind: FlightJobDone, When: 1, Index: 3, Label: "j3"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr.RecordShard(0, ev)
+	}
+}
+
+// BenchmarkFlightDisabled measures the per-job cost the batch loop pays
+// when no recorder is installed — the "≤ a few ns, 0 allocs" budget.
+func BenchmarkFlightDisabled(b *testing.B) {
+	prev := SetFlightRecorder(nil)
+	defer SetFlightRecorder(prev)
+	ev := FlightEvent{Kind: FlightJobDone}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if FlightEnabled() {
+			FlightRecordShard(0, ev)
+		}
+	}
+}
+
+func ExampleFlightRecorder_DumpTo() {
+	fr := NewFlightRecorder(1, 4)
+	fr.now = func() time.Time { return time.Unix(0, 42) }
+	fr.Record(FlightEvent{Kind: FlightFault, When: 7, Index: -1, Label: "sim.step"})
+	var buf bytes.Buffer
+	_ = fr.DumpTo(&buf, "example")
+	fmt.Print(buf.String())
+	// Output:
+	// {"record":"flight_dump","reason":"example","t_ns":42,"events":1,"torn":0}
+	// {"record":"flight","kind":"fault","t_ns":7,"index":-1,"label":"sim.step"}
+}

@@ -42,6 +42,21 @@ func PromName(name string) string {
 	return sb.String()
 }
 
+// promHelp renders the HELP line for a metric: the caller-registered
+// text when one exists (see Registry.SetHelp), otherwise generated
+// boilerplate naming the metric's kind and registry name. Backslashes
+// and newlines are escaped per the exposition format. Callers hold at
+// least the registry read lock.
+func (r *Registry) promHelp(promName, name, kind string) string {
+	text := r.help[name]
+	if text == "" {
+		text = fmt.Sprintf("%s %s from the elmore metrics registry.", kind, name)
+	}
+	text = strings.ReplaceAll(text, `\`, `\\`)
+	text = strings.ReplaceAll(text, "\n", `\n`)
+	return fmt.Sprintf("# HELP %s %s\n", promName, text)
+}
+
 // promFloat renders a sample value. Prometheus accepts Go's 'g'
 // formatting, with the special spellings +Inf/-Inf/NaN.
 func promFloat(v float64) string {
@@ -72,19 +87,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, c := range r.counters {
 		p := PromName(name)
 		fams = append(fams, family{p, fmt.Sprintf(
-			"# HELP %s Counter %s from the elmore metrics registry.\n# TYPE %s counter\n%s %d\n",
-			p, name, p, p, c.Value())})
+			"%s# TYPE %s counter\n%s %d\n",
+			r.promHelp(p, name, "Counter"), p, p, c.Value())})
 	}
 	for name, g := range r.gauges {
 		p := PromName(name)
 		fams = append(fams, family{p, fmt.Sprintf(
-			"# HELP %s Gauge %s from the elmore metrics registry.\n# TYPE %s gauge\n%s %s\n",
-			p, name, p, p, promFloat(g.Value()))})
+			"%s# TYPE %s gauge\n%s %s\n",
+			r.promHelp(p, name, "Gauge"), p, p, promFloat(g.Value()))})
 	}
 	for name, h := range r.hists {
 		p := PromName(name)
 		var sb strings.Builder
-		fmt.Fprintf(&sb, "# HELP %s Histogram %s from the elmore metrics registry.\n# TYPE %s histogram\n", p, name, p)
+		fmt.Fprintf(&sb, "%s# TYPE %s histogram\n", r.promHelp(p, name, "Histogram"), p)
 		// Buckets are stored per-interval; the exposition format wants
 		// cumulative counts. Load each bucket exactly once so the
 		// cumulative series is internally consistent even while

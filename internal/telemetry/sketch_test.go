@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSketchEmpty(t *testing.T) {
+	s := NewDurationSketch()
+	if s.Count() != 0 || s.Sum() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.5) != 0 {
+		t.Errorf("empty sketch not all-zero: n=%d sum=%v min=%v max=%v p50=%v",
+			s.Count(), s.Sum(), s.Min(), s.Max(), s.Quantile(0.5))
+	}
+}
+
+func TestSketchExactStats(t *testing.T) {
+	s := NewDurationSketch()
+	samples := []time.Duration{5 * time.Millisecond, time.Microsecond, 3 * time.Second, 42}
+	var sum time.Duration
+	for _, d := range samples {
+		s.Observe(d)
+		sum += d
+	}
+	if s.Count() != int64(len(samples)) {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Sum() != sum {
+		t.Errorf("Sum = %v, want %v", s.Sum(), sum)
+	}
+	if s.Min() != 42 {
+		t.Errorf("Min = %v, want 42ns (exact)", s.Min())
+	}
+	if s.Max() != 3*time.Second {
+		t.Errorf("Max = %v, want 3s (exact)", s.Max())
+	}
+	// Negative samples clamp to zero rather than corrupting buckets.
+	s.Observe(-time.Second)
+	if s.Min() != 0 {
+		t.Errorf("Min after negative = %v, want 0", s.Min())
+	}
+}
+
+// TestSketchQuantileAccuracy checks the DDSketch guarantee: every
+// quantile estimate is within (gamma-1)/2 + rounding ≈ 1% relative
+// error of the exact nearest-rank value, across three distributions.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distros := map[string]func() time.Duration{
+		"uniform":   func() time.Duration { return time.Duration(rng.Int63n(int64(time.Second))) },
+		"lognormal": func() time.Duration { return time.Duration(math.Exp(rng.NormFloat64()*2+12)) * time.Nanosecond },
+		"bimodal": func() time.Duration {
+			if rng.Intn(10) == 0 {
+				return time.Duration(90+rng.Int63n(20)) * time.Millisecond
+			}
+			return time.Duration(1+rng.Int63n(2)) * time.Millisecond
+		},
+	}
+	for name, gen := range distros {
+		s := NewDurationSketch()
+		exact := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			d := gen()
+			s.Observe(d)
+			exact = append(exact, d.Nanoseconds())
+		}
+		sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+		for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			rank := int(math.Ceil(q*float64(len(exact)))) - 1
+			want := exact[rank]
+			got := s.Quantile(q).Nanoseconds()
+			relErr := math.Abs(float64(got-want)) / float64(want)
+			if relErr > 0.02 {
+				t.Errorf("%s p%g: sketch %d vs exact %d (rel err %.4f > 2%%)",
+					name, q*100, got, want, relErr)
+			}
+		}
+	}
+}
+
+// TestSketchBoundedMemory is the O(jobs)-fix assertion at the sketch
+// level: the footprint after a million observations equals the
+// footprint when empty.
+func TestSketchBoundedMemory(t *testing.T) {
+	s := NewDurationSketch()
+	before := s.MemoryBytes()
+	for i := 0; i < 1_000_000; i++ {
+		s.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if after := s.MemoryBytes(); after != before {
+		t.Errorf("memory grew %d -> %d bytes over 1M samples", before, after)
+	}
+	if before > 16*1024 {
+		t.Errorf("sketch footprint %d bytes, want under 16KB", before)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("Observe allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestSketchQuantileMonotone(t *testing.T) {
+	s := NewDurationSketch()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		s.Observe(time.Duration(rng.Int63n(int64(time.Minute))))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := s.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: p%.0f=%v < p%.0f=%v", q*100, cur, (q-0.01)*100, prev)
+		}
+		prev = cur
+	}
+	if s.Quantile(1) != s.Max() {
+		t.Errorf("p100 = %v, want exact max %v", s.Quantile(1), s.Max())
+	}
+	if s.Quantile(0) != s.Min() {
+		t.Errorf("p0 = %v, want exact min %v", s.Quantile(0), s.Min())
+	}
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs(" p99=50ms , p50=2ms ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 {
+		t.Fatalf("parsed %d objectives", len(slos))
+	}
+	// Sorted ascending by quantile.
+	if slos[0].Name != "p50" || slos[0].Quantile != 0.50 || slos[0].Target != 2*time.Millisecond {
+		t.Errorf("slos[0] = %+v", slos[0])
+	}
+	if slos[1].Name != "p99" || slos[1].Quantile != 0.99 || slos[1].Target != 50*time.Millisecond {
+		t.Errorf("slos[1] = %+v", slos[1])
+	}
+	// Fractional quantiles keep their spelling.
+	slos, err = ParseSLOs("p99.9=1s")
+	if err != nil || slos[0].Name != "p99.9" || math.Abs(slos[0].Quantile-0.999) > 1e-12 {
+		t.Errorf("p99.9 = %+v err=%v", slos, err)
+	}
+	// Empty spec means no objectives, no error.
+	if slos, err := ParseSLOs(""); err != nil || slos != nil {
+		t.Errorf("empty spec = %v, %v", slos, err)
+	}
+}
+
+func TestParseSLOsRejectsMalformed(t *testing.T) {
+	for _, spec := range []string{
+		"p99",            // no target
+		"99=50ms",        // no p prefix
+		"p0=50ms",        // quantile 0
+		"p100=50ms",      // quantile 100
+		"pabc=50ms",      // non-numeric
+		"p99=banana",     // bad duration
+		"p99=-5ms",       // negative target
+		"p99=0s",         // zero target
+		"p99=1s,p99=2s",  // duplicate
+		"p99=1s,p99.0=2", // duplicate after canonicalization (and bad dur)
+	} {
+		if slos, err := ParseSLOs(spec); err == nil {
+			t.Errorf("ParseSLOs(%q) = %+v, want error", spec, slos)
+		}
+	}
+}
+
+func TestSLOTrackerCountsAndBurnRate(t *testing.T) {
+	slos, err := ParseSLOs("p90=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewSLOTracker(slos)
+	// 100 events: 80 fast successes, 15 slow successes, 5 errors (fast).
+	for i := 0; i < 80; i++ {
+		tr.Observe(time.Millisecond, false)
+	}
+	for i := 0; i < 15; i++ {
+		tr.Observe(50*time.Millisecond, false)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe(time.Millisecond, true) // errors are bad regardless of latency
+	}
+	if tr.Good(0) != 80 || tr.Bad(0) != 20 {
+		t.Errorf("good/bad = %d/%d, want 80/20", tr.Good(0), tr.Bad(0))
+	}
+	// bad fraction 0.20 against a 0.10 budget: burning 2x.
+	if burn := tr.BurnRate(0); math.Abs(burn-2.0) > 1e-9 {
+		t.Errorf("burn rate = %v, want 2.0", burn)
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	if tr := NewSLOTracker(nil); tr != nil {
+		t.Fatal("empty objectives should yield a nil tracker")
+	}
+	var tr *SLOTracker
+	tr.Observe(time.Second, false)
+	tr.Publish()
+	if tr.Good(0) != 0 || tr.Bad(0) != 0 || tr.BurnRate(0) != 0 {
+		t.Error("nil tracker not all-zero")
+	}
+}
+
+func TestSLOTrackerEmptyBurnRateZero(t *testing.T) {
+	slos, _ := ParseSLOs("p99=1ms")
+	tr := NewSLOTracker(slos)
+	if burn := tr.BurnRate(0); burn != 0 {
+		t.Errorf("burn rate with no events = %v, want 0", burn)
+	}
+}
+
+// TestSLOGaugesPrometheusRoundTrip is the acceptance check: published
+// burn-rate gauges survive the strict exposition parser with their
+// registered (non-boilerplate) HELP text.
+func TestSLOGaugesPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	prev := SetDefault(reg)
+	defer SetDefault(prev)
+
+	slos, err := ParseSLOs("p99=50ms,p50=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewSLOTracker(slos)
+	tr.Observe(time.Millisecond, false)
+	tr.Observe(100*time.Millisecond, false) // misses both targets
+	tr.Publish()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	fams := parseProm(t, text)
+
+	for _, m := range []struct {
+		name string
+		want float64
+	}{
+		{"batch_slo_p99_good", 1},
+		{"batch_slo_p99_bad", 1},
+		{"batch_slo_p99_burn_rate", 0.5 / 0.01},
+		{"batch_slo_p50_good", 1},
+		{"batch_slo_p50_bad", 1},
+		{"batch_slo_p50_burn_rate", 0.5 / 0.50},
+	} {
+		samples := fams[m.name]
+		if len(samples) != 1 {
+			t.Errorf("%s: %d samples in exposition", m.name, len(samples))
+			continue
+		}
+		if math.Abs(samples[0].value-m.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", m.name, samples[0].value, m.want)
+		}
+	}
+	// Real HELP text, not the registry boilerplate.
+	if !strings.Contains(text, "# HELP batch_slo_p99_burn_rate Error-budget burn rate") {
+		t.Errorf("burn-rate HELP not registered:\n%s", text)
+	}
+	if strings.Contains(text, "batch_slo_p99_burn_rate from the elmore metrics registry") {
+		t.Errorf("burn-rate gauge fell back to boilerplate HELP:\n%s", text)
+	}
+}
+
+// TestRegisteredHelpEscaped: HELP text with backslashes and newlines
+// must be escaped per the exposition format so the parser stays happy.
+func TestRegisteredHelpEscaped(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("weird.metric", "line one\nline \\ two")
+	reg.Counter("weird.metric").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parseProm(t, sb.String())
+	if !strings.Contains(sb.String(), `line one\nline \\ two`) {
+		t.Errorf("HELP not escaped:\n%s", sb.String())
+	}
+}
+
+func TestInstallStandardHelp(t *testing.T) {
+	reg := NewRegistry()
+	InstallStandardHelp(reg)
+	for _, name := range []string{"batch.jobs", "flight.dumps", "resilience.retries"} {
+		if reg.Help(name) == "" {
+			t.Errorf("no standard HELP for %s", name)
+		}
+	}
+	reg.Counter("flight.dumps").Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	parseProm(t, sb.String())
+	if !strings.Contains(sb.String(), "# HELP flight_dumps ") ||
+		strings.Contains(sb.String(), "flight.dumps from the elmore metrics registry") {
+		t.Errorf("standard HELP not applied:\n%s", sb.String())
+	}
+}

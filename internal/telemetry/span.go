@@ -125,6 +125,7 @@ type Span struct {
 	name   string
 	start  time.Time
 	attrs  []attr
+	trace  TraceContext // request lineage, zero when none attached
 }
 
 type attr struct {
@@ -142,7 +143,9 @@ type spanRecord struct {
 	StartNS int64          `json:"start_ns"`
 	DurNS   int64          `json:"dur_ns"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
-	G       uint64         `json:"g,omitempty"` // starting goroutine id
+	G       uint64         `json:"g,omitempty"`        // starting goroutine id
+	TraceID string         `json:"trace_id,omitempty"` // request lineage (PR 9)
+	Attempt int32          `json:"attempt,omitempty"`
 }
 
 // Start begins a span named name. If ctx carries a tracer, the span
@@ -159,6 +162,9 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
 		sp.parent = parent.id
 	}
+	// The lineage lookup sits after the tr == nil early return above,
+	// so the disabled path never pays for it.
+	sp.trace, _ = TraceContextFrom(ctx)
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
@@ -206,6 +212,10 @@ func (s *Span) End() {
 		StartNS: s.start.Sub(t.epoch).Nanoseconds(),
 		DurNS:   end.Sub(s.start).Nanoseconds(),
 		G:       s.g,
+	}
+	if s.trace.Valid() {
+		rec.TraceID = s.trace.TraceID()
+		rec.Attempt = s.trace.Attempt
 	}
 	if len(s.attrs) > 0 {
 		rec.Attrs = make(map[string]any, len(s.attrs))

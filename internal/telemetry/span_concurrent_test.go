@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is a concurrency-safe sink backing store; the Tracer
+// serializes emissions, but the test reads the buffer afterwards so
+// the lock documents the handoff.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Emit(rec []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.buf.Write(rec); err != nil {
+		return err
+	}
+	return b.buf.WriteByte('\n')
+}
+
+func (b *lockedBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// TestConcurrentSpanEmissionAndEmitRaw is the worker-pool emission
+// model under -race: many goroutines End() spans (each carrying its
+// own trace context) while others interleave EmitRaw records through
+// the same tracer. Every output line must be intact JSON — no torn or
+// interleaved writes — and every span must carry the right trace id.
+func TestConcurrentSpanEmissionAndEmitRaw(t *testing.T) {
+	sink := &lockedBuffer{}
+	tr := NewTracer(sink)
+	base := WithTracer(context.Background(), tr)
+
+	const workers, spansPer, raws = 8, 200, 100
+	var wg sync.WaitGroup
+	traces := make([]TraceContext, workers)
+	for w := 0; w < workers; w++ {
+		traces[w] = MintTrace()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := WithTraceContext(base, traces[w])
+			for i := 0; i < spansPer; i++ {
+				sctx, sp := Start(ctx, fmt.Sprintf("worker%d", w))
+				sp.AttrInt("i", int64(i))
+				_, child := Start(sctx, "child")
+				child.End()
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < raws; i++ {
+			tr.EmitRaw([]byte(fmt.Sprintf(`{"record":"runtime_sample","i":%d}`, i)))
+		}
+	}()
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantTrace := make(map[string]string, workers) // span name -> trace id
+	for w := 0; w < workers; w++ {
+		wantTrace[fmt.Sprintf("worker%d", w)] = traces[w].TraceID()
+	}
+	sc := bufio.NewScanner(bytes.NewReader(sink.bytes()))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var spans, rawLines int
+	for sc.Scan() {
+		var rec struct {
+			Record  string `json:"record"`
+			Name    string `json:"name"`
+			Span    uint64 `json:"span"`
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("torn or invalid line %q: %v", sc.Text(), err)
+		}
+		if rec.Record != "" {
+			rawLines++
+			continue
+		}
+		spans++
+		if want, ok := wantTrace[rec.Name]; ok && rec.TraceID != want {
+			t.Fatalf("span %s carries trace %q, want %q", rec.Name, rec.TraceID, want)
+		}
+	}
+	if spans != workers*spansPer*2 {
+		t.Errorf("emitted %d spans, want %d", spans, workers*spansPer*2)
+	}
+	if rawLines != raws {
+		t.Errorf("emitted %d raw records, want %d", rawLines, raws)
+	}
+}
+
+// failAfterSink errors on every emission after the first; the sticky
+// error must surface the FIRST failure even under concurrent EmitRaw.
+type failAfterSink struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *failAfterSink) Emit([]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if s.n > 1 {
+		return fmt.Errorf("emit %d failed", s.n)
+	}
+	return nil
+}
+
+func TestEmitRawStickyErrorConcurrent(t *testing.T) {
+	sink := &failAfterSink{}
+	tr := NewTracer(sink)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tr.EmitRaw([]byte(`{}`))
+			}
+		}()
+	}
+	wg.Wait()
+	err := tr.Err()
+	if err == nil {
+		t.Fatal("no sticky error after failing emissions")
+	}
+	if err.Error() != "emit 2 failed" {
+		t.Errorf("sticky error = %v, want the first failure (emit 2)", err)
+	}
+	// Nil tracer: EmitRaw and Err stay no-ops.
+	var nilTr *Tracer
+	nilTr.EmitRaw([]byte(`{}`))
+	if nilTr.Err() != nil {
+		t.Error("nil tracer reported an error")
+	}
+}
+
+// TestSpanTraceStampGoldenUnchanged: spans without a trace context emit
+// byte-identical records to pre-lineage traces (omitempty contract) —
+// and spans with one append trace_id/attempt only.
+func TestSpanTraceStampGoldenUnchanged(t *testing.T) {
+	sink := &lockedBuffer{}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := NewTracerClock(sink, clk.now)
+	tr.gid = func() uint64 { return 0 } // suppress g for a stable golden line
+	ctx := WithTracer(context.Background(), tr)
+
+	_, sp := Start(ctx, "plain")
+	sp.End()
+
+	tc := TraceContext{Hi: 0xab, Lo: 0xcd, Attempt: 2}
+	_, sp2 := Start(WithTraceContext(ctx, tc), "traced")
+	sp2.End()
+
+	lines := bytes.Split(bytes.TrimSpace(sink.bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if got, want := string(lines[0]), `{"span":1,"parent":0,"name":"plain","start_ns":1000000,"dur_ns":1000000}`; got != want {
+		t.Errorf("untraced span changed shape:\n got %s\nwant %s", got, want)
+	}
+	if got, want := string(lines[1]),
+		`{"span":2,"parent":0,"name":"traced","start_ns":3000000,"dur_ns":1000000,"trace_id":"00000000000000ab00000000000000cd","attempt":2}`; got != want {
+		t.Errorf("traced span record:\n got %s\nwant %s", got, want)
+	}
+}

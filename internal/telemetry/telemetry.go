@@ -183,6 +183,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	help     map[string]string
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -191,7 +192,30 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
 	}
+}
+
+// SetHelp registers descriptive HELP text for the named metric,
+// emitted verbatim (escaped) by WritePrometheus in place of the
+// generated boilerplate. Safe on a nil registry.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// Help returns the registered HELP text for name ("" when none).
+func (r *Registry) Help(name string) string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 // Counter returns the named counter, creating it on first use. Returns

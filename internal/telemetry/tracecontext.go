@@ -1,0 +1,140 @@
+package telemetry
+
+// Request-scoped lineage: a compact 128-bit trace context minted once
+// per batch job and carried — by value, so the disabled path allocates
+// nothing — through contexts, span records, journal records and result
+// NDJSON. The attempt counter rides along so retries and degraded
+// fallbacks of the same job are attributable to one trace.
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies one logical request (one batch job) across
+// attempts, retries, degradation and — via the NDJSON spec field —
+// process boundaries. The zero value means "no trace".
+type TraceContext struct {
+	Hi, Lo  uint64
+	Attempt int32
+}
+
+// Valid reports whether the context carries a real trace ID.
+func (tc TraceContext) Valid() bool { return tc.Hi != 0 || tc.Lo != 0 }
+
+const hexDigits = "0123456789abcdef"
+
+// AppendTraceID appends the 32-hex-character trace ID to dst and
+// returns the extended slice, so NDJSON emitters can format into a
+// reused buffer without an intermediate string.
+func (tc TraceContext) AppendTraceID(dst []byte) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(tc.Hi>>uint(shift))&0xf])
+	}
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(tc.Lo>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// TraceID returns the canonical 32-hex-character form ("" when
+// invalid), the spelling every NDJSON record and tool uses.
+func (tc TraceContext) TraceID() string {
+	if !tc.Valid() {
+		return ""
+	}
+	var buf [32]byte
+	return string(tc.AppendTraceID(buf[:0]))
+}
+
+// ParseTraceID parses the canonical 32-hex form back into a
+// TraceContext (attempt 0). The second return is false on malformed
+// input, including the all-zero ID.
+func ParseTraceID(s string) (TraceContext, bool) {
+	if len(s) != 32 {
+		return TraceContext{}, false
+	}
+	var words [2]uint64
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 16; i++ {
+			c := s[w*16+i]
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return TraceContext{}, false
+			}
+			words[w] = words[w]<<4 | d
+		}
+	}
+	tc := TraceContext{Hi: words[0], Lo: words[1]}
+	return tc, tc.Valid()
+}
+
+// traceMix is the splitmix64 finalizer: a cheap, well-distributed
+// 64-bit mixing function (same constants the resilience jitter and
+// fault injector use).
+func traceMix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// traceBase seeds the per-process half of every minted ID so traces
+// from concurrent processes (the sharded scale-out story) don't
+// collide even though minting is just a counter.
+var traceBase = traceMix(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+
+var traceSeq atomic.Uint64
+
+// MintTrace returns a fresh trace context (attempt 0). Minting is one
+// atomic increment plus integer mixing — no allocation, no locks — so
+// the batch worker loop can mint unconditionally without busting its
+// per-job allocation budget.
+func MintTrace() TraceContext {
+	n := traceSeq.Add(1)
+	hi := traceMix(traceBase ^ n)
+	lo := traceMix(hi + n)
+	if hi == 0 && lo == 0 {
+		lo = 1 // keep Valid() true; astronomically unlikely
+	}
+	return TraceContext{Hi: hi, Lo: lo}
+}
+
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc. Spans started from
+// the returned context (and flight-recorder events fed from it) are
+// stamped with the trace ID and attempt. Attaching costs two small
+// allocations, so callers on zero-overhead paths gate it on
+// observability actually being enabled.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom returns the trace context carried by ctx; ok is
+// false when none is attached.
+func TraceContextFrom(ctx context.Context) (tc TraceContext, ok bool) {
+	tc, ok = ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// WithTraceAttempt returns ctx re-stamped with the given attempt
+// number (unchanged when ctx carries no trace), so each retry of a job
+// emits spans attributable to that specific attempt.
+func WithTraceAttempt(ctx context.Context, attempt int) context.Context {
+	tc, ok := TraceContextFrom(ctx)
+	if !ok || tc.Attempt == int32(attempt) {
+		return ctx
+	}
+	tc.Attempt = int32(attempt)
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}

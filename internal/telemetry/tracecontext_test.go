@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestMintTraceUniqueAndValid(t *testing.T) {
+	const goroutines, perG = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[TraceContext]bool, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]TraceContext, 0, perG)
+			for i := 0; i < perG; i++ {
+				tc := MintTrace()
+				if !tc.Valid() {
+					t.Error("minted an invalid trace")
+					return
+				}
+				local = append(local, tc)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, tc := range local {
+				if seen[tc] {
+					t.Errorf("duplicate trace %s", tc.TraceID())
+				}
+				seen[tc] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMintTraceAllocFree(t *testing.T) {
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tc := MintTrace()
+		if !tc.Valid() {
+			t.Fatal("invalid mint")
+		}
+	}); allocs != 0 {
+		t.Errorf("MintTrace allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		tc := MintTrace()
+		id := tc.TraceID()
+		if len(id) != 32 {
+			t.Fatalf("TraceID %q: len %d, want 32", id, len(id))
+		}
+		back, ok := ParseTraceID(id)
+		if !ok || back.Hi != tc.Hi || back.Lo != tc.Lo {
+			t.Fatalf("round trip %q -> %+v ok=%v, want %+v", id, back, ok, tc)
+		}
+	}
+	// Uppercase hex parses to the same context.
+	tc := TraceContext{Hi: 0xDEADBEEF, Lo: 0xCAFE}
+	up, ok := ParseTraceID("00000000DEADBEEF000000000000CAFE")
+	if !ok || up != tc {
+		t.Errorf("uppercase parse = %+v ok=%v", up, ok)
+	}
+}
+
+func TestParseTraceIDRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"abc",
+		"0123456789abcdef0123456789abcde",   // 31 chars
+		"0123456789abcdef0123456789abcdef0", // 33 chars
+		"g123456789abcdef0123456789abcdef",  // non-hex
+		"00000000000000000000000000000000",  // all-zero = invalid
+	}
+	for _, s := range bad {
+		if tc, ok := ParseTraceID(s); ok {
+			t.Errorf("ParseTraceID(%q) = %+v, want reject", s, tc)
+		}
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	if tc, ok := TraceContextFrom(context.Background()); ok {
+		t.Fatalf("bare context carries a trace: %+v", tc)
+	}
+	tc := MintTrace()
+	ctx := WithTraceContext(context.Background(), tc)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceContextFrom = %+v ok=%v, want %+v", got, ok, tc)
+	}
+
+	// Re-stamping the attempt yields a new context with the same ID.
+	a2, ok := TraceContextFrom(WithTraceAttempt(ctx, 2))
+	if !ok || a2.Attempt != 2 || a2.Hi != tc.Hi || a2.Lo != tc.Lo {
+		t.Errorf("WithTraceAttempt(2) = %+v ok=%v", a2, ok)
+	}
+	// Same attempt: no new context allocated, same value comes back.
+	if same := WithTraceAttempt(ctx, 0); same != ctx {
+		t.Error("WithTraceAttempt with the current attempt should return ctx unchanged")
+	}
+	// No trace attached: untouched.
+	if same := WithTraceAttempt(context.Background(), 3); same != context.Background() {
+		t.Error("WithTraceAttempt without a trace should return ctx unchanged")
+	}
+}
+
+func TestAppendTraceID(t *testing.T) {
+	tc := TraceContext{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210}
+	got := string(tc.AppendTraceID(nil))
+	want := "0123456789abcdeffedcba9876543210"
+	if got != want {
+		t.Errorf("AppendTraceID = %q, want %q", got, want)
+	}
+	// Appends to existing content rather than overwriting it.
+	if got := string(tc.AppendTraceID([]byte("x:"))); got != "x:"+want {
+		t.Errorf("AppendTraceID with prefix = %q", got)
+	}
+}
