@@ -3,7 +3,7 @@ GO ?= go
 # Benchmarks folded into BENCH_8.json by `make bench-json`.
 BENCH_PATTERN ?= ElmoreDelays|AnalyzeBounds|MomentsOrder6|IncrementalSet|SimTransient|SimPlanReuse|TableI$$
 
-.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke bench-incremental scaling-smoke obs-smoke fmt
+.PHONY: check build test vet race health-strict chaos fuzz-smoke bench bench-json bench-smoke bench-incremental scaling-smoke obs-smoke serve-smoke fmt
 
 check: vet build race
 
@@ -118,6 +118,15 @@ obs-smoke:
 		artifacts/obs-bytrace.txt artifacts/obs-summary.ndjson
 	$(GO) test -run 'TestWorkerLoopAllocBudget|TestFlightDisabledPathFree|TestMintTraceAllocFree|TestSketchBoundedMemory|TestReporterBoundedLatencyMemory' \
 		-count=1 -v ./internal/batch ./internal/telemetry | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL)'
+
+# Serve-mode smoke (ISSUE 10 acceptance): elmored under 2x-capacity
+# load with seeded serve.decode faults must shed with Retry-After while
+# admitted requests meet the SLO, and a SIGTERM mid-batch must exit 0,
+# dump the flight ring, and resume the journaled batch exactly-once
+# after a restart. Driven end to end by loadgen; artifacts (trace,
+# flight dump, metrics snapshot, reports, logs) land in artifacts/.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 fmt:
 	gofmt -l .

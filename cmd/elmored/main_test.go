@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuf is a goroutine-safe bytes.Buffer for capturing run()'s stderr
+// while the test polls it for the listen line.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+// TestRunServesMetricsAndExitsZeroOnSIGTERM drives main's run() with no
+// observability flags: /metrics must still be a live registry (the
+// one-shot CLIs' nil-registry default would serve an empty page), and
+// SIGTERM must drain and return nil — the exit-0 contract.
+func TestRunServesMetricsAndExitsZeroOnSIGTERM(t *testing.T) {
+	var stderr syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-slo", "p99=1s"}, io.Discard, &stderr)
+	}()
+
+	var url string
+	for i := 0; i < 100; i++ {
+		if m := listenRe.FindStringSubmatch(stderr.String()); m != nil {
+			url = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, stderr.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if url == "" {
+		t.Fatalf("no listen line:\n%s", stderr.String())
+	}
+
+	resp, err := http.Post(url+"/v1/analyze", "application/x-ndjson", strings.NewReader(specLine("m1")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"serve_requests 1", "serve_jobs 1", "serve_slo_p99_good 1", "# HELP serve_requests"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+	if !strings.Contains(stderr.String(), "drained clean") {
+		t.Errorf("drain message missing:\n%s", stderr.String())
+	}
+}
+
+// TestRunRejectsBadFlags: validation happens before any listener opens.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rate", "-1"},
+		{"-max-deadline", "-1s"},
+		{"-slo", "p0=1s"},
+		{"positional"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stubAnalyze builds a minimal /v1/analyze handler for exercising the
+// harness without a real elmored: behave(ids) returns the result IDs
+// to stream (possibly with duplicates or omissions), the skipped
+// count, and whether the summary reports an interruption.
+func stubAnalyze(behave func(call int, ids []string) (emit []string, skipped int, interrupted bool)) http.Handler {
+	var mu sync.Mutex
+	call := 0
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/analyze" {
+			http.NotFound(w, r)
+			return
+		}
+		var ids []string
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			var m struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			ids = append(ids, m.ID)
+		}
+		mu.Lock()
+		call++
+		n := call
+		mu.Unlock()
+		emit, skipped, interrupted := behave(n, ids)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, id := range emit {
+			fmt.Fprintf(w, `{"record":"result","id":%q}`+"\n", id)
+		}
+		fmt.Fprintf(w, `{"record":"serve_summary","total":%d,"emitted":%d,"skipped":%d,"interrupted":%v}`+"\n",
+			len(ids), len(emit), skipped, interrupted)
+	})
+}
+
+func runLoadgen(t *testing.T, args ...string) (report, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	var rep report
+	if out.Len() > 0 {
+		if jerr := json.Unmarshal(out.Bytes(), &rep); jerr != nil {
+			t.Fatalf("bad report %q: %v", out.String(), jerr)
+		}
+	}
+	return rep, err
+}
+
+func TestSustainedHappyPath(t *testing.T) {
+	ts := httptest.NewServer(stubAnalyze(func(_ int, ids []string) ([]string, int, bool) {
+		return ids, 0, false
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-rate", "50", "-duration", "200ms", "-jobs", "3", "-slo", "p99=10s")
+	if err != nil {
+		t.Fatalf("run: %v (report %+v)", err, rep)
+	}
+	if !rep.Pass || !rep.SLOPass || rep.OK == 0 || rep.OK != rep.Sent {
+		t.Fatalf("report = %+v, want all-OK pass", rep)
+	}
+}
+
+func TestSustainedFlagsDuplicateDelivery(t *testing.T) {
+	ts := httptest.NewServer(stubAnalyze(func(_ int, ids []string) ([]string, int, bool) {
+		return append(ids, ids[0]), 0, false // j0 delivered twice
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-rate", "50", "-duration", "100ms", "-jobs", "3")
+	if err == nil {
+		t.Fatalf("duplicate delivery not flagged: %+v", rep)
+	}
+	if rep.NotOnce == 0 {
+		t.Fatalf("exactly_once_violations = 0, want > 0: %+v", rep)
+	}
+}
+
+func TestShedRequiresRetryAfter(t *testing.T) {
+	// Sheds WITH Retry-After are tolerated (and satisfy -expect-shed)...
+	polite := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"rate"}`, http.StatusTooManyRequests)
+	}))
+	defer polite.Close()
+	rep, err := runLoadgen(t, "-url", polite.URL, "-rate", "50", "-duration", "100ms", "-expect-shed")
+	if err != nil {
+		t.Fatalf("polite sheds should pass: %v (%+v)", err, rep)
+	}
+	if rep.Shed429 == 0 {
+		t.Fatalf("no 429s recorded: %+v", rep)
+	}
+
+	// ...sheds WITHOUT it violate the overload contract.
+	rude := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"rate"}`, http.StatusServiceUnavailable)
+	}))
+	defer rude.Close()
+	rep, err = runLoadgen(t, "-url", rude.URL, "-rate", "50", "-duration", "100ms")
+	if err == nil {
+		t.Fatalf("missing Retry-After not flagged: %+v", rep)
+	}
+	if rep.MissingRetry == 0 {
+		t.Fatalf("shed_missing_retry_after = 0, want > 0: %+v", rep)
+	}
+}
+
+func TestExpectShedFailsWhenNothingShed(t *testing.T) {
+	ts := httptest.NewServer(stubAnalyze(func(_ int, ids []string) ([]string, int, bool) {
+		return ids, 0, false
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-rate", "50", "-duration", "100ms", "-expect-shed")
+	if err == nil {
+		t.Fatalf("-expect-shed with zero sheds should fail: %+v", rep)
+	}
+}
+
+func TestSustainedSLOViolation(t *testing.T) {
+	ts := httptest.NewServer(stubAnalyze(func(_ int, ids []string) ([]string, int, bool) {
+		return ids, 0, false
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-rate", "50", "-duration", "100ms", "-slo", "p50=1ns")
+	if err == nil {
+		t.Fatalf("impossible SLO should fail: %+v", rep)
+	}
+	if rep.SLOPass || rep.SLODetail == "" {
+		t.Fatalf("SLO verdict missing: %+v", rep)
+	}
+}
+
+func TestResumeExactlyOnceAcrossInterruption(t *testing.T) {
+	// Call 1 delivers a prefix and reports interrupted; call 2 delivers
+	// the remainder with the prefix skipped — the journaled-resume shape.
+	ts := httptest.NewServer(stubAnalyze(func(call int, ids []string) ([]string, int, bool) {
+		half := len(ids) / 2
+		if call == 1 {
+			return ids[:half], 0, true
+		}
+		return ids[half:], half, false
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-resume", "b1", "-jobs", "8")
+	if err != nil {
+		t.Fatalf("resume run: %v (%+v)", err, rep)
+	}
+	if rep.Resumes != 1 || rep.NotOnce != 0 || rep.Interrupted != 1 {
+		t.Fatalf("report = %+v, want one resume, zero violations", rep)
+	}
+}
+
+func TestResumeFlagsDuplicateAcrossStreams(t *testing.T) {
+	// The second stream re-delivers a job the first already streamed.
+	ts := httptest.NewServer(stubAnalyze(func(call int, ids []string) ([]string, int, bool) {
+		half := len(ids) / 2
+		if call == 1 {
+			return ids[:half], 0, true
+		}
+		return ids[half-1:], half - 1, false // ids[half-1] delivered twice
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-resume", "b1", "-jobs", "8")
+	if err == nil {
+		t.Fatalf("cross-stream duplicate not flagged: %+v", rep)
+	}
+	if rep.NotOnce == 0 {
+		t.Fatalf("exactly_once_violations = 0, want > 0: %+v", rep)
+	}
+}
+
+func TestResumeGivesUpAfterMaxAttempts(t *testing.T) {
+	ts := httptest.NewServer(stubAnalyze(func(_ int, ids []string) ([]string, int, bool) {
+		return nil, 0, true // never completes
+	}))
+	defer ts.Close()
+	rep, err := runLoadgen(t, "-url", ts.URL, "-resume", "b1", "-jobs", "4", "-max-resumes", "3")
+	if err == nil {
+		t.Fatalf("never-completing batch should fail: %+v", rep)
+	}
+	if rep.Sent != 3 {
+		t.Fatalf("sent = %d, want 3 attempts: %+v", rep.Sent, rep)
+	}
+}
+
+func TestSpecBodyShape(t *testing.T) {
+	body := specBody(1, 6, 2, 8)
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d spec lines, want 6", len(lines))
+	}
+	decks := map[string]bool{}
+	for i, ln := range lines {
+		var m struct {
+			ID      string `json:"id"`
+			Netlist string `json:"netlist"`
+		}
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if m.ID != fmt.Sprintf("j%d", i) {
+			t.Errorf("line %d id = %q", i, m.ID)
+		}
+		if m.Netlist == "" {
+			t.Errorf("line %d has empty netlist", i)
+		}
+		decks[m.Netlist] = true
+	}
+	if len(decks) != 2 {
+		t.Errorf("got %d distinct decks, want 2 (nets=2 cycling)", len(decks))
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-rate", "0"},
+		{"-duration", "0s"},
+		{"-jobs", "0"},
+		{"-slo", "p200=1s"},
+		{"positional"},
+	} {
+		if _, err := runLoadgen(t, args...); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package batch
+
+// Graceful-drain support for long-running hosts of the batch engine
+// (cmd/elmored). A Gate tracks in-flight batch runs: while open it
+// admits them, after Shutdown it rejects new ones with ErrDraining,
+// and Drain blocks until every admitted run has left — the
+// stop-admitting / finish-in-flight half of a SIGTERM sequence. What
+// happens to the in-flight runs themselves (finish naturally, or get
+// their contexts cancelled so the journal re-queues them) is the
+// host's choice; the Gate only answers "is anyone still inside?".
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrDraining is returned by Gate.Enter once Shutdown has been called:
+// the host is stopping and admits no new work.
+var ErrDraining = errors.New("batch: draining, not admitting new work")
+
+// Gate is a drain barrier. The zero value is open and ready. Safe for
+// concurrent use.
+type Gate struct {
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	settled  chan struct{} // created by Shutdown, closed at inflight==0
+}
+
+// Enter admits one unit of work while the gate is open, returning a
+// leave function that must be called (once; extra calls are no-ops)
+// when the work finishes. After Shutdown, Enter returns ErrDraining.
+func (g *Gate) Enter() (leave func(), err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return nil, ErrDraining
+	}
+	g.inflight++
+	var once sync.Once
+	return func() { once.Do(g.leave) }, nil
+}
+
+// leave retires one admitted unit, settling the drain when it was the
+// last one out.
+func (g *Gate) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	if g.draining && g.inflight == 0 && g.settled != nil {
+		close(g.settled)
+		g.settled = nil
+	}
+}
+
+// Shutdown closes the gate: subsequent Enter calls fail with
+// ErrDraining. In-flight work is unaffected. Idempotent.
+func (g *Gate) Shutdown() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return
+	}
+	g.draining = true
+	g.settled = make(chan struct{})
+	if g.inflight == 0 {
+		close(g.settled)
+		g.settled = nil
+	}
+}
+
+// Drain closes the gate and blocks until every admitted unit has left
+// or ctx expires (returning ctx's error, with work still in flight).
+// Multiple callers may Drain concurrently; all unblock together.
+func (g *Gate) Drain(ctx context.Context) error {
+	g.Shutdown()
+	g.mu.Lock()
+	ch := g.settled
+	g.mu.Unlock()
+	if ch == nil {
+		return nil // already settled
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has been called.
+func (g *Gate) Draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// InFlight reports the number of admitted units that have not left.
+func (g *Gate) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}

@@ -1,0 +1,113 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsThenDrains(t *testing.T) {
+	var g Gate
+	leave1, err := g.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	leave2, err := g.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	g.Shutdown()
+	if !g.Draining() {
+		t.Fatal("Draining() false after Shutdown")
+	}
+	if _, err := g.Enter(); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Enter after Shutdown = %v, want ErrDraining", err)
+	}
+	// Drain blocks until both leave.
+	done := make(chan error, 1)
+	go func() { done <- g.Drain(context.Background()) }()
+	select {
+	case err := <-done:
+		t.Fatalf("Drain returned %v with work in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	leave1()
+	leave1() // double-leave must not corrupt the count
+	leave2()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Drain = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Drain did not settle after the last leave")
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestGateDrainTimeout(t *testing.T) {
+	var g Gate
+	leave, err := g.Enter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck work = %v, want deadline exceeded", err)
+	}
+	leave()
+	// After the straggler leaves, a second Drain settles immediately.
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v", err)
+	}
+}
+
+func TestGateDrainIdleSettlesImmediately(t *testing.T) {
+	var g Gate
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain on an idle gate = %v", err)
+	}
+}
+
+func TestGateShutdownIdempotent(t *testing.T) {
+	var g Gate
+	g.Shutdown()
+	g.Shutdown()
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after double Shutdown = %v", err)
+	}
+}
+
+func TestGateConcurrent(t *testing.T) {
+	var g Gate
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				leave, err := g.Enter()
+				if err != nil {
+					return // draining started
+				}
+				leave()
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	if err := g.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain under concurrent traffic = %v", err)
+	}
+	wg.Wait()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}

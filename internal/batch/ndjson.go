@@ -223,6 +223,27 @@ type RunStats struct {
 	Requeued int // jobs re-queued after being in flight at the crash
 }
 
+// SpecRunOptions parameterizes RunSpecsOpts beyond the positional
+// arguments of RunSpecsJournal. The zero value matches RunSpecsJournal's
+// behavior exactly.
+type SpecRunOptions struct {
+	// Lib resolves path-job cells; nil is fine when no path jobs occur.
+	Lib *gate.Library
+	// DefaultSlew is the path-job input slew when a spec leaves "slew"
+	// empty.
+	DefaultSlew float64
+	// Loader resolves net references (file path or inline text); nil
+	// means DefaultTreeLoader. elmored injects its hot-tree LRU here.
+	Loader TreeLoader
+	// Journal and Replay are the crash-safe checkpoint pair; each may be
+	// nil (no journaling / fresh start).
+	Journal *Journal
+	Replay  *Replay
+	// Specs, when non-nil, bypasses the reader entirely — the caller
+	// already decoded (and perhaps bounds-checked) the job stream.
+	Specs []JobSpec
+}
+
 // RunSpecsJournal is RunSpecs with crash-safe checkpointing: jobs the
 // replayed journal rp marks done are skipped (their results were
 // already emitted by the previous run), jobs it marks started are
@@ -235,10 +256,23 @@ type RunStats struct {
 // re-queues them. The returned error reports an unreadable spec
 // stream, a failing writer or journal, or an interrupted run.
 func RunSpecsJournal(ctx context.Context, e *Engine, r io.Reader, lib *gate.Library, defaultSlew float64, w io.Writer, jr *Journal, rp *Replay) (RunStats, error) {
-	specs, err := ReadSpecs(r)
-	if err != nil {
-		return RunStats{}, err
+	return RunSpecsOpts(ctx, e, r, w, SpecRunOptions{
+		Lib: lib, DefaultSlew: defaultSlew, Journal: jr, Replay: rp,
+	})
+}
+
+// RunSpecsOpts is the options form of RunSpecsJournal; see
+// SpecRunOptions for the extra knobs (injected tree loader, pre-decoded
+// specs). r is ignored when opts.Specs is non-nil.
+func RunSpecsOpts(ctx context.Context, e *Engine, r io.Reader, w io.Writer, opts SpecRunOptions) (RunStats, error) {
+	specs := opts.Specs
+	if specs == nil {
+		var err error
+		if specs, err = ReadSpecs(r); err != nil {
+			return RunStats{}, err
+		}
 	}
+	jr, rp := opts.Journal, opts.Replay
 	st := RunStats{Total: len(specs)}
 	jobs := make([]Job, 0, len(specs))
 	orig := make([]int, 0, len(specs)) // submitted index -> spec index
@@ -253,7 +287,7 @@ func RunSpecsJournal(ctx context.Context, e *Engine, r io.Reader, lib *gate.Libr
 				st.Requeued++
 			}
 		}
-		jobs = append(jobs, s.Job(lib, defaultSlew))
+		jobs = append(jobs, s.JobLoader(opts.Lib, opts.DefaultSlew, opts.Loader))
 		orig = append(orig, i)
 	}
 	if st.Requeued > 0 {

@@ -9,7 +9,7 @@ import (
 	"strings"
 
 	"elmore/internal/gate"
-	"elmore/internal/netlist"
+	netlistpkg "elmore/internal/netlist"
 	"elmore/internal/rctree"
 	"elmore/internal/signal"
 	"elmore/internal/sim"
@@ -43,10 +43,13 @@ type JobSpec struct {
 	// worker processes. Malformed values are ignored (fresh mint).
 	TraceID string `json:"trace_id,omitempty"`
 
-	// Net jobs.
-	Net   string   `json:"net,omitempty"` // netlist file
-	Sinks []string `json:"sinks,omitempty"`
-	Rise  string   `json:"rise,omitempty"`
+	// Net jobs. Net names a netlist file; Netlist carries the deck text
+	// inline (serve mode, where clients have no shared filesystem).
+	// Setting both is an error.
+	Net     string   `json:"net,omitempty"`     // netlist file
+	Netlist string   `json:"netlist,omitempty"` // inline netlist text
+	Sinks   []string `json:"sinks,omitempty"`
+	Rise    string   `json:"rise,omitempty"`
 
 	// Path jobs.
 	Slew   string      `json:"slew,omitempty"` // input transition time
@@ -61,11 +64,13 @@ type JobSpec struct {
 }
 
 // StageSpec is one stage of a path job: the driving cell, the driven
-// net's file, and the sink node feeding the next stage.
+// net (file path or inline text, as in JobSpec), and the sink node
+// feeding the next stage.
 type StageSpec struct {
-	Cell string `json:"cell"`
-	Net  string `json:"net"`
-	Sink string `json:"sink"`
+	Cell    string `json:"cell"`
+	Net     string `json:"net,omitempty"`
+	Netlist string `json:"netlist,omitempty"`
+	Sink    string `json:"sink"`
 }
 
 // ReadSpecs decodes an NDJSON job stream: one JSON object per line,
@@ -115,19 +120,53 @@ func ParseRise(tok string) (signal.Signal, error) {
 	return s, nil
 }
 
-// Job materializes a spec. Spec-level problems (no kind, bad rise or
-// slew, unknown cell, missing library) come back as a pre-failed Job —
-// never a hard error — so one bad line costs one error record in the
-// batch output, in keeping with the engine's fail-soft policy. Netlist
-// files are opened lazily inside the worker for the same reason.
-// defaultSlew is the path-job input slew used when the spec leaves
-// "slew" empty; lib may be nil when no path jobs occur.
+// TreeLoader resolves one spec net reference — a file path in net, or
+// deck text in netlist (exactly one is non-empty) — into its RC tree.
+// The hook lets a host intercept loads: elmored's hot-tree LRU serves
+// repeated nets without re-parsing, and tests substitute synthetic
+// trees without touching the filesystem.
+type TreeLoader func(net, netlist string) (*rctree.Tree, error)
+
+// DefaultTreeLoader opens net as a netlist file, or parses netlist as
+// inline deck text. It is what Job uses when no loader is injected.
+func DefaultTreeLoader(net, netlist string) (*rctree.Tree, error) {
+	if netlist != "" {
+		deck, err := netlistpkg.ParseString(netlist)
+		if err != nil {
+			return nil, fmt.Errorf("inline netlist: %w", err)
+		}
+		return deck.Tree, nil
+	}
+	return loadNet(net)
+}
+
+// Job materializes a spec with the default filesystem loader. See
+// JobLoader.
 func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
+	return s.JobLoader(lib, defaultSlew, nil)
+}
+
+// JobLoader materializes a spec. Spec-level problems (no kind, bad rise
+// or slew, unknown cell, missing library) come back as a pre-failed Job
+// — never a hard error — so one bad line costs one error record in the
+// batch output, in keeping with the engine's fail-soft policy. Netlists
+// are resolved lazily inside the worker for the same reason, through
+// load (nil means DefaultTreeLoader). defaultSlew is the path-job input
+// slew used when the spec leaves "slew" empty; lib may be nil when no
+// path jobs occur.
+func (s JobSpec) JobLoader(lib *gate.Library, defaultSlew float64, load TreeLoader) Job {
+	if load == nil {
+		load = DefaultTreeLoader
+	}
 	j := Job{ID: s.ID}
 	if s.TraceID != "" {
 		j.Trace, _ = telemetry.ParseTraceID(s.TraceID)
 	}
-	isNet := s.Net != ""
+	if s.Net != "" && s.Netlist != "" {
+		j.Err = fmt.Errorf("batch: spec sets both net and netlist")
+		return j
+	}
+	isNet := s.Net != "" || s.Netlist != ""
 	isPath := len(s.Stages) > 0
 	isTran := s.DT != ""
 	switch {
@@ -162,9 +201,9 @@ func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 			j.Err = fmt.Errorf("batch: spec method: %w", err)
 			return j
 		}
-		file := s.Net
+		file, inline := s.Net, s.Netlist
 		j.Tran = &TranJob{
-			Load:   func() (*rctree.Tree, error) { return loadNet(file) },
+			Load:   func() (*rctree.Tree, error) { return load(file, inline) },
 			DT:     dt,
 			TEnd:   tEnd,
 			Method: method,
@@ -178,9 +217,9 @@ func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 			j.Err = fmt.Errorf("batch: spec: %w", err)
 			return j
 		}
-		file := s.Net
+		file, inline := s.Net, s.Netlist
 		j.Net = &NetJob{
-			Load:  func() (*rctree.Tree, error) { return loadNet(file) },
+			Load:  func() (*rctree.Tree, error) { return load(file, inline) },
 			Sinks: s.Sinks,
 			Input: input,
 		}
@@ -200,6 +239,10 @@ func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 		}
 		cells := make([]*gate.Cell, len(s.Stages))
 		for i, st := range s.Stages {
+			if st.Net != "" && st.Netlist != "" {
+				j.Err = fmt.Errorf("batch: spec stage %d sets both net and netlist", i)
+				return j
+			}
 			cell, err := lib.Get(st.Cell)
 			if err != nil {
 				j.Err = fmt.Errorf("batch: spec stage %d: %w", i, err)
@@ -212,7 +255,7 @@ func (s JobSpec) Job(lib *gate.Library, defaultSlew float64) Job {
 			Load: func() (*sta.Path, error) {
 				p := sta.Path{InputSlew: slew}
 				for i, st := range stages {
-					tree, err := loadNet(st.Net)
+					tree, err := load(st.Net, st.Netlist)
 					if err != nil {
 						return nil, fmt.Errorf("stage %d: %w", i, err)
 					}
@@ -243,7 +286,7 @@ func loadNet(path string) (*rctree.Tree, error) {
 		return nil, err
 	}
 	defer f.Close()
-	deck, err := netlist.Parse(f)
+	deck, err := netlistpkg.Parse(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

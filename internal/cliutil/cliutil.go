@@ -198,11 +198,14 @@ func (b *BatchFlags) Engine(stderr io.Writer) *batch.Engine {
 
 // RunBatch executes the -jobs batch mode shared by boundstat and sta:
 // it validates the flags, opens the job stream, replays and appends the
-// -resume journal, installs SIGINT/SIGTERM cancellation (a Ctrl-C
-// drains in-flight jobs, keeps the journal consistent, and leaves the
-// rest for the next -resume run), and streams NDJSON results to
-// stdout. A nonzero number of failed jobs fails the run after every
-// result has been emitted.
+// -resume journal, installs SIGINT/SIGTERM cancellation (a Ctrl-C or a
+// supervisor's TERM drains in-flight jobs, keeps the journal
+// consistent, and leaves the rest for the next -resume run), and
+// streams NDJSON results to stdout. A termination signal also dumps
+// the flight recorder (when -flight-dump armed it) before cancelling,
+// so a killed batch leaves a postmortem next to its journal — SIGTERM
+// behaves like SIGQUIT plus a clean exit. A nonzero number of failed
+// jobs fails the run after every result has been emitted.
 func (b *BatchFlags) RunBatch(ctx context.Context, lib *gate.Library, defaultSlew float64, stdout, stderr io.Writer) (err error) {
 	if err := b.Validate(); err != nil {
 		return err
@@ -224,8 +227,26 @@ func (b *BatchFlags) RunBatch(ctx context.Context, lib *gate.Library, defaultSle
 		jr.SyncEvery = b.JournalSync
 		defer func() { err = errors.Join(err, jr.Close()) }()
 	}
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		select {
+		case sig := <-sigs:
+			// Dump before cancelling: the recorder still holds the
+			// interrupted jobs' events, which is exactly the postmortem a
+			// killed batch should leave behind.
+			reason := "sigint"
+			if sig == syscall.SIGTERM {
+				reason = "sigterm"
+			}
+			telemetry.FlightForceDump(reason)
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 	eng := b.Engine(stderr)
 	st, err := batch.RunSpecsJournal(ctx, eng, f, lib, defaultSlew, stdout, jr, rp)
 	if rp != nil && (st.Skipped > 0 || st.Requeued > 0) {

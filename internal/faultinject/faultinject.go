@@ -28,6 +28,9 @@
 //	batch.dispatch   batch.Engine, at the top of every job attempt
 //	batch.write      batch.WriteResult, before encoding
 //	batch.journal    batch.Journal.Record, before appending
+//	serve.accept     cmd/elmored, before a request enters the drain gate
+//	serve.decode     cmd/elmored, before the request body is decoded
+//	serve.admit      cmd/elmored, before the limiter's admission decision
 //
 // Decisions are deterministic: each rule keeps its own visit counter,
 // and probability rules hash (seed, point, visit number) with

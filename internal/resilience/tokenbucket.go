@@ -1,0 +1,326 @@
+package resilience
+
+// Token-bucket admission control for serve mode. Where the breaker in
+// this package protects the *backend* (a tree that keeps failing stops
+// burning attempts), the limiter protects the *process*: a tenant that
+// sends faster than its sustained rate — or a fleet of tenants that
+// together exceed the process's concurrency budget — is shed
+// immediately with a computed retry hint instead of queuing without
+// bound. Shedding is the paper-faithful choice: the service's answers
+// are guaranteed bounds, so a rejected request loses nothing but time,
+// while an unbounded queue would eventually take every tenant's
+// latency (and the process) down with it.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"elmore/internal/telemetry"
+)
+
+// TokenBucket is a classic leaky-bucket rate limiter: Rate tokens
+// accrue per second up to Burst, and each admission takes one. The
+// zero value admits nothing; NewTokenBucket fills the bucket so a
+// fresh tenant gets its full burst immediately. Safe for concurrent
+// use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket refilling at rate tokens/second
+// with capacity burst. rate <= 0 admits nothing; burst < 1 is raised
+// to 1 so a positive rate can ever admit.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take removes one token if available. When the bucket is empty it
+// reports ok=false and how long, at the configured refill rate, until
+// the next token exists — the Retry-After hint. now is injected so
+// admission decisions are testable without sleeping.
+func (b *TokenBucket) Take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, math.MaxInt64 // never: rate zero means a closed bucket
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// Tokens reports the current token count after refilling to now. For
+// tests and introspection.
+func (b *TokenBucket) Tokens(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill(now)
+	return b.tokens
+}
+
+// refill accrues tokens for the elapsed time; callers hold b.mu. A
+// clock that jumps backwards (NTP) accrues nothing rather than
+// debiting the bucket.
+func (b *TokenBucket) refill(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	b.last = now
+	if dt <= 0 || b.rate <= 0 {
+		return
+	}
+	b.tokens += dt * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// Reject reasons, spelled the way the serve layer maps them to HTTP:
+// a rate rejection is the tenant's own doing (429), a capacity or
+// breaker rejection is the process protecting itself (503).
+const (
+	RejectRate     = "rate"     // tenant exceeded its sustained rate
+	RejectCapacity = "capacity" // process-wide in-flight cap reached
+	RejectBreaker  = "breaker"  // tenant circuit open (repeated failures)
+)
+
+// RejectError is a shed admission: the request was turned away before
+// any work was queued. RetryAfter is the earliest time a retry could
+// be admitted — the Retry-After header value.
+type RejectError struct {
+	Tenant     string
+	Reason     string // RejectRate, RejectCapacity or RejectBreaker
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("resilience: admission rejected (%s) for tenant %q, retry after %v",
+		e.Reason, e.Tenant, e.RetryAfter)
+}
+
+// Transient marks shed requests as retry-worthy for the classifier:
+// the same request is admissible once tokens refill or load drains.
+func (e *RejectError) Transient() bool { return true }
+
+// Limiter is per-tenant token-bucket admission control composed with
+// the package's circuit breaker and a process-wide concurrency cap.
+// Admit either returns a release function (the request is in flight)
+// or a *RejectError naming why the request was shed and when to retry.
+// The tenant table is bounded: past MaxTenants the longest-idle bucket
+// is evicted, so a tenant-ID cardinality attack cannot grow the
+// process.
+//
+// The zero value admits everything (no rate, no cap, no breaker) —
+// each field opts one control in. Safe for concurrent use.
+type Limiter struct {
+	// Rate is each tenant's sustained admissions per second; <= 0
+	// disables per-tenant rate limiting.
+	Rate float64
+	// Burst is each tenant's bucket capacity; <= 0 means max(Rate, 1).
+	Burst float64
+	// MaxInFlight caps concurrently admitted requests across all
+	// tenants; <= 0 disables the cap.
+	MaxInFlight int
+	// CapacityRetry is the Retry-After hint for capacity rejections;
+	// <= 0 means 1s. (Rate rejections compute their own hint from the
+	// bucket; capacity has no schedule, so this is a fixed backoff.)
+	CapacityRetry time.Duration
+	// Breaker, when non-nil, is consulted per tenant (keyed by a hash
+	// of the tenant name): a tenant whose admitted requests keep
+	// failing is cut off for the breaker's cooldown. Release(failed)
+	// feeds it.
+	Breaker *Breaker
+	// MaxTenants bounds the tracked bucket table; <= 0 means 1024.
+	MaxTenants int
+
+	now func() time.Time // test hook; nil means time.Now
+
+	mu       sync.Mutex
+	tenants  map[string]*tenantEntry
+	inflight int
+}
+
+// tenantEntry is one tenant's bucket plus its idle clock.
+type tenantEntry struct {
+	bucket   *TokenBucket
+	lastSeen time.Time
+}
+
+// Admission is one admitted request. Release must be called exactly
+// once when the request finishes; failed feeds the tenant's breaker
+// (server-side failures only — a client's own bad input should pass
+// failed=false, it is not the tenant's circuit that is broken).
+type Admission struct {
+	l      *Limiter
+	tenant string
+	fp     uint64
+	once   sync.Once
+}
+
+// Release returns the admission's in-flight slot and records the
+// outcome on the tenant's breaker. Idempotent.
+func (a *Admission) Release(failed bool) {
+	if a == nil {
+		return
+	}
+	a.once.Do(func() {
+		a.l.mu.Lock()
+		a.l.inflight--
+		a.l.mu.Unlock()
+		if a.l.Breaker != nil {
+			if failed {
+				a.l.Breaker.Failure(a.fp)
+			} else {
+				a.l.Breaker.Success(a.fp)
+			}
+		}
+	})
+}
+
+func (l *Limiter) clock() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
+
+func (l *Limiter) maxTenants() int {
+	if l.MaxTenants > 0 {
+		return l.MaxTenants
+	}
+	return 1024
+}
+
+func (l *Limiter) capacityRetry() time.Duration {
+	if l.CapacityRetry > 0 {
+		return l.CapacityRetry
+	}
+	return time.Second
+}
+
+// tenantFP hashes a tenant name into the breaker's uint64 key space.
+func tenantFP(tenant string) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < len(tenant); i++ {
+		h = splitmix64(h ^ uint64(tenant[i]))
+	}
+	return h
+}
+
+// Admit decides whether one request from tenant may proceed. The
+// checks run cheapest-first: the concurrency cap, then the tenant's
+// bucket, then the breaker — a shed request must cost close to
+// nothing, that is the point of shedding. On success the returned
+// Admission holds one in-flight slot until Release.
+func (l *Limiter) Admit(tenant string) (*Admission, error) {
+	now := l.clock()
+	l.mu.Lock()
+	if l.MaxInFlight > 0 && l.inflight >= l.MaxInFlight {
+		l.mu.Unlock()
+		telemetry.C("resilience.shed_capacity").Inc()
+		return nil, &RejectError{Tenant: tenant, Reason: RejectCapacity, RetryAfter: l.capacityRetry()}
+	}
+	var bucket *TokenBucket
+	if l.Rate > 0 {
+		e := l.tenants[tenant]
+		if e == nil {
+			e = &tenantEntry{bucket: NewTokenBucket(l.Rate, l.burst())}
+			if l.tenants == nil {
+				l.tenants = make(map[string]*tenantEntry)
+			}
+			l.evictIdleLocked()
+			l.tenants[tenant] = e
+		}
+		e.lastSeen = now
+		bucket = e.bucket
+	}
+	// Reserve the slot before dropping the lock; the bucket and breaker
+	// checks below release it on rejection.
+	l.inflight++
+	l.mu.Unlock()
+
+	if bucket != nil {
+		if ok, retry := bucket.Take(now); !ok {
+			l.mu.Lock()
+			l.inflight--
+			l.mu.Unlock()
+			telemetry.C("resilience.shed_rate").Inc()
+			return nil, &RejectError{Tenant: tenant, Reason: RejectRate, RetryAfter: retry}
+		}
+	}
+	fp := tenantFP(tenant)
+	if l.Breaker != nil {
+		if err := l.Breaker.Allow(fp); err != nil {
+			l.mu.Lock()
+			l.inflight--
+			l.mu.Unlock()
+			telemetry.C("resilience.shed_breaker").Inc()
+			return nil, &RejectError{Tenant: tenant, Reason: RejectBreaker, RetryAfter: l.Breaker.cooldown()}
+		}
+	}
+	telemetry.C("resilience.admitted").Inc()
+	return &Admission{l: l, tenant: tenant, fp: fp}, nil
+}
+
+// burst returns the effective per-tenant bucket capacity.
+func (l *Limiter) burst() float64 {
+	if l.Burst > 0 {
+		return l.Burst
+	}
+	return math.Max(l.Rate, 1)
+}
+
+// evictIdleLocked makes room for one more tenant by dropping the
+// longest-idle entry once the table is full; callers hold l.mu. Linear
+// scan: the table is bounded at MaxTenants (default 1024) and eviction
+// only runs on new-tenant admission, so the cost stays off the steady
+// state.
+func (l *Limiter) evictIdleLocked() {
+	if len(l.tenants) < l.maxTenants() {
+		return
+	}
+	var (
+		oldest     string
+		oldestSeen time.Time
+		found      bool
+	)
+	for name, e := range l.tenants {
+		if !found || e.lastSeen.Before(oldestSeen) {
+			oldest, oldestSeen, found = name, e.lastSeen, true
+		}
+	}
+	if found {
+		delete(l.tenants, oldest)
+		telemetry.C("resilience.tenant_evictions").Inc()
+	}
+}
+
+// InFlight reports the number of currently admitted requests.
+func (l *Limiter) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Tenants reports the number of tracked tenant buckets.
+func (l *Limiter) Tenants() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.tenants)
+}

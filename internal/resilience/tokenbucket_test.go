@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketTakeAndRefill(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(10, 2) // 10/s, burst 2, starts full
+	if ok, _ := b.Take(t0); !ok {
+		t.Fatal("first take from a full bucket rejected")
+	}
+	if ok, _ := b.Take(t0); !ok {
+		t.Fatal("second take within burst rejected")
+	}
+	ok, retry := b.Take(t0)
+	if ok {
+		t.Fatal("take from an empty bucket admitted")
+	}
+	// One token refills in 1/rate = 100ms.
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 100ms]", retry)
+	}
+	if ok, _ := b.Take(t0.Add(retry)); !ok {
+		t.Fatal("take after the advertised retry interval rejected")
+	}
+}
+
+func TestTokenBucketBurstCap(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(1000, 3)
+	// A long idle period must not accrue past the burst.
+	if got := b.Tokens(t0.Add(time.Hour)); got != 3 {
+		t.Fatalf("tokens after idle hour = %v, want 3 (burst cap)", got)
+	}
+}
+
+func TestTokenBucketBackwardsClock(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(10, 1)
+	if ok, _ := b.Take(t0); !ok {
+		t.Fatal("initial take rejected")
+	}
+	// A clock step backwards must not mint or burn tokens.
+	if got := b.Tokens(t0.Add(-time.Minute)); got != 0 {
+		t.Fatalf("tokens after backwards clock = %v, want 0", got)
+	}
+}
+
+func TestTokenBucketZeroRateClosed(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewTokenBucket(0, 1)
+	if ok, _ := b.Take(t0); !ok {
+		t.Fatal("burst token should admit once even at rate 0")
+	}
+	if ok, _ := b.Take(t0.Add(time.Hour)); ok {
+		t.Fatal("rate-0 bucket refilled")
+	}
+}
+
+// fakeClock drives a Limiter deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLimiterRateShedsWithRetryAfter(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := &Limiter{Rate: 10, Burst: 2, now: clk.now}
+	for i := 0; i < 2; i++ {
+		a, err := l.Admit("acme")
+		if err != nil {
+			t.Fatalf("admission %d rejected: %v", i, err)
+		}
+		a.Release(false)
+	}
+	_, err := l.Admit("acme")
+	var rej *RejectError
+	if !errors.As(err, &rej) {
+		t.Fatalf("over-rate admission = %v, want *RejectError", err)
+	}
+	if rej.Reason != RejectRate || rej.Tenant != "acme" {
+		t.Fatalf("reject = %+v, want rate/acme", rej)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", rej.RetryAfter)
+	}
+	if !rej.Transient() {
+		t.Fatal("shed requests must classify as transient")
+	}
+	// A different tenant has its own bucket.
+	if _, err := l.Admit("globex"); err != nil {
+		t.Fatalf("fresh tenant rejected: %v", err)
+	}
+	// After the advertised interval the original tenant is admissible.
+	clk.advance(rej.RetryAfter)
+	if _, err := l.Admit("acme"); err != nil {
+		t.Fatalf("post-retry admission rejected: %v", err)
+	}
+}
+
+func TestLimiterCapacityCap(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := &Limiter{MaxInFlight: 2, CapacityRetry: 250 * time.Millisecond, now: clk.now}
+	a1, err := l.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := l.Admit("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	_, err = l.Admit("c")
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != RejectCapacity {
+		t.Fatalf("over-capacity admission = %v, want capacity reject", err)
+	}
+	if rej.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("capacity RetryAfter = %v, want 250ms", rej.RetryAfter)
+	}
+	// Release frees the slot; double-release must not double-free.
+	a1.Release(false)
+	a1.Release(false)
+	if got := l.InFlight(); got != 1 {
+		t.Fatalf("InFlight after release = %d, want 1", got)
+	}
+	if _, err := l.Admit("c"); err != nil {
+		t.Fatalf("post-release admission rejected: %v", err)
+	}
+	a2.Release(false)
+}
+
+func TestLimiterBreakerCutsFailingTenant(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := &Limiter{Breaker: &Breaker{Threshold: 3}, now: clk.now}
+	for i := 0; i < 3; i++ {
+		a, err := l.Admit("cursed")
+		if err != nil {
+			t.Fatalf("admission %d rejected: %v", i, err)
+		}
+		a.Release(true) // server-side failure feeds the breaker
+	}
+	_, err := l.Admit("cursed")
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != RejectBreaker {
+		t.Fatalf("post-failures admission = %v, want breaker reject", err)
+	}
+	if rej.RetryAfter <= 0 {
+		t.Fatalf("breaker RetryAfter = %v, want > 0 (the cooldown)", rej.RetryAfter)
+	}
+	// The breaker is per tenant: a healthy tenant is unaffected.
+	a, err := l.Admit("healthy")
+	if err != nil {
+		t.Fatalf("healthy tenant rejected: %v", err)
+	}
+	a.Release(false)
+	// A breaker rejection must not leak the in-flight slot.
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after breaker reject = %d, want 0", got)
+	}
+}
+
+func TestLimiterTenantTableBounded(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := &Limiter{Rate: 100, MaxTenants: 4, now: clk.now}
+	for i := 0; i < 16; i++ {
+		clk.advance(time.Millisecond) // distinct lastSeen per tenant
+		a, err := l.Admit(fmt.Sprintf("tenant-%d", i))
+		if err != nil {
+			t.Fatalf("tenant %d rejected: %v", i, err)
+		}
+		a.Release(false)
+	}
+	if got := l.Tenants(); got > 4 {
+		t.Fatalf("tenant table grew to %d, cap is 4", got)
+	}
+	// The most recent tenant survived the evictions.
+	l.mu.Lock()
+	_, ok := l.tenants["tenant-15"]
+	l.mu.Unlock()
+	if !ok {
+		t.Fatal("most recently seen tenant was evicted")
+	}
+}
+
+func TestLimiterZeroValueAdmitsEverything(t *testing.T) {
+	var l Limiter
+	for i := 0; i < 100; i++ {
+		a, err := l.Admit("anyone")
+		if err != nil {
+			t.Fatalf("zero-value limiter rejected: %v", err)
+		}
+		a.Release(false)
+	}
+}
+
+func TestLimiterConcurrentAdmitRace(t *testing.T) {
+	l := &Limiter{Rate: 1e9, MaxInFlight: 8}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a, err := l.Admit(fmt.Sprintf("t%d", w%3))
+				if err == nil {
+					a.Release(i%7 == 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after drain = %d, want 0", got)
+	}
+}

@@ -363,16 +363,31 @@ func (fr *FlightRecorder) DumpTo(w io.Writer, reason string) error {
 // or breaker flapping can't flood the disk. Returns false when
 // throttled or on write error; safe from any goroutine and on nil.
 func (fr *FlightRecorder) TriggerDump(reason string) bool {
+	return fr.dump(reason, false)
+}
+
+// ForceDump is TriggerDump without the MinGap throttle, for last-gasp
+// dumps on the process-exit path (SIGTERM, fatal errors): a fault dump
+// moments earlier must not suppress the final state of the ring.
+func (fr *FlightRecorder) ForceDump(reason string) bool {
+	return fr.dump(reason, true)
+}
+
+func (fr *FlightRecorder) dump(reason string, force bool) bool {
 	if fr == nil {
 		return false
 	}
 	now := fr.now().UnixNano()
 	last := fr.lastDump.Load()
-	if last != 0 && now-last < int64(fr.MinGap) {
-		return false
-	}
-	if !fr.lastDump.CompareAndSwap(last, now) {
-		return false // another dump racing; it wins
+	if !force {
+		if last != 0 && now-last < int64(fr.MinGap) {
+			return false
+		}
+		if !fr.lastDump.CompareAndSwap(last, now) {
+			return false // another dump racing; it wins
+		}
+	} else {
+		fr.lastDump.Store(now)
 	}
 	fr.dumpMu.Lock()
 	defer fr.dumpMu.Unlock()
@@ -421,3 +436,7 @@ func FlightRecordShard(worker int, ev FlightEvent) {
 
 // FlightDump triggers a throttled dump of the default recorder.
 func FlightDump(reason string) bool { return defaultFlight.Load().TriggerDump(reason) }
+
+// FlightForceDump dumps the default recorder unthrottled — the
+// process-exit variant of FlightDump.
+func FlightForceDump(reason string) bool { return defaultFlight.Load().ForceDump(reason) }

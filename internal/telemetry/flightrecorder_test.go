@@ -194,6 +194,9 @@ func TestFlightTriggerDumpThrottleAndFile(t *testing.T) {
 	if fr.TriggerDump("panic") {
 		t.Error("second dump inside MinGap not throttled")
 	}
+	if !fr.ForceDump("again") {
+		t.Error("ForceDump inside MinGap throttled; exit dumps must land")
+	}
 	now = now.Add(2 * time.Second)
 	if !fr.TriggerDump("again") {
 		t.Error("dump after MinGap throttled")
@@ -227,8 +230,8 @@ func TestFlightTriggerDumpThrottleAndFile(t *testing.T) {
 			t.Errorf("unexpected record kind %q", probe.Record)
 		}
 	}
-	if headers != 2 || records != 2 {
-		t.Errorf("dump file has %d headers, %d records; want 2 appended blocks of 1", headers, records)
+	if headers != 3 || records != 3 {
+		t.Errorf("dump file has %d headers, %d records; want 3 appended blocks of 1", headers, records)
 	}
 }
 

@@ -67,6 +67,22 @@ var standardHelp = map[string]string{
 	"resilience.breaker_rejects":        "Calls rejected by an open circuit breaker.",
 	"resilience.stuck_jobs":             "Jobs flagged by the watchdog as exceeding their deadline.",
 	"resilience.stuck_cancels":          "Stuck jobs the watchdog escalated to cancellation.",
+	"resilience.admitted":               "Requests admitted by the serve-mode limiter.",
+	"resilience.shed_rate":              "Requests shed because the tenant exceeded its token-bucket rate (HTTP 429).",
+	"resilience.shed_capacity":          "Requests shed at the process-wide in-flight cap (HTTP 503).",
+	"resilience.shed_breaker":           "Requests shed by an open per-tenant circuit breaker (HTTP 503).",
+	"resilience.tenant_evictions":       "Longest-idle tenant buckets evicted from the bounded limiter table.",
+	"serve.requests":                    "HTTP requests accepted by elmored (all endpoints).",
+	"serve.requests_shed":               "HTTP requests shed by admission control (429/503 + Retry-After).",
+	"serve.requests_failed":             "HTTP requests that finished with a server-side error.",
+	"serve.batches":                     "Batch /v1/analyze requests completed.",
+	"serve.jobs":                        "Jobs evaluated across all /v1/analyze requests.",
+	"serve.inflight":                    "Requests currently inside the serve drain gate.",
+	"serve.hot_tree_hits":               "Net loads served from the hot-tree LRU without re-parsing.",
+	"serve.hot_tree_misses":             "Net loads that parsed and compiled a tree before caching it.",
+	"serve.hot_tree_evictions":          "Trees evicted from the bounded hot-tree LRU.",
+	"serve.deadline_truncations":        "Requests whose per-job timeout was tightened to the client deadline.",
+	"serve.drains":                      "Graceful drains begun (SIGTERM / shutdown).",
 	"faultinject.fired":                 "Injected faults fired across all points.",
 	"health.events":                     "Numerical health events observed (all severities).",
 	"health.violations":                 "Numerical invariant violations (Lemma 2, bound ordering, NaN).",

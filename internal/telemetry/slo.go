@@ -79,8 +79,12 @@ func ParseSLOs(spec string) ([]SLO, error) {
 // registry, which is what makes them scrapable concurrently.
 type SLOTracker struct {
 	SLOs []SLO
-	good []int64
-	bad  []int64
+	// Prefix names the metric family Publish writes, e.g. "serve" for
+	// "serve.slo.p99.burn_rate"; empty means "batch" (the historical
+	// family, kept so existing dashboards survive).
+	Prefix string
+	good   []int64
+	bad    []int64
 }
 
 // NewSLOTracker returns a tracker for the given objectives (nil when
@@ -141,11 +145,15 @@ func (t *SLOTracker) BurnRate(i int) float64 {
 	return badFrac / (1 - t.SLOs[i].Quantile)
 }
 
-// sloMetricName builds "batch.slo.p99.burn_rate"-style names. Dots in
-// the quantile spelling (p99.9) survive here and are sanitized by
-// PromName on exposition.
-func sloMetricName(name, field string) string {
-	return "batch.slo." + name + "." + field
+// sloMetricName builds "batch.slo.p99.burn_rate"-style names under the
+// tracker's Prefix. Dots in the quantile spelling (p99.9) survive here
+// and are sanitized by PromName on exposition.
+func (t *SLOTracker) sloMetricName(name, field string) string {
+	prefix := t.Prefix
+	if prefix == "" {
+		prefix = "batch"
+	}
+	return prefix + ".slo." + name + "." + field
 }
 
 // Publish pushes per-objective good/bad counts and burn-rate gauges
@@ -161,7 +169,7 @@ func (t *SLOTracker) Publish() {
 		return
 	}
 	for i, s := range t.SLOs {
-		good, bad, burn := sloMetricName(s.Name, "good"), sloMetricName(s.Name, "bad"), sloMetricName(s.Name, "burn_rate")
+		good, bad, burn := t.sloMetricName(s.Name, "good"), t.sloMetricName(s.Name, "bad"), t.sloMetricName(s.Name, "burn_rate")
 		r.SetHelp(good, fmt.Sprintf("Jobs that met the %s<=%v latency objective.", s.Name, s.Target))
 		r.SetHelp(bad, fmt.Sprintf("Jobs that missed the %s<=%v latency objective (errors count as missed).", s.Name, s.Target))
 		r.SetHelp(burn, fmt.Sprintf("Error-budget burn rate for %s<=%v: bad fraction / %.4g (1 = budget exactly consumed).", s.Name, s.Target, 1-s.Quantile))

@@ -45,10 +45,45 @@ func TestParseSLOsRejectsMalformed(t *testing.T) {
 		"p99=0s",         // zero target
 		"p99=1s,p99=2s",  // duplicate
 		"p99=1s,p99.0=2", // duplicate after canonicalization (and bad dur)
+		"p99=1s,P99=2s",  // duplicate across case
+		"p=1s",           // p with no digits
+		"p-5=1s",         // negative quantile
+		"p99==50ms",      // doubled separator yields "=50ms" duration
+		"=50ms",          // empty quantile
+		"p99=0ns",        // zero target in another unit
 	} {
 		if slos, err := ParseSLOs(spec); err == nil {
 			t.Errorf("ParseSLOs(%q) = %+v, want error", spec, slos)
 		}
+	}
+}
+
+// TestSLOTrackerPrefix: serve mode publishes the same objectives under
+// its own metric family, so one process can track batch- and
+// serve-level SLOs without colliding.
+func TestSLOTrackerPrefix(t *testing.T) {
+	reg := NewRegistry()
+	prev := SetDefault(reg)
+	defer SetDefault(prev)
+
+	slos, err := ParseSLOs("p99=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewSLOTracker(slos)
+	tr.Prefix = "serve"
+	tr.Observe(time.Millisecond, false)
+	tr.Publish()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "serve_slo_p99_good 1") {
+		t.Errorf("prefixed gauge missing:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "batch_slo_p99_good") {
+		t.Errorf("prefixed tracker leaked into the batch family:\n%s", sb.String())
 	}
 }
 
